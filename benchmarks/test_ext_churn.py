@@ -1,0 +1,42 @@
+"""Extension: workload-mix churn (Sec. III-C claim).
+
+"Be it a phase change or a change in the workload mixes, SATORI
+requires no further initialization." One job is swapped for a new
+workload mid-run; SATORI must re-converge to near its pre-swap
+optimality ratio without being restarted.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.churn import workload_churn
+from repro.workloads.mixes import suite_mixes
+from repro.workloads.registry import get_workload
+
+from common import run_once
+
+
+def test_extension_workload_churn(benchmark):
+    mix = suite_mixes("parsec")[0]
+    newcomer = get_workload("vips")
+
+    result = run_once(
+        benchmark,
+        lambda: workload_churn(
+            mix, newcomer, swap_index=2, duration_s=24.0, seed=1
+        ),
+    )
+
+    print(f"\nExtension — workload churn ({result.mix_label} -> +{result.newcomer})")
+    print(
+        format_table(
+            ["window", "objective / oracle"],
+            [
+                [f"before swap (t<{result.swap_time_s:.0f}s)", result.before_ratio],
+                ["right after swap", result.disturbance_ratio],
+                ["end of run (recovered)", result.recovered_ratio],
+            ],
+            precision=3,
+        )
+    )
+
+    assert result.recovers, "SATORI must re-converge after the mix change"
+    assert result.recovered_ratio > 0.75

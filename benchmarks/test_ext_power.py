@@ -1,0 +1,58 @@
+"""Extension: power capping as a fourth partitioned resource.
+
+The paper's conclusion claims SATORI "can effectively handle computing
+cores, LLC ways, memory bandwidth, and power-cap resources". This
+bench runs SATORI over the four-resource space (RAPL power units
+included) and compares against a power-oblivious equal split on the
+same power-constrained server.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.extensions import power_capped_partitioning
+from repro.experiments.runner import RunConfig
+from repro.workloads.mixes import suite_mixes
+
+from common import RUN_SECONDS, run_once
+
+
+def test_extension_power_capped_partitioning(benchmark):
+    mix = suite_mixes("parsec")[17]
+
+    result = run_once(
+        benchmark,
+        lambda: power_capped_partitioning(
+            mix, RunConfig(duration_s=RUN_SECONDS), seed=0
+        ),
+    )
+
+    print(f"\nExtension — four-resource partitioning incl. power ({mix.label})")
+    print(
+        format_table(
+            ["policy", "throughput", "fairness"],
+            [
+                [
+                    "SATORI (cores+LLC+BW+power)",
+                    result.satori_four_resource.throughput,
+                    result.satori_four_resource.fairness,
+                ],
+                [
+                    "equal split (all four)",
+                    result.equal_partition.throughput,
+                    result.equal_partition.fairness,
+                ],
+            ],
+            precision=3,
+        )
+    )
+    print(
+        f"\nSATORI gain over equal split: {result.throughput_gain_percent:+.1f} % T, "
+        f"{result.fairness_gain_percent:+.1f} % F"
+    )
+
+    final = result.satori_four_resource.telemetry[-1].config
+    assert final.partitions("power"), "SATORI must actively partition the power budget"
+    combined_satori = (
+        result.satori_four_resource.throughput + result.satori_four_resource.fairness
+    )
+    combined_equal = result.equal_partition.throughput + result.equal_partition.fairness
+    assert combined_satori >= combined_equal * 0.95

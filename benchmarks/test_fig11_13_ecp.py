@@ -1,0 +1,47 @@
+"""Figs. 11 & 13: ECP per-mix and aggregate results.
+
+Paper findings: SATORI outperforms the competition across the 10
+two-job ECP mixes (+15 points throughput and fairness over PARTIES);
+the minife+swfft mix is SATORI's hardest (both want the LLC), and the
+amg+hypre mix its easiest (similar requirements, easy search space).
+"""
+
+from repro.experiments import STANDARD_POLICY_ORDER, aggregate, format_table
+
+from common import run_once, suite_comparisons
+
+
+def test_fig11_13_ecp(benchmark):
+    comparisons = run_once(benchmark, lambda: suite_comparisons("ecp"))
+    agg = aggregate(comparisons, STANDARD_POLICY_ORDER)
+
+    print("\nFig. 11 — per-mix ECP results (% of Balanced Oracle, T/F)")
+    ordered = sorted(comparisons, key=lambda c: c.score("SATORI").throughput_vs_oracle)
+    rows = []
+    for comparison in ordered:
+        row = [comparison.mix_label]
+        for name in STANDARD_POLICY_ORDER:
+            score = comparison.score(name)
+            row.append(f"{score.throughput_vs_oracle:.0f}/{score.fairness_vs_oracle:.0f}")
+        rows.append(row)
+    print(format_table(["mix"] + list(STANDARD_POLICY_ORDER), rows))
+
+    print("\nFig. 13 — ECP aggregate (% of Balanced Oracle)")
+    print(
+        format_table(
+            ["policy", "throughput %", "fairness %"],
+            [[name, t, f] for name, (t, f) in agg.items()],
+        )
+    )
+
+    satori_t, satori_f = agg["SATORI"]
+    assert satori_t >= 88.0
+    assert satori_f >= 92.0
+    assert satori_t >= agg["PARTIES"][0] - 3.0
+    assert agg["Random"][0] < agg["CoPart"][0]
+
+    # The amg+hypre mix is among SATORI's best (paper's mix-9 analysis).
+    by_label = {c.mix_label: c.score("SATORI").throughput_vs_oracle for c in comparisons}
+    amg_hypre = by_label["amg+hypre"]
+    median = sorted(by_label.values())[len(by_label) // 2]
+    assert amg_hypre >= median - 6.0

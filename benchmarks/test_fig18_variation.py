@@ -1,0 +1,59 @@
+"""Fig. 18: observed-performance variation is similar with and without
+dynamic prioritization.
+
+Paper finding: SATORI's throughput/fairness curves sit above the
+no-prioritization variant's but vary comparably over time — the
+changing weights do not make behaviour erratic.
+"""
+
+from repro.experiments import experiment_catalog, format_table, performance_variation
+from repro.experiments.runner import RunConfig
+from repro.workloads.mixes import mix_from_names
+
+from common import RUN_SECONDS, run_once
+
+FIG18_MIX = ("blackscholes", "canneal", "fluidanimate", "freqmine", "streamcluster")
+
+
+def test_fig18_performance_variation(benchmark):
+    catalog = experiment_catalog()
+    mix = mix_from_names(FIG18_MIX)
+
+    variation = run_once(
+        benchmark,
+        lambda: performance_variation(
+            mix, catalog, RunConfig(duration_s=RUN_SECONDS), seed=6
+        ),
+    )
+
+    print(f"\nFig. 18 — observed-performance variation ({mix.label})")
+    print(
+        format_table(
+            ["variant", "T mean", "T std", "F mean", "F std"],
+            [
+                [
+                    "SATORI (dynamic)",
+                    variation.dynamic_means[0],
+                    variation.dynamic_throughput_std,
+                    variation.dynamic_means[1],
+                    variation.dynamic_fairness_std,
+                ],
+                [
+                    "no prioritization",
+                    variation.static_means[0],
+                    variation.static_throughput_std,
+                    variation.static_means[1],
+                    variation.static_fairness_std,
+                ],
+            ],
+            precision=4,
+        )
+    )
+
+    # Similar variation: neither variant is more than ~2.5x noisier.
+    assert variation.dynamic_throughput_std <= variation.static_throughput_std * 2.5 + 1e-3
+    assert variation.dynamic_fairness_std <= variation.static_fairness_std * 2.5 + 1e-3
+    # And the dynamic variant sits at or above the static level.
+    dynamic_level = sum(variation.dynamic_means)
+    static_level = sum(variation.static_means)
+    assert dynamic_level >= static_level * 0.97

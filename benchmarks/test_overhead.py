@@ -1,0 +1,75 @@
+"""Sec. V overhead: SATORI is practical for real systems.
+
+Paper findings: all BO-related tasks take ~1.2 ms of each 100 ms
+interval; decisions are off the critical path (jobs keep running under
+the previous configuration); the idle optimization skips BO work when
+performance is stable. This bench measures the reproduction's
+controller on a live run plus the raw GP-update + acquisition
+micro-cost.
+"""
+
+import numpy as np
+
+from repro.core.bo import BayesianOptimizer
+from repro.core.objective import GoalRecords
+from repro.experiments import controller_overhead, experiment_catalog, format_table
+from repro.experiments.comparison import full_space
+from repro.experiments.runner import RunConfig
+from repro.workloads.mixes import suite_mixes
+
+from common import run_once
+
+
+def test_overhead_controller_decision_time(benchmark):
+    catalog = experiment_catalog()
+    mix = suite_mixes("parsec")[0]
+
+    result = run_once(
+        benchmark,
+        lambda: controller_overhead(
+            mix, catalog, RunConfig(duration_s=15.0), seed=0, idle_detection=True
+        ),
+    )
+
+    print("\nOverhead — SATORI controller on a live run")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["mean decision time (ms)", result.mean_decision_time_ms],
+                ["control interval (ms)", result.control_interval_ms],
+                ["decision fraction of interval", result.decision_fraction_of_interval],
+                ["idle fraction", result.idle_fraction],
+            ],
+            precision=3,
+        )
+    )
+    print(
+        "\npaper: ~1.2 ms per 100 ms interval on a Skylake Xeon with "
+        "Skopt; this NumPy GP is heavier per update but remains a small "
+        "fraction of the interval and is off the critical path."
+    )
+
+    # Decisions fit comfortably inside one control interval, and the
+    # idle optimization actually engages.
+    assert result.decision_fraction_of_interval < 0.5
+    assert result.idle_fraction > 0.0
+
+
+def test_overhead_bo_engine_microbench(benchmark):
+    """Raw cost of one GP update + acquisition pass (the paper's 1.2 ms)."""
+    catalog = experiment_catalog()
+    space = full_space(catalog, 5)
+    records = GoalRecords()
+    rng = np.random.default_rng(0)
+    import repro.rng as rng_mod
+
+    gen = rng_mod.make_rng(0)
+    for _ in range(64):
+        config = space.sample(gen)
+        records.add(config, space.encode(config), (rng.random(), rng.random()))
+    bo = BayesianOptimizer(space, rng=1)
+    bo.suggest(records, (0.5, 0.5))  # warm the probe state
+
+    suggestion = benchmark(lambda: bo.suggest(records, (0.5, 0.5)))
+    assert suggestion.config is not None

@@ -1,0 +1,32 @@
+"""Tables I-III: the benchmark inventories used in the study."""
+
+from repro.experiments import format_table
+from repro.workloads.registry import default_registry
+
+from common import run_once
+
+
+def test_tables_1_2_3_workload_inventory(benchmark):
+    registry = default_registry()
+
+    def build():
+        tables = {}
+        for suite in ("parsec", "cloudsuite", "ecp"):
+            tables[suite] = [(w.name, w.description) for w in registry.suite(suite)]
+        return tables
+
+    tables = run_once(benchmark, build)
+
+    for number, suite in (("I", "parsec"), ("II", "cloudsuite"), ("III", "ecp")):
+        print()
+        print(
+            format_table(
+                ["benchmark", "description"],
+                tables[suite],
+                title=f"Table {number} ({suite}):",
+            )
+        )
+
+    assert len(tables["parsec"]) == 7  # Table I's six + vips (Sec. V)
+    assert len(tables["cloudsuite"]) == 5
+    assert len(tables["ecp"]) == 5

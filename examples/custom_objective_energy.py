@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Extending SATORI with a third goal: energy efficiency.
+
+Sec. III-B argues SATORI's per-goal records make the objective
+"portable, customizable, and extensible to multiple objectives
+without much user-based coding effort". This example demonstrates it
+by composing the library's building blocks directly — GoalRecords
+with three goals (throughput, fairness, energy efficiency), the BO
+engine, and the simulated server with a RAPL-style power model — in a
+custom control loop. No library change is needed.
+
+The energy model: active power grows with allocated cores and with
+achieved memory traffic (uncore); efficiency is instructions per
+joule, normalized by the isolated-execution efficiency.
+
+Run:
+    python examples/custom_objective_energy.py
+"""
+
+import numpy as np
+
+from repro import (
+    BayesianOptimizer,
+    GoalRecords,
+    GoalSet,
+    CoLocationSimulator,
+    experiment_catalog,
+    full_space,
+    suite_mixes,
+)
+from repro.core.initializers import good_initial_set
+from repro.experiments import format_table
+
+#: Simple server power model (watts).
+IDLE_WATTS = 25.0
+WATTS_PER_CORE = 5.5
+WATTS_PER_GBS = 0.8
+
+
+def power_draw(cores_per_job, bandwidth_bytes_s) -> float:
+    """Package power under an allocation and achieved memory traffic."""
+    return (
+        IDLE_WATTS
+        + WATTS_PER_CORE * float(np.sum(cores_per_job))
+        + WATTS_PER_GBS * float(np.sum(bandwidth_bytes_s)) / 1e9
+    )
+
+
+def main() -> None:
+    catalog = experiment_catalog()
+    mix = suite_mixes("parsec")[5]
+    space = full_space(catalog, len(mix))
+    goals = GoalSet()
+    simulator = CoLocationSimulator(mix, catalog, seed=0)
+
+    # Reference efficiency: every job alone on the full machine.
+    iso_ips = simulator.measure_isolation()
+    iso_efficiency = float(np.sum(iso_ips)) / power_draw(
+        [catalog.get("cores").units], [12e9]
+    )
+
+    # Three-goal records: the third column is energy efficiency.
+    records = GoalRecords(("throughput", "fairness", "energy"))
+    bo = BayesianOptimizer(space, rng=1)
+    weights = (0.4, 0.3, 0.3)
+
+    config = None
+    observation = None
+    initial = list(good_initial_set(space, rng=1))
+    for step in range(200):
+        config = initial.pop(0) if initial else bo.suggest(records, weights).config
+        observation = simulator.step(config)
+
+        scores = goals.scores(observation.ips, observation.isolation_ips)
+        watts = power_draw(config.units("cores"), observation.memory_bandwidth_bytes_s)
+        efficiency = min(1.0, (sum(observation.ips) / watts) / iso_efficiency)
+        records.add(
+            config, space.encode(config), (scores.throughput, scores.fairness, efficiency)
+        )
+
+    best_config, best_value = records.best(weights)
+    trace = records.goal_trace()
+    print(f"Job mix: {mix.label}")
+    print(f"Explored {len(records)} retained samples; best 3-goal objective: {best_value:.3f}\n")
+    print(
+        format_table(
+            ["goal", "first-10 mean", "last-10 mean"],
+            [
+                [name, float(np.mean(v[:10])), float(np.mean(v[-10:]))]
+                for name, v in trace.items()
+            ],
+            precision=3,
+            title="Goal scores over the run (BO improves all three jointly):",
+        )
+    )
+    print("\nBest configuration found:")
+    for name in best_config.resource_names:
+        print(f"  {name:18s} {best_config.units(name)}")
+
+
+if __name__ == "__main__":
+    main()

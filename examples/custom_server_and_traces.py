@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Bring your own machine and workloads.
+
+Runs SATORI on a *named server preset* (an AMD Milan CCX here, rather
+than the paper's Skylake part) with one workload *fitted from a
+profiling trace* — the path a user takes to apply SATORI to their own
+deployment:
+
+1. pick/describe the server (``repro.resources.presets``);
+2. profile each workload briefly (pqos + CAT sweeps) and fit it
+   (``repro.workloads.trace``);
+3. validate the fitted profile (``repro.workloads.validation``);
+4. co-locate and let SATORI partition.
+
+Run:
+    python examples/custom_server_and_traces.py
+"""
+
+from repro import RunConfig, SatoriController, full_space, run_policy
+from repro.experiments import format_table
+from repro.policies import EqualPartitionPolicy
+from repro.resources import preset_catalog
+from repro.workloads import JobMix, get_workload
+from repro.workloads.trace import synthesize_trace, workload_from_trace
+from repro.workloads.validation import validate_workload
+
+
+def main() -> None:
+    # 1. The server: an 8-core Milan CCX with L3 QoS.
+    catalog = preset_catalog("milan-ccx-8")
+    print("Server: milan-ccx-8")
+    for resource in catalog:
+        print(f"  {resource.name:18s} {resource.units:3d} units "
+              f"({resource.capacity:.3g} total)")
+
+    # 2. A "customer workload": here we synthesize the profiling trace
+    #    from a known model (stand-in for real pqos measurements), then
+    #    fit it back — exactly what you would do with recorded probes.
+    probes = synthesize_trace(get_workload("canneal"), n_cores=8)
+    customer = workload_from_trace("customer_annealer", probes,
+                                   description="fitted from profiling probes")
+    print(f"\nFitted workload: {customer.name} "
+          f"({len(customer.schedule.segments)} phases)")
+
+    # 3. Validate the fitted profile before trusting it.
+    findings = validate_workload(customer, catalog)
+    if findings:
+        for finding in findings:
+            print(f"  {finding}")
+    else:
+        print("  profile validation: clean")
+
+    # 4. Co-locate with two library workloads and partition online.
+    mix = JobMix((customer, get_workload("amg"), get_workload("media_streaming")))
+    run_config = RunConfig(duration_s=15.0)
+    rows = []
+    for policy in (
+        EqualPartitionPolicy(full_space(catalog, len(mix))),
+        SatoriController(full_space(catalog, len(mix)), rng=0),
+    ):
+        result = run_policy(policy, mix, catalog, run_config, seed=0)
+        rows.append([result.policy_name, result.throughput, result.fairness])
+
+    print()
+    print(format_table(["policy", "throughput", "fairness"], rows, precision=3,
+                       title=f"mix: {mix.label}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Adaptation without re-initialization: a mid-run workload swap.
+
+Sec. III-C of the paper claims that "be it a phase change or a change
+in the workload mixes, SATORI requires no further initialization."
+This example runs SATORI on a five-job PARSEC mix, swaps one job for a
+different benchmark halfway through, and plots (as text) how SATORI's
+objective-to-oracle ratio dips and recovers — with replication over
+several seeds to show the effect is robust, not one lucky run.
+
+Run:
+    python examples/workload_churn_adaptation.py
+"""
+
+import numpy as np
+
+from repro.analysis import confidence_interval
+from repro.experiments import format_table, workload_churn
+from repro.workloads import get_workload, suite_mixes
+
+
+def main() -> None:
+    mix = suite_mixes("parsec")[0]
+    newcomer = get_workload("vips")
+    print(f"Mix: {mix.label}")
+    print(f"At t=12 s, job 2 ({mix.names[2]}) is replaced by {newcomer.name}.\n")
+
+    before, disturbed, recovered = [], [], []
+    for seed in range(3):
+        result = workload_churn(
+            mix, newcomer, swap_index=2, duration_s=24.0, seed=seed, window_s=4.0
+        )
+        before.append(result.before_ratio)
+        disturbed.append(result.disturbance_ratio)
+        recovered.append(result.recovered_ratio)
+
+    print(
+        format_table(
+            ["window", "objective / Balanced Oracle"],
+            [
+                ["before the swap", str(confidence_interval(before))],
+                ["right after the swap", str(confidence_interval(disturbed))],
+                ["end of run (recovered)", str(confidence_interval(recovered))],
+            ],
+            title="Mean objective ratio (3 seeds, 95 % CI):",
+        )
+    )
+
+    drop = np.mean(before) - np.mean(disturbed)
+    regain = np.mean(recovered) - np.mean(disturbed)
+    print(
+        f"\nThe swap costs {100 * max(drop, 0):.1f} points of optimality; SATORI "
+        f"recovers {100 * max(regain, 0):.1f} points by the end of the run, with "
+        "no reset — its per-goal records simply re-learn the new landscape."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Analysis utilities: telemetry export and replication statistics."""
+
+from repro.analysis.export import (
+    run_summary,
+    run_summary_json,
+    telemetry_rows,
+    telemetry_to_csv,
+)
+from repro.analysis.stats import (
+    ReplicatedRun,
+    ReplicatedScore,
+    confidence_interval,
+    convergence_time_s,
+    replicate_policy,
+)
+
+__all__ = [
+    "ReplicatedRun",
+    "ReplicatedScore",
+    "confidence_interval",
+    "convergence_time_s",
+    "replicate_policy",
+    "run_summary",
+    "run_summary_json",
+    "telemetry_rows",
+    "telemetry_to_csv",
+]

@@ -1,0 +1,111 @@
+"""Dependency-free terminal plots for examples, the CLI, and reports.
+
+Matplotlib is not assumed (and not installed in offline reproduction
+environments); these renderers cover the shapes the paper's figures
+use — time series (weights, objective traces), grouped bars
+(policy comparisons), and compact sparklines for tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR_CHAR = "█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ExperimentError("cannot sparkline an empty series")
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return " " * values.size
+    lo = float(finite.min()) if lo is None else lo
+    hi = float(finite.max()) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for v in values:
+        if not np.isfinite(v):
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+            continue
+        level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1) + 0.5)
+        chars.append(_SPARK_LEVELS[min(max(level, 0), len(_SPARK_LEVELS) - 1)])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one labeled row per value."""
+    labels = list(labels)
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ExperimentError(f"{len(labels)} labels but {len(values)} values")
+    if not values:
+        raise ExperimentError("nothing to chart")
+    peak = max(max(values), 1e-12) if max_value is None else max_value
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(min(value / peak, 1.0) * width))
+        bar = _BAR_CHAR * filled
+        lines.append(f"{label.rjust(label_width)}  {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    height: int = 10,
+    width: int = 72,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line chart (each series gets its own glyph)."""
+    if not series:
+        raise ExperimentError("nothing to chart")
+    glyphs = "*+ox#@"
+    arrays = {name: np.asarray(list(v), dtype=float) for name, v in series.items()}
+    lengths = {a.size for a in arrays.values()}
+    if 0 in lengths:
+        raise ExperimentError("cannot chart an empty series")
+
+    all_values = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if all_values.size == 0:
+        raise ExperimentError("no finite values to chart")
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(arrays.items()):
+        glyph = glyphs[index % len(glyphs)]
+        xs = np.linspace(0, width - 1, values.size).astype(int)
+        for x, v in zip(xs, values):
+            if not np.isfinite(v):
+                continue
+            y = int((v - lo) / (hi - lo) * (height - 1) + 0.5)
+            grid[height - 1 - y][x] = glyph
+
+    lines = [f"{hi:10.3f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:10.3f} ┤" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(arrays)
+    )
+    if y_label:
+        legend = f"{y_label}   {legend}"
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Replication statistics: multi-seed runs, confidence intervals,
+convergence-time estimation.
+
+Single runs of an online controller carry measurement-noise and
+exploration variance; credible comparisons replicate over seeds. This
+module provides the replication loop and the summary statistics the
+examples and extension benches report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import RunConfig, RunResult, run_policy
+from repro.metrics.goals import GoalSet
+from repro.policies.base import PartitioningPolicy
+from repro.resources.types import ResourceCatalog
+from repro.workloads.mixes import JobMix
+
+
+@dataclass(frozen=True)
+class ReplicatedScore:
+    """Mean and confidence interval of a score over replications."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {(self.ci_high - self.ci_low) / 2:.3f} (n={self.n})"
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> ReplicatedScore:
+    """Student-t confidence interval of the mean."""
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        raise ExperimentError("need at least two replications for a confidence interval")
+    mean = float(values.mean())
+    sem = float(values.std(ddof=1) / np.sqrt(values.size))
+    t = scipy_stats.t.ppf(0.5 + confidence / 2.0, df=values.size - 1)
+    return ReplicatedScore(
+        mean=mean,
+        std=float(values.std(ddof=1)),
+        ci_low=mean - t * sem,
+        ci_high=mean + t * sem,
+        n=int(values.size),
+    )
+
+
+@dataclass(frozen=True)
+class ReplicatedRun:
+    """Replicated policy run with per-goal statistics."""
+
+    policy_name: str
+    mix_label: str
+    throughput: ReplicatedScore
+    fairness: ReplicatedScore
+    results: Tuple[RunResult, ...]
+
+
+def replicate_policy(
+    policy_factory: Callable[[], PartitioningPolicy],
+    mix: JobMix,
+    catalog: ResourceCatalog,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    confidence: float = 0.95,
+) -> ReplicatedRun:
+    """Run a fresh policy instance once per seed and summarize.
+
+    ``policy_factory`` must build a *new* (or fully reset) policy each
+    call — policies are stateful.
+    """
+    if len(seeds) < 2:
+        raise ExperimentError("replication needs at least two seeds")
+    results: List[RunResult] = []
+    for seed in seeds:
+        policy = policy_factory()
+        results.append(run_policy(policy, mix, catalog, run_config, goals, seed=seed))
+    return ReplicatedRun(
+        policy_name=results[0].policy_name,
+        mix_label=mix.label,
+        throughput=confidence_interval([r.throughput for r in results], confidence),
+        fairness=confidence_interval([r.fairness for r in results], confidence),
+        results=tuple(results),
+    )
+
+
+def convergence_time_s(
+    result: RunResult,
+    fraction_of_final: float = 0.95,
+    tail_fraction: float = 0.25,
+) -> float:
+    """Time at which the weighted objective first reaches its final level.
+
+    The final level is the mean objective over the run's last
+    ``tail_fraction``; convergence is the first instant a 1-second
+    moving average reaches ``fraction_of_final`` of it. Returns the
+    run duration if the run never converges.
+    """
+    telemetry = result.telemetry
+    objective = 0.5 * telemetry.series("throughput") + 0.5 * telemetry.series("fairness")
+    times = telemetry.series("time")
+    tail = max(1, int(round(len(objective) * tail_fraction)))
+    final_level = float(np.mean(objective[-tail:]))
+    if final_level <= 0:
+        raise ExperimentError("degenerate run: non-positive final objective")
+
+    window = max(1, round(1.0 / result.run_config.interval_s))
+    smoothed = np.convolve(objective, np.ones(window) / window, mode="valid")
+    threshold = fraction_of_final * final_level
+    hits = np.nonzero(smoothed >= threshold)[0]
+    if hits.size == 0:
+        return float(times[-1])
+    return float(times[hits[0] + window - 1])

@@ -1,0 +1,242 @@
+"""Command-line interface for the SATORI reproduction.
+
+Usage::
+
+    python -m repro <command> [options]
+
+Commands map to the paper's experiments (see DESIGN.md):
+
+* ``quickstart``   — SATORI vs equal split vs Balanced Oracle on one mix.
+* ``compare``      — all policies on one or more mixes (Figs. 7/8-style).
+* ``weights``      — SATORI's dynamic weight trace (Fig. 14(a)).
+* ``sensitivity``  — T_P / T_E sweeps (Fig. 16).
+* ``scalability``  — SATORI vs PARTIES across co-location degrees.
+* ``overhead``     — controller decision-time measurement.
+* ``workloads``    — list the benchmark workload models (Tables I-III).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.controller import SatoriController
+from repro.experiments.comparison import (
+    STANDARD_POLICY_ORDER,
+    aggregate,
+    compare_on_mixes,
+    full_space,
+)
+from repro.experiments.internals import weight_trace
+from repro.experiments.overhead import controller_overhead
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunConfig, experiment_catalog, run_policy
+from repro.experiments.scalability import colocation_scalability
+from repro.experiments.sensitivity import period_sensitivity
+from repro.policies.oracle import OraclePolicy, OracleSearch
+from repro.policies.static import EqualPartitionPolicy
+from repro.workloads.mixes import suite_mixes
+from repro.workloads.registry import default_registry
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--suite", default="parsec", choices=("parsec", "cloudsuite", "ecp"))
+    parser.add_argument("--mix", type=int, default=0, help="mix index within the suite")
+    parser.add_argument("--duration", type=float, default=20.0, help="simulated seconds")
+    parser.add_argument("--units", type=int, default=8, help="allocation units per resource")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _mixes(args: argparse.Namespace):
+    return suite_mixes(args.suite)
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    for suite in registry.suites:
+        rows = [[w.name, w.description] for w in registry.suite(suite)]
+        print(format_table(["benchmark", "description"], rows, title=f"{suite}:"))
+        print()
+    return 0
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    catalog = experiment_catalog(args.units)
+    mix = _mixes(args)[args.mix]
+    run_config = RunConfig(duration_s=args.duration)
+    space = full_space(catalog, len(mix))
+    policies = {
+        "Equal partition": EqualPartitionPolicy(space),
+        "SATORI": SatoriController(space, rng=args.seed),
+        "Balanced Oracle": OraclePolicy(OracleSearch(mix, catalog), 0.5, 0.5),
+    }
+    rows = []
+    for name, policy in policies.items():
+        result = run_policy(policy, mix, catalog, run_config, seed=args.seed)
+        rows.append([name, result.throughput, result.fairness])
+    print(format_table(["policy", "throughput", "fairness"], rows, precision=3,
+                       title=f"mix: {mix.label}"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    catalog = experiment_catalog(args.units)
+    mixes = _mixes(args)
+    chosen = mixes if args.all_mixes else [mixes[args.mix]]
+    comparisons = compare_on_mixes(
+        chosen, catalog, RunConfig(duration_s=args.duration), seed=args.seed
+    )
+    agg = aggregate(comparisons, STANDARD_POLICY_ORDER)
+    print(
+        format_table(
+            ["policy", "throughput % of oracle", "fairness % of oracle"],
+            [[name, t, f] for name, (t, f) in agg.items()],
+            title=f"{len(chosen)} {args.suite} mix(es), {args.duration:.0f}s runs:",
+        )
+    )
+    return 0
+
+
+def cmd_weights(args: argparse.Namespace) -> int:
+    catalog = experiment_catalog(args.units)
+    mix = _mixes(args)[args.mix]
+    trace, _ = weight_trace(mix, catalog, RunConfig(duration_s=args.duration), seed=args.seed)
+    rows = []
+    for i in range(0, len(trace.times), 10):
+        rows.append([trace.times[i], trace.w_throughput[i], trace.w_fairness[i]])
+    print(format_table(["t (s)", "W_T", "W_F"], rows, precision=3, title=f"mix: {mix.label}"))
+    mean_t, mean_f = trace.mean_weights()
+    print(f"\nlong-term means: W_T={mean_t:.3f} W_F={mean_f:.3f}")
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    catalog = experiment_catalog(args.units)
+    mix = _mixes(args)[args.mix]
+    result = period_sensitivity(mix, catalog, RunConfig(duration_s=args.duration), seed=args.seed)
+    print(
+        format_table(
+            ["T_P (s)", "T %", "F %"],
+            [[p.value_s, p.throughput_vs_oracle, p.fairness_vs_oracle] for p in result.prioritization],
+            title="prioritization-period sweep:",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["T_E (s)", "T %", "F %"],
+            [[p.value_s, p.throughput_vs_oracle, p.fairness_vs_oracle] for p in result.equalization],
+            title="equalization-period sweep:",
+        )
+    )
+    return 0
+
+
+def cmd_scalability(args: argparse.Namespace) -> int:
+    catalog = experiment_catalog(args.units)
+    result = colocation_scalability(
+        degrees=tuple(args.degrees),
+        catalog=catalog,
+        run_config=RunConfig(duration_s=args.duration),
+        seed=args.seed,
+    )
+    rows = [
+        [p.degree, p.satori_throughput, p.parties_throughput, p.throughput_gap_points]
+        for p in result.points
+    ]
+    print(format_table(["degree", "SATORI T%", "PARTIES T%", "gap (pts)"], rows))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    catalog = experiment_catalog(args.units)
+    mix = _mixes(args)[args.mix]
+    result = controller_overhead(mix, catalog, RunConfig(duration_s=args.duration), seed=args.seed)
+    print(f"mean decision time: {result.mean_decision_time_ms:.2f} ms "
+          f"({100 * result.decision_fraction_of_interval:.1f} % of the "
+          f"{result.control_interval_ms:.0f} ms interval)")
+    print(f"idle fraction: {result.idle_fraction:.2f}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import FigureScale, figure_names, run_figure
+
+    if args.list:
+        print("\n".join(figure_names()))
+        return 0
+    if not args.name:
+        print("specify a figure id (or --list)", file=sys.stderr)
+        return 2
+    scale = FigureScale(
+        units=args.units, duration_s=args.duration, n_mixes=args.mixes, seed=args.seed
+    )
+    print(run_figure(args.name, scale))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ReportConfig, generate_report
+
+    report = generate_report(
+        ReportConfig(
+            suite=args.suite,
+            n_mixes=args.mixes,
+            duration_s=args.duration,
+            units=args.units,
+            seed=args.seed,
+        )
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, extra in (
+        ("workloads", cmd_workloads, None),
+        ("quickstart", cmd_quickstart, None),
+        ("compare", cmd_compare, "compare"),
+        ("weights", cmd_weights, None),
+        ("sensitivity", cmd_sensitivity, None),
+        ("scalability", cmd_scalability, "scalability"),
+        ("overhead", cmd_overhead, None),
+        ("report", cmd_report, "report"),
+        ("figure", cmd_figure, "figure"),
+    ):
+        p = sub.add_parser(name, help=func.__doc__)
+        if name != "workloads":
+            _add_common(p)
+        if extra == "compare":
+            p.add_argument("--all-mixes", action="store_true", help="run every suite mix")
+        if extra == "scalability":
+            p.add_argument("--degrees", type=int, nargs="+", default=[3, 5, 7])
+        if extra == "report":
+            p.add_argument("--mixes", type=int, default=4, help="mixes to include")
+            p.add_argument("--out", default="", help="write markdown to this path")
+        if extra == "figure":
+            p.add_argument("name", nargs="?", default="", help="figure id (e.g. fig7)")
+            p.add_argument("--list", action="store_true", help="list figure ids")
+            p.add_argument("--mixes", type=int, default=4)
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""SATORI core: GP proxy model, acquisition, BO engine, dynamic weights."""
+
+from repro.core.acquisition import (
+    AcquisitionFunction,
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    make_acquisition,
+)
+from repro.core.bo import BayesianOptimizer, Suggestion
+from repro.core.controller import MODES, SatoriController
+from repro.core.gp import GaussianProcess
+from repro.core.initializers import good_initial_set, tilt_toward
+from repro.core.kernels import RBF, Kernel, Matern52
+from repro.core.objective import GoalRecords, GoalSample
+from repro.core.weights import (
+    DEFAULT_EQUALIZATION_PERIOD_S,
+    DEFAULT_PRIORITIZATION_PERIOD_S,
+    WEIGHT_LOWER_BOUND,
+    WEIGHT_UPPER_BOUND,
+    DynamicWeightScheduler,
+    StaticWeights,
+    WeightState,
+)
+
+__all__ = [
+    "AcquisitionFunction",
+    "BayesianOptimizer",
+    "DEFAULT_EQUALIZATION_PERIOD_S",
+    "DEFAULT_PRIORITIZATION_PERIOD_S",
+    "DynamicWeightScheduler",
+    "ExpectedImprovement",
+    "GaussianProcess",
+    "GoalRecords",
+    "GoalSample",
+    "Kernel",
+    "MODES",
+    "Matern52",
+    "ProbabilityOfImprovement",
+    "RBF",
+    "SatoriController",
+    "StaticWeights",
+    "Suggestion",
+    "UpperConfidenceBound",
+    "WEIGHT_LOWER_BOUND",
+    "WEIGHT_UPPER_BOUND",
+    "WeightState",
+    "good_initial_set",
+    "make_acquisition",
+    "tilt_toward",
+]

@@ -1,0 +1,192 @@
+"""The BO engine: proxy model + acquisition over the configuration space.
+
+Implements the iterative loop of Algorithm 1's lines 6-8: update the
+GP proxy model on the (freshly reconstructed) objective values, score
+a candidate pool with the acquisition function, and emit the next
+configuration to run.
+
+Because the configuration space is discrete and combinatorially large,
+the acquisition is maximized over a *candidate pool* rather than the
+full space: uniform samples for global exploration, the one-unit-move
+neighbors of the current best for local refinement, and the previously
+sampled points themselves (the paper explicitly allows re-evaluation
+of sampled configurations so phase changes are tracked, Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.acquisition import AcquisitionFunction, make_acquisition
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Kernel, Matern52
+from repro.core.objective import GoalRecords
+from repro.errors import ModelError
+from repro.resources.allocation import Configuration
+from repro.resources.space import ConfigurationSpace
+from repro.rng import SeedLike, make_rng
+
+
+#: Spaces up to this size get exact acquisition maximization.
+_EXACT_ACQUISITION_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """The BO engine's output for one iteration."""
+
+    config: Configuration
+    acquisition_value: float
+    predicted_mean: float
+    predicted_std: float
+    incumbent_value: float
+    proxy_change_percent: float
+
+
+class BayesianOptimizer:
+    """Suggests the next configuration to evaluate (Algorithm 1, lines 6-8).
+
+    Args:
+        space: the configuration space being searched.
+        acquisition: acquisition function or name (default the paper's
+            Expected Improvement).
+        kernel: GP kernel (default the paper's Matérn 5/2).
+        noise: GP observation-noise variance (standardized units).
+        candidate_pool_size: uniform random candidates per iteration.
+        include_neighbors: add one-unit-move neighbors of the incumbent
+            to the pool (local refinement).
+        lengthscale_refit_every: re-select the kernel length scale by
+            marginal likelihood every N suggestions (0 disables).
+        n_probes: size of the fixed probe set used to report the
+            proxy-model change metric of Fig. 17(b).
+        rng: seed or generator for candidate sampling.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        acquisition: "AcquisitionFunction | str" = "ei",
+        kernel: Optional[Kernel] = None,
+        noise: float = 5e-2,
+        candidate_pool_size: int = 96,
+        include_neighbors: bool = True,
+        lengthscale_refit_every: int = 25,
+        n_probes: int = 48,
+        rng: SeedLike = None,
+    ):
+        if candidate_pool_size < 1:
+            raise ModelError(f"candidate_pool_size must be >= 1, got {candidate_pool_size}")
+        self._space = space
+        self._acquisition = (
+            make_acquisition(acquisition) if isinstance(acquisition, str) else acquisition
+        )
+        self._kernel = kernel or Matern52()
+        self._noise = noise
+        self._pool_size = candidate_pool_size
+        self._include_neighbors = include_neighbors
+        self._refit_every = max(0, lengthscale_refit_every)
+        self._rng = make_rng(rng)
+
+        self._iteration = 0
+        self._probes = space.sample_batch(max(2, n_probes), self._rng)
+        self._probe_x = space.encode_batch(self._probes)
+        self._last_probe_means: Optional[np.ndarray] = None
+
+        # On small spaces the acquisition is maximized exactly over the
+        # whole space (Algorithm 1's "optimize a(x)"); on large spaces
+        # a sampled candidate pool approximates it.
+        self._full_space: Optional[List[Configuration]] = None
+        if space.size() <= _EXACT_ACQUISITION_LIMIT:
+            self._full_space = list(space.enumerate())
+
+    @property
+    def space(self) -> ConfigurationSpace:
+        return self._space
+
+    @property
+    def iteration(self) -> int:
+        return self._iteration
+
+    def suggest(self, records: GoalRecords, weights: Sequence[float]) -> Suggestion:
+        """Fit the proxy model and pick the next configuration.
+
+        Args:
+            records: the per-goal evaluation records.
+            weights: current goal weights; the objective values are
+                reconstructed from the records under these weights
+                (Sec. III-B) before the GP is fitted.
+        """
+        if len(records) < 1:
+            raise ModelError("BO needs at least one recorded sample; run the initial set first")
+        x = records.inputs()
+        y = records.objective_values(weights)
+        incumbent = float(np.max(y))
+
+        gp = GaussianProcess(kernel=self._kernel, noise=self._noise)
+        refit = self._refit_every > 0 and self._iteration % self._refit_every == 0
+        gp.fit(x, y, optimize_lengthscale=refit)
+        self._kernel = gp.kernel  # persist a refitted length scale
+
+        proxy_change = self._track_proxy_change(gp)
+
+        candidates = self._candidate_pool(records, weights)
+        encoded = self._space.encode_batch(candidates)
+        mean, std = gp.predict(encoded)
+        scores = self._acquisition(mean, std, incumbent)
+        best = int(np.argmax(scores))
+
+        self._iteration += 1
+        return Suggestion(
+            config=candidates[best],
+            acquisition_value=float(scores[best]),
+            predicted_mean=float(mean[best]),
+            predicted_std=float(std[best]),
+            incumbent_value=incumbent,
+            proxy_change_percent=proxy_change,
+        )
+
+    def _candidate_pool(
+        self, records: GoalRecords, weights: Sequence[float]
+    ) -> List[Configuration]:
+        """Random + local-neighbor + already-sampled candidates.
+
+        Small spaces return the full enumeration instead — the
+        acquisition is then maximized exactly.
+        """
+        if self._full_space is not None:
+            return self._full_space
+        pool = self._space.sample_batch(self._pool_size, self._rng)
+        if self._include_neighbors:
+            best_config, _ = records.best(weights)
+            pool.extend(self._space.neighbors(best_config))
+            pool.append(best_config)
+        # Previously sampled configurations stay eligible (re-evaluation
+        # keeps the model honest across phase changes).
+        pool.extend(s.config for s in records.samples[-8:])
+
+        seen = set()
+        unique = []
+        for config in pool:
+            if config not in seen:
+                seen.add(config)
+                unique.append(config)
+        return unique
+
+    def _track_proxy_change(self, gp: GaussianProcess) -> float:
+        """Mean absolute change of proxy estimates on the probe set.
+
+        This is the Fig. 17(b) metric: the percentage change in the
+        proxy model's estimates from one iteration to the next,
+        measured on a fixed set of configurations.
+        """
+        means, _ = gp.predict(self._probe_x)
+        if self._last_probe_means is None:
+            self._last_probe_means = means
+            return 0.0
+        denom = max(float(np.mean(np.abs(self._last_probe_means))), 1e-9)
+        change = float(np.mean(np.abs(means - self._last_probe_means))) / denom * 100.0
+        self._last_probe_means = means
+        return change

@@ -1,0 +1,166 @@
+"""Gaussian-process regression for the BO proxy model.
+
+A deliberately small, dependency-free GP: Cholesky-factored exact
+inference with a Matérn 5/2 kernel, internal standardization of the
+targets, and an optional grid-search marginal-likelihood update of the
+length scale. The paper's point (Sec. I, III-A) is that the proxy
+model only needs to be "just accurate enough" to steer sampling — so
+the implementation favours robustness and speed (it runs every 100 ms
+interval) over hyperparameter sophistication.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.core.kernels import Kernel, Matern52
+
+#: Jitter added to the kernel diagonal for numerical stability.
+_JITTER = 1e-8
+
+#: Length-scale grid used by the marginal-likelihood update. The
+#: encoded configuration space has 10-35 dimensions, where typical
+#: inter-point distances are well above 1, so useful length scales are
+#: larger than the rule-of-thumb for low-dimensional BO.
+_LENGTHSCALE_GRID = (0.3, 0.5, 0.8, 1.2, 2.0)
+
+
+class GaussianProcess:
+    """Exact GP regression with standardized targets.
+
+    Args:
+        kernel: covariance function; defaults to Matérn 5/2 with the
+            length scale suited to [0, 1]-normalized configuration
+            encodings.
+        noise: observation-noise variance in *standardized* target
+            units. SATORI's measurements carry a few percent of pqos
+            sampling noise, which is a large fraction of the
+            objective's dynamic range, so the default is substantial —
+            an interpolating GP would chase measurement noise.
+    """
+
+    def __init__(self, kernel: Optional[Kernel] = None, noise: float = 5e-2):
+        if noise < 0:
+            raise ModelError(f"noise must be >= 0, got {noise}")
+        self.kernel = kernel or Matern52()
+        self.noise = float(noise)
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    @property
+    def n_samples(self) -> int:
+        return 0 if self._x is None else self._x.shape[0]
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: Sequence[float],
+        optimize_lengthscale: bool = False,
+    ) -> "GaussianProcess":
+        """Condition the GP on observations.
+
+        Args:
+            x: ``(n, d)`` input matrix (normalized encodings).
+            y: ``n`` target values (objective scores).
+            optimize_lengthscale: if True, pick the length scale from a
+                small grid by marginal likelihood before factorizing.
+
+        Returns:
+            self, for chaining.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if x.shape[0] != y.shape[0]:
+            raise ModelError(f"{x.shape[0]} inputs but {y.shape[0]} targets")
+        if x.shape[0] == 0:
+            raise ModelError("cannot fit a GP on zero samples")
+
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y))
+        if self._y_std < 1e-12:
+            self._y_std = 1.0
+        z = (y - self._y_mean) / self._y_std
+
+        if optimize_lengthscale and x.shape[0] >= 4:
+            self.kernel = self._best_kernel(x, z)
+
+        k = self.kernel(x, x)
+        k[np.diag_indices_from(k)] += self.noise + _JITTER
+        try:
+            chol = np.linalg.cholesky(k)
+        except np.linalg.LinAlgError as exc:
+            raise ModelError(f"kernel matrix not positive definite: {exc}") from exc
+
+        self._x = x
+        self._chol = chol
+        self._alpha = _cho_solve(chol, z)
+        return self
+
+    def predict(self, x_query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at query points.
+
+        Returns values in the original (unstandardized) target units.
+        """
+        if not self.is_fitted:
+            raise ModelError("predict() before fit()")
+        x_query = np.atleast_2d(np.asarray(x_query, dtype=float))
+        k_star = self.kernel(x_query, self._x)
+        mean_z = k_star @ self._alpha
+
+        v = np.linalg.solve(self._chol, k_star.T)
+        var_z = self.kernel.diagonal(x_query.shape[0]) - np.sum(v**2, axis=0)
+        var_z = np.maximum(var_z, 1e-12)
+
+        mean = mean_z * self._y_std + self._y_mean
+        std = np.sqrt(var_z) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        """Log evidence of the fitted data under the current kernel."""
+        if not self.is_fitted:
+            raise ModelError("log_marginal_likelihood() before fit()")
+        z_fit = self._chol @ (self._chol.T @ self._alpha)  # reconstruct z
+        n = self._x.shape[0]
+        return float(
+            -0.5 * z_fit @ self._alpha
+            - np.sum(np.log(np.diag(self._chol)))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+
+    def _best_kernel(self, x: np.ndarray, z: np.ndarray) -> Kernel:
+        """Grid-search the length scale by marginal likelihood."""
+        best_kernel = self.kernel
+        best_evidence = -np.inf
+        for lengthscale in _LENGTHSCALE_GRID:
+            kernel = self.kernel.with_params(lengthscale=lengthscale)
+            k = kernel(x, x)
+            k[np.diag_indices_from(k)] += self.noise + _JITTER
+            try:
+                chol = np.linalg.cholesky(k)
+            except np.linalg.LinAlgError:
+                continue
+            alpha = _cho_solve(chol, z)
+            evidence = (
+                -0.5 * z @ alpha
+                - np.sum(np.log(np.diag(chol)))
+                - 0.5 * x.shape[0] * np.log(2.0 * np.pi)
+            )
+            if evidence > best_evidence:
+                best_evidence = evidence
+                best_kernel = kernel
+        return best_kernel
+
+
+def _cho_solve(chol: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``K x = b`` given the lower Cholesky factor of K."""
+    return np.linalg.solve(chol.T, np.linalg.solve(chol, b))

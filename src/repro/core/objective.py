@@ -1,0 +1,141 @@
+"""SATORI's multi-goal objective with per-goal records (Sec. III-B).
+
+Traditional BO keeps one scalar observation per sampled point. When
+the goal weights change, those scalars become stale and the point
+would have to be *re-run* on the machine to re-score it — prohibitive
+online. SATORI's enhancement is to record the **goal-specific**
+outcomes (throughput score and fairness score) of every sample
+separately, and reconstruct a fresh scalar objective
+
+    f(x) = W_T * T(x) + W_F * F(x)          (Eq. 2)
+
+in software at every iteration from the current weights. This module
+is that record book. It is goal-count agnostic: the experiments use
+(throughput, fairness), but any K goal scores per sample work, which
+is the paper's extensibility claim (e.g. adding energy efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.resources.allocation import Configuration
+
+
+@dataclass(frozen=True)
+class GoalSample:
+    """One evaluated configuration with its per-goal scores."""
+
+    config: Configuration
+    encoded: Tuple[float, ...]
+    scores: Tuple[float, ...]
+
+
+class GoalRecords:
+    """Separate per-goal performance records of all evaluated configs.
+
+    Args:
+        goal_names: names of the goals in score order, e.g.
+            ``("throughput", "fairness")``.
+        max_samples: cap on retained samples; the oldest samples are
+            dropped beyond it. This both bounds the GP's cubic fit
+            cost and ages out observations taken under old program
+            phases — at the 0.1 s sampling interval the default keeps
+            roughly one phase-length of history, mirroring the paper's
+            periodic baseline resets.
+    """
+
+    def __init__(self, goal_names: Sequence[str] = ("throughput", "fairness"), max_samples: int = 64):
+        if len(goal_names) < 1:
+            raise ModelError("need at least one goal")
+        if max_samples < 2:
+            raise ModelError(f"max_samples must be >= 2, got {max_samples}")
+        self._goal_names = tuple(goal_names)
+        self._max_samples = max_samples
+        self._samples: List[GoalSample] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def goal_names(self) -> Tuple[str, ...]:
+        return self._goal_names
+
+    @property
+    def n_goals(self) -> int:
+        return len(self._goal_names)
+
+    @property
+    def samples(self) -> List[GoalSample]:
+        return list(self._samples)
+
+    def add(self, config: Configuration, encoded: Sequence[float], scores: Sequence[float]) -> None:
+        """Record one evaluation; scores are in goal order.
+
+        Re-evaluations of an already-sampled configuration are added
+        as new samples (the paper keeps re-evaluations so the model
+        tracks phase changes, Sec. III-C).
+        """
+        if len(scores) != self.n_goals:
+            raise ModelError(f"expected {self.n_goals} goal scores, got {len(scores)}")
+        self._samples.append(
+            GoalSample(
+                config=config,
+                encoded=tuple(float(v) for v in encoded),
+                scores=tuple(float(s) for s in scores),
+            )
+        )
+        if len(self._samples) > self._max_samples:
+            del self._samples[0]
+
+    def inputs(self) -> np.ndarray:
+        """All encoded inputs as an ``(n, d)`` matrix."""
+        if not self._samples:
+            raise ModelError("no samples recorded yet")
+        return np.asarray([s.encoded for s in self._samples], dtype=float)
+
+    def goal_values(self, goal: str) -> np.ndarray:
+        """All recorded values of one goal."""
+        index = self._goal_index(goal)
+        return np.asarray([s.scores[index] for s in self._samples], dtype=float)
+
+    def objective_values(self, weights: Sequence[float]) -> np.ndarray:
+        """Reconstruct Eq. 2 objective values under fresh weights.
+
+        This is the "software-based reconstruction of the proxy model"
+        (Sec. III-B): no configuration is re-run; the stored per-goal
+        records are re-combined with the current weights.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n_goals,):
+            raise ModelError(f"expected {self.n_goals} weights, got shape {weights.shape}")
+        if not self._samples:
+            raise ModelError("no samples recorded yet")
+        scores = np.asarray([s.scores for s in self._samples], dtype=float)
+        return scores @ weights
+
+    def best(self, weights: Sequence[float]) -> Tuple[Configuration, float]:
+        """Best recorded configuration under the given weights."""
+        values = self.objective_values(weights)
+        index = int(np.argmax(values))
+        return self._samples[index].config, float(values[index])
+
+    def latest(self) -> GoalSample:
+        """The most recently recorded sample."""
+        if not self._samples:
+            raise ModelError("no samples recorded yet")
+        return self._samples[-1]
+
+    def goal_trace(self) -> Dict[str, np.ndarray]:
+        """Each goal's recorded values in sample order (for analysis)."""
+        return {name: self.goal_values(name) for name in self._goal_names}
+
+    def _goal_index(self, goal: str) -> int:
+        try:
+            return self._goal_names.index(goal)
+        except ValueError:
+            raise ModelError(f"unknown goal {goal!r}; goals: {self._goal_names}") from None

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the SATORI reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+still being able to distinguish configuration problems from hardware
+(simulated) actuation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid resource partitioning configuration was supplied.
+
+    Raised when unit counts do not sum to the resource total, a job
+    would receive fewer units than the resource minimum, or a
+    configuration references resources unknown to the catalog.
+    """
+
+
+class SpaceError(ReproError):
+    """A configuration-space operation received inconsistent arguments."""
+
+
+class HardwareError(ReproError):
+    """A simulated hardware actuator rejected a request.
+
+    Mirrors the failure modes of the real interfaces (Intel CAT/MBA via
+    MSRs, ``taskset``, RAPL): out-of-range class-of-service ids,
+    non-contiguous way masks, invalid throttle levels, and so on.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload model or registry lookup failed."""
+
+
+class PolicyError(ReproError):
+    """A partitioning policy was misused or produced an invalid decision."""
+
+
+class ModelError(ReproError):
+    """A statistical model (GP / acquisition) failed to fit or predict."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received inconsistent parameters."""

@@ -1,0 +1,133 @@
+"""Paper-reproduction experiment drivers (see DESIGN.md index)."""
+
+from repro.experiments.ablation import (
+    DesignChoiceResult,
+    SubsetAblationResult,
+    bo_design_ablation,
+    resource_subset_ablation,
+)
+from repro.experiments.churn import ChurnResult, workload_churn
+from repro.experiments.figures import FigureScale, figure_names, run_figure
+from repro.experiments.qos import QosComparison, QosPolicyResult, qos_colocation
+from repro.experiments.report import ReportConfig, generate_report
+from repro.experiments.variants import VariantLimitsResult, single_goal_limits
+from repro.experiments.extensions import (
+    PowerExtensionResult,
+    metric_sweep,
+    power_capped_partitioning,
+    power_catalog,
+)
+from repro.experiments.characterization import (
+    DriftResult,
+    GoalGapResult,
+    RebalancingExample,
+    conflicting_goal_gap,
+    optimal_configuration_drift,
+    rebalancing_opportunity,
+)
+from repro.experiments.comparison import (
+    STANDARD_POLICY_ORDER,
+    MixComparison,
+    PolicyScore,
+    aggregate,
+    compare_on_mix,
+    compare_on_mixes,
+    full_space,
+    standard_policies,
+)
+from repro.experiments.internals import (
+    ObjectiveTraces,
+    VariantComparison,
+    VariationResult,
+    WeightTrace,
+    dynamic_vs_static,
+    objective_trace,
+    performance_variation,
+    weak_goal_priority,
+    weight_trace,
+)
+from repro.experiments.overhead import OverheadResult, controller_overhead
+from repro.experiments.proximity import ProximityResult, distance_to_oracle
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import (
+    RunConfig,
+    RunResult,
+    experiment_catalog,
+    run_policy,
+)
+from repro.experiments.scalability import (
+    DegreePoint,
+    ScalabilityResult,
+    colocation_scalability,
+)
+from repro.experiments.sensitivity import (
+    DEFAULT_EQUALIZATION_SWEEP,
+    DEFAULT_PRIORITIZATION_SWEEP,
+    SensitivityResult,
+    SweepPoint,
+    period_sensitivity,
+)
+
+__all__ = [
+    "ChurnResult",
+    "DEFAULT_EQUALIZATION_SWEEP",
+    "FigureScale",
+    "QosComparison",
+    "QosPolicyResult",
+    "figure_names",
+    "qos_colocation",
+    "run_figure",
+    "PowerExtensionResult",
+    "ReportConfig",
+    "VariantLimitsResult",
+    "generate_report",
+    "metric_sweep",
+    "single_goal_limits",
+    "power_capped_partitioning",
+    "power_catalog",
+    "workload_churn",
+    "DEFAULT_PRIORITIZATION_SWEEP",
+    "DegreePoint",
+    "DesignChoiceResult",
+    "DriftResult",
+    "GoalGapResult",
+    "MixComparison",
+    "ObjectiveTraces",
+    "OverheadResult",
+    "PolicyScore",
+    "ProximityResult",
+    "RebalancingExample",
+    "RunConfig",
+    "RunResult",
+    "STANDARD_POLICY_ORDER",
+    "ScalabilityResult",
+    "SensitivityResult",
+    "SubsetAblationResult",
+    "SweepPoint",
+    "VariantComparison",
+    "VariationResult",
+    "WeightTrace",
+    "aggregate",
+    "bo_design_ablation",
+    "colocation_scalability",
+    "compare_on_mix",
+    "compare_on_mixes",
+    "conflicting_goal_gap",
+    "controller_overhead",
+    "distance_to_oracle",
+    "dynamic_vs_static",
+    "experiment_catalog",
+    "format_series",
+    "format_table",
+    "full_space",
+    "objective_trace",
+    "optimal_configuration_drift",
+    "performance_variation",
+    "period_sensitivity",
+    "rebalancing_opportunity",
+    "resource_subset_ablation",
+    "run_policy",
+    "standard_policies",
+    "weak_goal_priority",
+    "weight_trace",
+]

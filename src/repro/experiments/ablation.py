@@ -1,0 +1,143 @@
+"""Ablation experiments (Sec. V "source of SATORI's benefits" + design choices).
+
+* Resource-subset ablation: SATORI restricted to dCAT's resource set
+  (LLC only) still beats dCAT (+4 pts T / +5 pts F in the paper), and
+  restricted to CoPart's set (LLC + bandwidth) still beats CoPart
+  (+7 / +4) — SATORI's advantage is the search, not merely the wider
+  knob set.
+* Acquisition-function and kernel ablations for the design choices
+  DESIGN.md calls out (EI + Matérn 5/2 vs the alternatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import SatoriController
+from repro.core.kernels import RBF, Matern52
+from repro.metrics.goals import GoalSet
+from repro.policies.copart import CoPartPolicy
+from repro.policies.dcat import DCatPolicy
+from repro.policies.oracle import OraclePolicy, OracleSearch
+from repro.resources.space import ConfigurationSpace
+from repro.resources.types import LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog
+from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.experiments.comparison import full_space
+from repro.experiments.runner import RunConfig, run_policy, experiment_catalog
+from repro.workloads.mixes import JobMix
+
+
+@dataclass(frozen=True)
+class SubsetAblationResult:
+    """SATORI vs the baseline that controls the same resource subset."""
+
+    mix_label: str
+    resources: Tuple[str, ...]
+    satori_throughput: float
+    satori_fairness: float
+    baseline_name: str
+    baseline_throughput: float
+    baseline_fairness: float
+
+    @property
+    def throughput_gap_points(self) -> float:
+        return self.satori_throughput - self.baseline_throughput
+
+    @property
+    def fairness_gap_points(self) -> float:
+        return self.satori_fairness - self.baseline_fairness
+
+
+def resource_subset_ablation(
+    mix: JobMix,
+    subset: Sequence[str],
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+) -> SubsetAblationResult:
+    """Compare SATORI-on-a-subset against the matching baseline.
+
+    ``subset`` must be dCAT's (``[LLC_WAYS]``) or CoPart's
+    (``[LLC_WAYS, MEMORY_BANDWIDTH]``) resource set. Scores are % of
+    the Balanced Oracle (which still searches all resources — the
+    same normalization the paper uses).
+    """
+    catalog = catalog or experiment_catalog()
+    goals = goals or GoalSet()
+    rng = make_rng(seed)
+    subset = tuple(subset)
+    space = ConfigurationSpace(catalog.subset(subset), len(mix))
+
+    if set(subset) == {LLC_WAYS}:
+        baseline = DCatPolicy(space, goals, rng=spawn_rng(rng))
+    elif set(subset) == {LLC_WAYS, MEMORY_BANDWIDTH}:
+        baseline = CoPartPolicy(space, goals)
+    else:
+        raise ValueError(f"no matching baseline for resource subset {subset}")
+
+    search = OracleSearch(mix, catalog, goals)
+    oracle = run_policy(
+        OraclePolicy(search, 0.5, 0.5), mix, catalog, run_config, goals, seed=spawn_rng(rng)
+    )
+    satori = SatoriController(space, goals, rng=spawn_rng(rng))
+    satori_result = run_policy(satori, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+    baseline_result = run_policy(baseline, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+
+    to_pct = lambda v, ref: 100.0 * v / max(ref, 1e-12)
+    return SubsetAblationResult(
+        mix_label=mix.label,
+        resources=subset,
+        satori_throughput=to_pct(satori_result.throughput, oracle.throughput),
+        satori_fairness=to_pct(satori_result.fairness, oracle.fairness),
+        baseline_name=baseline.name,
+        baseline_throughput=to_pct(baseline_result.throughput, oracle.throughput),
+        baseline_fairness=to_pct(baseline_result.fairness, oracle.fairness),
+    )
+
+
+@dataclass(frozen=True)
+class DesignChoiceResult:
+    """Scores of SATORI under alternative BO design choices."""
+
+    mix_label: str
+    #: variant label -> (throughput % of oracle, fairness % of oracle).
+    scores: Dict[str, Tuple[float, float]]
+
+
+def bo_design_ablation(
+    mix: JobMix,
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+) -> DesignChoiceResult:
+    """Swap the acquisition function and kernel (DESIGN.md ablations)."""
+    catalog = catalog or experiment_catalog()
+    goals = goals or GoalSet()
+    rng = make_rng(seed)
+    space = full_space(catalog, len(mix))
+
+    search = OracleSearch(mix, catalog, goals)
+    oracle = run_policy(
+        OraclePolicy(search, 0.5, 0.5), mix, catalog, run_config, goals, seed=spawn_rng(rng)
+    )
+
+    variants = {
+        "EI + Matern52 (paper)": dict(acquisition="ei", kernel=Matern52()),
+        "PI + Matern52": dict(acquisition="pi", kernel=Matern52()),
+        "UCB + Matern52": dict(acquisition="ucb", kernel=Matern52()),
+        "EI + RBF": dict(acquisition="ei", kernel=RBF()),
+    }
+    scores: Dict[str, Tuple[float, float]] = {}
+    for label, kwargs in variants.items():
+        controller = SatoriController(space, goals, rng=spawn_rng(rng), **kwargs)
+        result = run_policy(controller, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+        scores[label] = (
+            100.0 * result.throughput / max(oracle.throughput, 1e-12),
+            100.0 * result.fairness / max(oracle.fairness, 1e-12),
+        )
+    return DesignChoiceResult(mix_label=mix.label, scores=scores)

@@ -1,0 +1,198 @@
+"""Multi-policy comparisons normalized to the Balanced Oracle.
+
+The paper presents all evaluation results "as % of Balanced Oracle
+(i.e., % distance from the theoretical optimal)" (Sec. IV). This
+module runs every competing policy on a mix (or a list of mixes),
+runs the Balanced Oracle on the same mixes, and reports normalized
+throughput and fairness — the data behind Figs. 7-13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import SatoriController
+from repro.errors import ExperimentError
+from repro.metrics.goals import GoalSet
+from repro.policies.base import PartitioningPolicy
+from repro.policies.copart import CoPartPolicy
+from repro.policies.dcat import DCatPolicy
+from repro.policies.oracle import OraclePolicy, OracleSearch
+from repro.policies.parties import PartiesPolicy
+from repro.policies.random_search import RandomSearchPolicy
+from repro.resources.space import ConfigurationSpace
+from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog
+from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.experiments.runner import RunConfig, RunResult, experiment_catalog, run_policy
+from repro.workloads.mixes import JobMix
+
+#: Canonical policy order used in tables (mirrors Fig. 7's x axis).
+STANDARD_POLICY_ORDER = ("Random", "dCAT", "CoPart", "PARTIES", "SATORI")
+
+
+@dataclass(frozen=True)
+class PolicyScore:
+    """One policy's scores on one mix, normalized to the Balanced Oracle."""
+
+    policy_name: str
+    mix_label: str
+    throughput: float
+    fairness: float
+    worst_job_speedup: float
+    throughput_vs_oracle: float
+    fairness_vs_oracle: float
+    worst_job_vs_oracle: float
+
+
+@dataclass(frozen=True)
+class MixComparison:
+    """All policies' scores on one mix plus the oracle reference."""
+
+    mix_label: str
+    oracle: RunResult
+    scores: Dict[str, PolicyScore]
+
+    def score(self, policy_name: str) -> PolicyScore:
+        try:
+            return self.scores[policy_name]
+        except KeyError:
+            raise ExperimentError(
+                f"no score for {policy_name!r}; have {sorted(self.scores)}"
+            ) from None
+
+
+def full_space(catalog: ResourceCatalog, n_jobs: int) -> ConfigurationSpace:
+    """Space over the three paper resources (cores, LLC, bandwidth)."""
+    return ConfigurationSpace(catalog.subset([CORES, LLC_WAYS, MEMORY_BANDWIDTH]), n_jobs)
+
+
+def standard_policies(
+    catalog: ResourceCatalog,
+    n_jobs: int,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = None,
+    include: Sequence[str] = STANDARD_POLICY_ORDER,
+    satori_kwargs: Optional[dict] = None,
+) -> Dict[str, PartitioningPolicy]:
+    """Fresh instances of the paper's competing policies.
+
+    Args:
+        include: which of the standard policy names to build.
+        satori_kwargs: forwarded to :class:`SatoriController`.
+    """
+    rng = make_rng(seed)
+    goals = goals or GoalSet()
+    space = full_space(catalog, n_jobs)
+    builders: Dict[str, Callable[[], PartitioningPolicy]] = {
+        "Random": lambda: RandomSearchPolicy(space, goals, rng=spawn_rng(rng)),
+        "dCAT": lambda: DCatPolicy(
+            ConfigurationSpace(catalog.subset([LLC_WAYS]), n_jobs), goals, rng=spawn_rng(rng)
+        ),
+        "CoPart": lambda: CoPartPolicy(
+            ConfigurationSpace(catalog.subset([LLC_WAYS, MEMORY_BANDWIDTH]), n_jobs), goals
+        ),
+        "PARTIES": lambda: PartiesPolicy(space, goals),
+        "SATORI": lambda: SatoriController(
+            space, goals, rng=spawn_rng(rng), **(satori_kwargs or {})
+        ),
+    }
+    unknown = set(include) - set(builders)
+    if unknown:
+        raise ExperimentError(f"unknown policies {sorted(unknown)}; have {sorted(builders)}")
+    return {name: builders[name]() for name in include}
+
+
+def compare_on_mix(
+    mix: JobMix,
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+    include: Sequence[str] = STANDARD_POLICY_ORDER,
+    satori_kwargs: Optional[dict] = None,
+    extra_policies: Optional[Dict[str, PartitioningPolicy]] = None,
+    oracle_search: Optional[OracleSearch] = None,
+) -> MixComparison:
+    """Run the standard policies plus the Balanced Oracle on one mix."""
+    catalog = catalog or experiment_catalog()
+    goals = goals or GoalSet()
+    rng = make_rng(seed)
+
+    search = oracle_search or OracleSearch(mix, catalog, goals)
+    oracle_policy = OraclePolicy(search, 0.5, 0.5)
+    oracle = run_policy(oracle_policy, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+
+    policies = standard_policies(
+        catalog, len(mix), goals, seed=spawn_rng(rng), include=include, satori_kwargs=satori_kwargs
+    )
+    if extra_policies:
+        policies.update(extra_policies)
+
+    scores: Dict[str, PolicyScore] = {}
+    for name, policy in policies.items():
+        result = run_policy(policy, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+        scores[name] = _normalize(result, oracle)
+    return MixComparison(mix_label=mix.label, oracle=oracle, scores=scores)
+
+
+def compare_on_mixes(
+    mixes: Sequence[JobMix],
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+    include: Sequence[str] = STANDARD_POLICY_ORDER,
+    satori_kwargs: Optional[dict] = None,
+) -> List[MixComparison]:
+    """Run :func:`compare_on_mix` over a list of mixes (Figs. 8, 10, 11)."""
+    rng = make_rng(seed)
+    return [
+        compare_on_mix(
+            mix,
+            catalog=catalog,
+            run_config=run_config,
+            goals=goals,
+            seed=spawn_rng(rng),
+            include=include,
+            satori_kwargs=satori_kwargs,
+        )
+        for mix in mixes
+    ]
+
+
+def aggregate(
+    comparisons: Sequence[MixComparison],
+    policy_names: Optional[Sequence[str]] = None,
+) -> Dict[str, Tuple[float, float]]:
+    """Mean (throughput%, fairness%) of Balanced Oracle per policy.
+
+    The aggregation behind Figs. 7, 12, 13.
+    """
+    if not comparisons:
+        raise ExperimentError("no comparisons to aggregate")
+    names = policy_names or sorted(comparisons[0].scores)
+    result = {}
+    for name in names:
+        t = np.mean([c.score(name).throughput_vs_oracle for c in comparisons])
+        f = np.mean([c.score(name).fairness_vs_oracle for c in comparisons])
+        result[name] = (float(t), float(f))
+    return result
+
+
+def _normalize(result: RunResult, oracle: RunResult) -> PolicyScore:
+    oracle_t = max(oracle.throughput, 1e-12)
+    oracle_f = max(oracle.fairness, 1e-12)
+    oracle_w = max(oracle.worst_job_speedup, 1e-12)
+    return PolicyScore(
+        policy_name=result.policy_name,
+        mix_label=result.mix_label,
+        throughput=result.throughput,
+        fairness=result.fairness,
+        worst_job_speedup=result.worst_job_speedup,
+        throughput_vs_oracle=100.0 * result.throughput / oracle_t,
+        fairness_vs_oracle=100.0 * result.fairness / oracle_f,
+        worst_job_vs_oracle=100.0 * result.worst_job_speedup / oracle_w,
+    )

@@ -1,0 +1,112 @@
+"""Co-location-degree scalability (Sec. V, "scalability" paragraph).
+
+The paper: as the co-location degree grows from 3 to 7 applications,
+the %-point gap between SATORI and PARTIES grows monotonically
+(8, 11, 13, 13, 15 points) because the configuration space grows and
+gradient descent gets stuck in the proliferating local maxima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.metrics.goals import GoalSet
+from repro.resources.types import ResourceCatalog
+from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.experiments.comparison import compare_on_mix
+from repro.experiments.runner import RunConfig, experiment_catalog
+from repro.workloads.mixes import JobMix, suite_mixes
+from repro.workloads.registry import WorkloadRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class DegreePoint:
+    """Scores at one co-location degree."""
+
+    degree: int
+    satori_throughput: float
+    satori_fairness: float
+    parties_throughput: float
+    parties_fairness: float
+
+    @property
+    def throughput_gap_points(self) -> float:
+        return self.satori_throughput - self.parties_throughput
+
+    @property
+    def fairness_gap_points(self) -> float:
+        return self.satori_fairness - self.parties_fairness
+
+
+@dataclass(frozen=True)
+class ScalabilityResult:
+    """SATORI-vs-PARTIES gap across co-location degrees."""
+
+    points: List[DegreePoint]
+
+    def gaps(self) -> List[float]:
+        """Mean of the throughput and fairness gaps per degree."""
+        return [
+            0.5 * (p.throughput_gap_points + p.fairness_gap_points) for p in self.points
+        ]
+
+
+def colocation_scalability(
+    degrees: Sequence[int] = (3, 4, 5, 6, 7),
+    suite: str = "parsec",
+    mixes_per_degree: int = 2,
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+    registry: Optional[WorkloadRegistry] = None,
+) -> ScalabilityResult:
+    """Compare SATORI and PARTIES across co-location degrees.
+
+    For each degree, a few representative mixes (deterministically
+    chosen from the ``C(7, degree)`` combinations) are averaged.
+    """
+    catalog = catalog or experiment_catalog()
+    registry = registry or default_registry()
+    rng = make_rng(seed)
+    n_available = len(registry.suite(suite))
+
+    points = []
+    for degree in degrees:
+        if degree > n_available:
+            raise ExperimentError(
+                f"degree {degree} exceeds the {n_available} workloads of suite {suite!r}"
+            )
+        all_mixes = suite_mixes(suite, mix_size=degree, registry=registry)
+        stride = max(1, len(all_mixes) // mixes_per_degree)
+        chosen = all_mixes[::stride][:mixes_per_degree]
+
+        sat_t, sat_f, par_t, par_f = [], [], [], []
+        for mix in chosen:
+            comparison = compare_on_mix(
+                mix,
+                catalog=catalog,
+                run_config=run_config,
+                goals=goals,
+                seed=spawn_rng(rng),
+                include=("PARTIES", "SATORI"),
+            )
+            sat_t.append(comparison.score("SATORI").throughput_vs_oracle)
+            sat_f.append(comparison.score("SATORI").fairness_vs_oracle)
+            par_t.append(comparison.score("PARTIES").throughput_vs_oracle)
+            par_f.append(comparison.score("PARTIES").fairness_vs_oracle)
+
+        points.append(
+            DegreePoint(
+                degree=degree,
+                satori_throughput=float(np.mean(sat_t)),
+                satori_fairness=float(np.mean(sat_f)),
+                parties_throughput=float(np.mean(par_t)),
+                parties_fairness=float(np.mean(par_f)),
+            )
+        )
+    return ScalabilityResult(points=points)

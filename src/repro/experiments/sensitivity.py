@@ -1,0 +1,106 @@
+"""Parameter-sensitivity experiments (Fig. 16).
+
+Sweeps SATORI's two tunables — the prioritization period ``T_P`` and
+the equalization period ``T_E`` — and reports throughput/fairness as
+% of the Balanced Oracle. The paper's finding: performance is flat
+across a wide range and only degrades for very long periods
+(``T_P > 5 s``, ``T_E > 30 s``), i.e. SATORI does not need tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import SatoriController
+from repro.metrics.goals import GoalSet
+from repro.policies.oracle import OraclePolicy, OracleSearch
+from repro.resources.types import ResourceCatalog
+from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.experiments.comparison import full_space
+from repro.experiments.runner import RunConfig, run_policy, experiment_catalog
+from repro.workloads.mixes import JobMix
+
+#: Paper-style sweep points (seconds).
+DEFAULT_PRIORITIZATION_SWEEP = (0.5, 1.0, 2.0, 5.0, 10.0)
+DEFAULT_EQUALIZATION_SWEEP = (5.0, 10.0, 20.0, 30.0, 60.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep setting with its normalized scores."""
+
+    value_s: float
+    throughput_vs_oracle: float
+    fairness_vs_oracle: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Fig. 16 data: scores across T_P and T_E sweeps."""
+
+    mix_label: str
+    prioritization: List[SweepPoint]
+    equalization: List[SweepPoint]
+
+    @staticmethod
+    def _spread(points: Sequence[SweepPoint]) -> float:
+        ts = [p.throughput_vs_oracle for p in points]
+        fs = [p.fairness_vs_oracle for p in points]
+        return max(max(ts) - min(ts), max(fs) - min(fs))
+
+    def prioritization_spread(self) -> float:
+        """Max %-point spread across the T_P sweep (low = insensitive)."""
+        return self._spread(self.prioritization)
+
+    def equalization_spread(self) -> float:
+        return self._spread(self.equalization)
+
+
+def period_sensitivity(
+    mix: JobMix,
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+    prioritization_sweep: Sequence[float] = DEFAULT_PRIORITIZATION_SWEEP,
+    equalization_sweep: Sequence[float] = DEFAULT_EQUALIZATION_SWEEP,
+) -> SensitivityResult:
+    """Sweep T_P (at T_E=10 s) and T_E (at T_P=1 s) on one mix."""
+    catalog = catalog or experiment_catalog()
+    goals = goals or GoalSet()
+    rng = make_rng(seed)
+
+    search = OracleSearch(mix, catalog, goals)
+    oracle = run_policy(
+        OraclePolicy(search, 0.5, 0.5), mix, catalog, run_config, goals, seed=spawn_rng(rng)
+    )
+
+    def run_point(t_p: float, t_e: float) -> Tuple[float, float]:
+        controller = SatoriController(
+            full_space(catalog, len(mix)),
+            goals,
+            prioritization_period_s=t_p,
+            equalization_period_s=t_e,
+            rng=spawn_rng(rng),
+        )
+        result = run_policy(controller, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+        return (
+            100.0 * result.throughput / max(oracle.throughput, 1e-12),
+            100.0 * result.fairness / max(oracle.fairness, 1e-12),
+        )
+
+    prioritization = []
+    for t_p in prioritization_sweep:
+        t_e = max(10.0, t_p)
+        t, f = run_point(t_p, t_e)
+        prioritization.append(SweepPoint(t_p, t, f))
+
+    equalization = []
+    for t_e in equalization_sweep:
+        t, f = run_point(min(1.0, t_e), t_e)
+        equalization.append(SweepPoint(t_e, t, f))
+
+    return SensitivityResult(
+        mix_label=mix.label, prioritization=prioritization, equalization=equalization
+    )

@@ -1,0 +1,79 @@
+"""Single-goal SATORI variants vs their oracles (Fig. 7's right half).
+
+Sec. IV defines Throughput SATORI (W_T=1, W_F=0) and Fairness SATORI
+(W_T=0, W_F=1) "to quantify the limits of SATORI when optimizing a
+single goal". Fig. 7 shows each variant exceeding full SATORI on its
+own goal and approaching the corresponding single-goal Oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.controller import SatoriController
+from repro.metrics.goals import GoalSet
+from repro.policies.oracle import OraclePolicy, OracleSearch
+from repro.resources.types import ResourceCatalog
+from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.experiments.comparison import full_space
+from repro.experiments.runner import RunConfig, RunResult, experiment_catalog, run_policy
+from repro.workloads.mixes import JobMix
+
+
+@dataclass(frozen=True)
+class VariantLimitsResult:
+    """Full SATORI, single-goal variants, and the three oracles on one mix."""
+
+    mix_label: str
+    satori: RunResult
+    throughput_satori: RunResult
+    fairness_satori: RunResult
+    balanced_oracle: RunResult
+    throughput_oracle: RunResult
+    fairness_oracle: RunResult
+
+    @property
+    def throughput_variant_ratio(self) -> float:
+        """Throughput SATORI's throughput as a fraction of its oracle's."""
+        return self.throughput_satori.throughput / max(
+            self.throughput_oracle.throughput, 1e-12
+        )
+
+    @property
+    def fairness_variant_ratio(self) -> float:
+        """Fairness SATORI's fairness as a fraction of its oracle's."""
+        return self.fairness_satori.fairness / max(self.fairness_oracle.fairness, 1e-12)
+
+
+def single_goal_limits(
+    mix: JobMix,
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+) -> VariantLimitsResult:
+    """Run all SATORI variants and all Oracle variants on one mix."""
+    catalog = catalog or experiment_catalog()
+    goals = goals or GoalSet()
+    rng = make_rng(seed)
+    space = full_space(catalog, len(mix))
+    search = OracleSearch(mix, catalog, goals)
+
+    def satori(mode: str) -> RunResult:
+        controller = SatoriController(space, goals, mode=mode, rng=spawn_rng(rng))
+        return run_policy(controller, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+
+    def oracle(w_t: float, w_f: float) -> RunResult:
+        policy = OraclePolicy(search, w_t, w_f)
+        return run_policy(policy, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+
+    return VariantLimitsResult(
+        mix_label=mix.label,
+        satori=satori("dynamic"),
+        throughput_satori=satori("throughput"),
+        fairness_satori=satori("fairness"),
+        balanced_oracle=oracle(0.5, 0.5),
+        throughput_oracle=oracle(1.0, 0.0),
+        fairness_oracle=oracle(0.0, 1.0),
+    )

@@ -1,0 +1,32 @@
+"""Simulated hardware substrate: MSRs, CAT, MBA, affinity, RAPL, pqos."""
+
+from repro.hardware.affinity import CoreAffinityController
+from repro.hardware.cat import CacheAllocationTechnology, is_contiguous_mask
+from repro.hardware.mba import THROTTLE_STEP, MemoryBandwidthAllocator
+from repro.hardware.msr import (
+    IA32_L2_QOS_EXT_BW_THRTL_BASE,
+    IA32_L3_QOS_MASK_BASE,
+    IA32_PQR_ASSOC,
+    MSR_PKG_POWER_LIMIT,
+    MsrFile,
+)
+from repro.hardware.pqos import DEFAULT_SAMPLE_HZ, PqosMonitor, PqosSample
+from repro.hardware.rapl import POWER_UNIT_WATTS, PowerCapController
+
+__all__ = [
+    "CacheAllocationTechnology",
+    "CoreAffinityController",
+    "DEFAULT_SAMPLE_HZ",
+    "IA32_L2_QOS_EXT_BW_THRTL_BASE",
+    "IA32_L3_QOS_MASK_BASE",
+    "IA32_PQR_ASSOC",
+    "MSR_PKG_POWER_LIMIT",
+    "MemoryBandwidthAllocator",
+    "MsrFile",
+    "POWER_UNIT_WATTS",
+    "PowerCapController",
+    "PqosMonitor",
+    "PqosSample",
+    "THROTTLE_STEP",
+    "is_contiguous_mask",
+]

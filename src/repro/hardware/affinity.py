@@ -1,0 +1,78 @@
+"""Simulated core-affinity control (``taskset``).
+
+The paper pins each co-located job to a disjoint set of physical cores
+with ``taskset``. This module reproduces that interface: a job's
+affinity is a CPU mask over the machine's cores, and partitions are
+disjoint left-to-right packings of the requested core counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.errors import HardwareError
+
+
+class CoreAffinityController:
+    """Tracks per-job CPU affinity masks over ``n_cores`` physical cores."""
+
+    def __init__(self, n_cores: int):
+        if n_cores < 1:
+            raise HardwareError(f"n_cores must be >= 1, got {n_cores}")
+        self._n_cores = n_cores
+        self._affinities: Dict[int, Set[int]] = {}
+
+    @property
+    def n_cores(self) -> int:
+        return self._n_cores
+
+    def set_affinity(self, job: int, cores: Sequence[int]) -> None:
+        """Pin ``job`` to the given core ids (like ``taskset -c``).
+
+        Raises:
+            HardwareError: if the core set is empty or references
+                nonexistent cores.
+        """
+        core_set = set(int(c) for c in cores)
+        if not core_set:
+            raise HardwareError(f"job {job} needs at least one core")
+        bad = [c for c in core_set if not 0 <= c < self._n_cores]
+        if bad:
+            raise HardwareError(f"cores {bad} out of range [0, {self._n_cores})")
+        self._affinities[job] = core_set
+
+    def affinity_of(self, job: int) -> Set[int]:
+        """The core ids ``job`` is currently pinned to."""
+        try:
+            return set(self._affinities[job])
+        except KeyError:
+            raise HardwareError(f"job {job} has no affinity set") from None
+
+    def core_count_of(self, job: int) -> int:
+        """Number of cores ``job`` is pinned to."""
+        return len(self.affinity_of(job))
+
+    def apply_partition(self, core_counts: Sequence[int]) -> List[Set[int]]:
+        """Pin jobs 0..n-1 to disjoint core ranges, packed left to right.
+
+        Returns:
+            The per-job core sets.
+
+        Raises:
+            HardwareError: if counts exceed the core total or any count
+                is below 1.
+        """
+        if any(count < 1 for count in core_counts):
+            raise HardwareError(f"every job needs >= 1 core, got {list(core_counts)}")
+        if sum(core_counts) > self._n_cores:
+            raise HardwareError(
+                f"core counts {list(core_counts)} exceed the {self._n_cores} available cores"
+            )
+        assignments = []
+        next_core = 0
+        for job, count in enumerate(core_counts):
+            cores = set(range(next_core, next_core + count))
+            self.set_affinity(job, cores)
+            assignments.append(cores)
+            next_core += count
+        return assignments

@@ -1,0 +1,135 @@
+"""Simulated ``pqos`` performance monitoring.
+
+The paper samples per-workload instructions-per-second with the
+``pqos`` utility at 10 Hz (Sec. IV). This monitor reproduces that
+measurement path: it receives the substrate's *true* per-job rates
+each interval and reports noisy sampled counters — IPS, LLC occupancy,
+and local memory bandwidth — the way Intel RDT event counters would.
+
+Measurement noise is multiplicative lognormal (a few percent), which
+matches the jitter of hardware counter sampling and is what makes the
+Gaussian-process noise term in SATORI's proxy model meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import HardwareError
+from repro.rng import SeedLike, make_rng
+
+#: The paper's sampling rate: 10 Hz.
+DEFAULT_SAMPLE_HZ = 10.0
+
+
+@dataclass(frozen=True)
+class PqosSample:
+    """One monitoring sample for one job over one interval."""
+
+    job: int
+    interval_s: float
+    instructions: float
+    ips: float
+    llc_occupancy_bytes: float
+    memory_bandwidth_bytes_s: float
+
+
+class PqosMonitor:
+    """Produces noisy per-job monitoring samples from true rates.
+
+    Args:
+        noise_sigma: standard deviation of the lognormal multiplicative
+            measurement noise (0.02 means roughly +/-2 % jitter).
+        sample_hz: nominal sampling rate; recorded on samples so
+            consumers can check they honour the 10 Hz methodology.
+        outlier_rate: probability per job per interval of a counter
+            glitch — a grossly wrong sample, as real RDT monitoring
+            occasionally produces on RMID reassignment or overflow.
+            Defaults to 0 (clean monitoring); robustness tests and
+            fault-injection experiments raise it.
+        outlier_scale: multiplicative range of a glitch; the faulty
+            sample is the true value scaled by a factor drawn
+            log-uniformly from ``[1/outlier_scale, outlier_scale]``.
+        rng: seed or generator for the noise stream.
+    """
+
+    def __init__(
+        self,
+        noise_sigma: float = 0.02,
+        sample_hz: float = DEFAULT_SAMPLE_HZ,
+        outlier_rate: float = 0.0,
+        outlier_scale: float = 5.0,
+        rng: SeedLike = None,
+    ):
+        if noise_sigma < 0:
+            raise HardwareError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        if sample_hz <= 0:
+            raise HardwareError(f"sample_hz must be positive, got {sample_hz}")
+        if not 0.0 <= outlier_rate < 1.0:
+            raise HardwareError(f"outlier_rate must be in [0, 1), got {outlier_rate}")
+        if outlier_scale < 1.0:
+            raise HardwareError(f"outlier_scale must be >= 1, got {outlier_scale}")
+        self._noise_sigma = noise_sigma
+        self._sample_hz = sample_hz
+        self._outlier_rate = outlier_rate
+        self._outlier_scale = outlier_scale
+        self._rng = make_rng(rng)
+
+    @property
+    def sample_interval_s(self) -> float:
+        """Length of one nominal sampling interval in seconds."""
+        return 1.0 / self._sample_hz
+
+    def observe(
+        self,
+        true_ips: Sequence[float],
+        interval_s: float,
+        llc_occupancy_bytes: Sequence[float] = None,
+        memory_bandwidth_bytes_s: Sequence[float] = None,
+    ) -> List[PqosSample]:
+        """Sample one interval: true rates in, noisy counters out.
+
+        Args:
+            true_ips: the substrate's true per-job IPS this interval.
+            interval_s: interval length in seconds.
+            llc_occupancy_bytes: optional true per-job LLC occupancy.
+            memory_bandwidth_bytes_s: optional true per-job bandwidth.
+        """
+        if interval_s <= 0:
+            raise HardwareError(f"interval must be positive, got {interval_s}")
+        n = len(true_ips)
+        occupancy = llc_occupancy_bytes if llc_occupancy_bytes is not None else [0.0] * n
+        bandwidth = memory_bandwidth_bytes_s if memory_bandwidth_bytes_s is not None else [0.0] * n
+        if len(occupancy) != n or len(bandwidth) != n:
+            raise HardwareError("per-job monitoring inputs must have equal lengths")
+
+        samples = []
+        for job in range(n):
+            noise = self._noise_factor()
+            if self._outlier_rate and self._rng.random() < self._outlier_rate:
+                noise *= self._outlier_factor()
+            ips = max(0.0, float(true_ips[job]) * noise)
+            samples.append(
+                PqosSample(
+                    job=job,
+                    interval_s=interval_s,
+                    instructions=ips * interval_s,
+                    ips=ips,
+                    llc_occupancy_bytes=float(occupancy[job]) * self._noise_factor(),
+                    memory_bandwidth_bytes_s=float(bandwidth[job]) * self._noise_factor(),
+                )
+            )
+        return samples
+
+    def _noise_factor(self) -> float:
+        if self._noise_sigma == 0:
+            return 1.0
+        return float(self._rng.lognormal(mean=0.0, sigma=self._noise_sigma))
+
+    def _outlier_factor(self) -> float:
+        """A glitch factor, log-uniform in [1/scale, scale]."""
+        log_scale = np.log(self._outlier_scale)
+        return float(np.exp(self._rng.uniform(-log_scale, log_scale)))

@@ -1,0 +1,74 @@
+"""Simulated RAPL power capping.
+
+The paper lists power (RAPL) among the partitionable resources and the
+conclusion notes SATORI "can effectively handle ... power-cap
+resources". The main evaluation partitions three resources; power is
+the extension point, so this controller exists for the extensibility
+experiments and the energy-goal example.
+
+RAPL exposes a package power limit in units of 1/8 W written to
+``MSR_PKG_POWER_LIMIT``. Per-job power budgets are enforced here as
+logical shares of the package cap (real RAPL caps the package; per-job
+attribution is done in software, as in the paper's setup).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import HardwareError
+from repro.hardware.msr import MSR_PKG_POWER_LIMIT, MsrFile
+
+#: RAPL power unit: 1/8 watt.
+POWER_UNIT_WATTS = 0.125
+
+
+class PowerCapController:
+    """Package power cap plus logical per-job power-share accounting."""
+
+    def __init__(self, msr: MsrFile, tdp_watts: float = 85.0):
+        if tdp_watts <= 0:
+            raise HardwareError(f"tdp_watts must be positive, got {tdp_watts}")
+        self._msr = msr
+        self._tdp_watts = tdp_watts
+        self._job_units: Dict[int, int] = {}
+        self.set_package_limit(tdp_watts)
+
+    @property
+    def tdp_watts(self) -> float:
+        return self._tdp_watts
+
+    def set_package_limit(self, watts: float) -> None:
+        """Program the package power cap.
+
+        Raises:
+            HardwareError: if the cap is non-positive or above TDP.
+        """
+        if not 0 < watts <= self._tdp_watts:
+            raise HardwareError(f"package limit {watts} W outside (0, {self._tdp_watts}] W")
+        self._msr.write(MSR_PKG_POWER_LIMIT, int(round(watts / POWER_UNIT_WATTS)))
+
+    def package_limit(self) -> float:
+        """Read back the package power cap in watts."""
+        return self._msr.read(MSR_PKG_POWER_LIMIT) * POWER_UNIT_WATTS
+
+    def apply_partition(self, unit_counts: Sequence[int]) -> List[int]:
+        """Record per-job power-unit budgets (software attribution).
+
+        Returns:
+            The per-job unit counts as applied.
+
+        Raises:
+            HardwareError: if any count is below 1.
+        """
+        if any(count < 1 for count in unit_counts):
+            raise HardwareError(f"every job needs >= 1 power unit, got {list(unit_counts)}")
+        self._job_units = {job: int(count) for job, count in enumerate(unit_counts)}
+        return list(self._job_units.values())
+
+    def units_of(self, job: int) -> int:
+        """Power units currently budgeted to ``job``."""
+        try:
+            return self._job_units[job]
+        except KeyError:
+            raise HardwareError(f"job {job} has no power budget set") from None

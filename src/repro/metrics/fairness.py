@@ -1,0 +1,54 @@
+"""Fairness metrics (Sec. II of the paper).
+
+Fairness measures the *similarity* of the co-located jobs' slowdowns.
+The paper's default is Jain's Fairness Index over the per-job
+speedups, ``1 / (1 + CoV^2)``, which is 1 when every job suffers the
+same relative slowdown and approaches 0 as the slowdowns diverge.
+``1 - CoV`` is provided as the alternative metric the paper discusses
+(unbounded below, hence the normalization note in Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def coefficient_of_variation(job_speedups: Sequence[float]) -> float:
+    """Population CoV (std as a fraction of the mean) of the speedups."""
+    s = np.asarray(job_speedups, dtype=float)
+    if s.size == 0:
+        raise ExperimentError("need at least one job")
+    if np.any(s < 0):
+        raise ExperimentError(f"speedups must be non-negative, got {s}")
+    mean = float(np.mean(s))
+    if mean <= 0:
+        raise ExperimentError("mean speedup must be positive to compute CoV")
+    return float(np.std(s) / mean)
+
+
+def jain_index(job_speedups: Sequence[float]) -> float:
+    """Jain's Fairness Index: ``1 / (1 + CoV^2)``, in ``(0, 1]``."""
+    cov = coefficient_of_variation(job_speedups)
+    return 1.0 / (1.0 + cov * cov)
+
+
+def one_minus_cov(job_speedups: Sequence[float]) -> float:
+    """The ``1 - CoV`` fairness metric (1 when perfectly fair; can be < 0)."""
+    return 1.0 - coefficient_of_variation(job_speedups)
+
+
+def one_minus_cov_normalized(job_speedups: Sequence[float]) -> float:
+    """``1 - CoV`` clipped into [0, 1] (the paper normalizes unbounded
+    metrics into a common [0, 1] range before weighting, Sec. III-B)."""
+    return float(np.clip(one_minus_cov(job_speedups), 0.0, 1.0))
+
+
+#: Named fairness metrics for metric-sweep experiments.
+FAIRNESS_METRICS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "jain": jain_index,
+    "one_minus_cov": one_minus_cov_normalized,
+}

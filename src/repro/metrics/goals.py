@@ -1,0 +1,129 @@
+"""Goal evaluation shared by SATORI, the baselines, and the Oracle.
+
+A :class:`GoalSet` turns raw per-job IPS measurements plus isolation
+baselines into the two normalized goal scores the paper optimizes —
+throughput and fairness, each in [0, 1] — under a configurable choice
+of underlying metric (Sec. IV: Jain's index and sum-of-IPS are the
+defaults "as these have been used by other competing techniques").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.metrics.fairness import jain_index, one_minus_cov_normalized
+from repro.metrics.throughput import (
+    geometric_mean_speedup,
+    harmonic_mean_speedup,
+    speedups,
+    weighted_mean_speedup,
+)
+
+THROUGHPUT_CHOICES = ("sum_ips", "geometric_mean", "harmonic_mean")
+FAIRNESS_CHOICES = ("jain", "one_minus_cov")
+
+
+@dataclass(frozen=True)
+class GoalScores:
+    """Normalized (throughput, fairness) scores for one evaluation."""
+
+    throughput: float
+    fairness: float
+
+    def weighted(self, w_throughput: float, w_fairness: float) -> float:
+        """The paper's Eq. 2 combination for one sample."""
+        return w_throughput * self.throughput + w_fairness * self.fairness
+
+
+class GoalSet:
+    """Computes normalized throughput and fairness from measurements.
+
+    Args:
+        throughput_metric: ``"sum_ips"`` (the paper default; sum of IPS
+            normalized by the isolation sum), ``"geometric_mean"``, or
+            ``"harmonic_mean"``.
+        fairness_metric: ``"jain"`` (the paper default) or
+            ``"one_minus_cov"`` (clipped into [0, 1]).
+    """
+
+    def __init__(self, throughput_metric: str = "sum_ips", fairness_metric: str = "jain"):
+        if throughput_metric not in THROUGHPUT_CHOICES:
+            raise ExperimentError(
+                f"unknown throughput metric {throughput_metric!r}; choices: {THROUGHPUT_CHOICES}"
+            )
+        if fairness_metric not in FAIRNESS_CHOICES:
+            raise ExperimentError(
+                f"unknown fairness metric {fairness_metric!r}; choices: {FAIRNESS_CHOICES}"
+            )
+        self._throughput_metric = throughput_metric
+        self._fairness_metric = fairness_metric
+
+    @property
+    def throughput_metric(self) -> str:
+        return self._throughput_metric
+
+    @property
+    def fairness_metric(self) -> str:
+        return self._fairness_metric
+
+    def __repr__(self) -> str:
+        return f"GoalSet(throughput={self._throughput_metric!r}, fairness={self._fairness_metric!r})"
+
+    def scores(self, ips: Sequence[float], isolation_ips: Sequence[float]) -> GoalScores:
+        """Normalized goal scores for one set of measurements."""
+        s = speedups(ips, isolation_ips)
+        return GoalScores(
+            throughput=self._throughput(s, isolation_ips),
+            fairness=self._fairness(s),
+        )
+
+    def scores_batch(self, ips: np.ndarray, isolation_ips: Sequence[float]):
+        """Vectorized scores for many candidate evaluations.
+
+        Args:
+            ips: ``(n_configs, n_jobs)`` array of modeled IPS values.
+            isolation_ips: per-job isolation baselines.
+
+        Returns:
+            ``(throughput, fairness)`` arrays of shape ``(n_configs,)``.
+
+        Used by the brute-force Oracle, where building per-row
+        :class:`GoalScores` objects would dominate the search cost.
+        """
+        ips = np.asarray(ips, dtype=float)
+        iso = np.asarray(isolation_ips, dtype=float)
+        if ips.ndim != 2 or ips.shape[1] != iso.shape[0]:
+            raise ExperimentError(f"expected (n, {iso.shape[0]}) ips array, got {ips.shape}")
+        s = ips / iso
+
+        if self._throughput_metric == "sum_ips":
+            throughput = (s * iso).sum(axis=1) / iso.sum()
+        elif self._throughput_metric == "geometric_mean":
+            throughput = np.exp(np.log(np.maximum(s, 1e-12)).mean(axis=1))
+        else:  # harmonic_mean
+            throughput = s.shape[1] / (1.0 / np.maximum(s, 1e-12)).sum(axis=1)
+
+        mean = s.mean(axis=1)
+        std = s.std(axis=1)
+        cov = std / np.maximum(mean, 1e-12)
+        if self._fairness_metric == "jain":
+            fairness = 1.0 / (1.0 + cov * cov)
+        else:
+            fairness = np.clip(1.0 - cov, 0.0, 1.0)
+        return throughput, fairness
+
+    def _throughput(self, s: np.ndarray, isolation_ips: Sequence[float]) -> float:
+        if self._throughput_metric == "sum_ips":
+            return weighted_mean_speedup(s, isolation_ips)
+        if self._throughput_metric == "geometric_mean":
+            return geometric_mean_speedup(s)
+        return harmonic_mean_speedup(s)
+
+    def _fairness(self, s: np.ndarray) -> float:
+        if self._fairness_metric == "jain":
+            return jain_index(s)
+        return one_minus_cov_normalized(s)

@@ -1,0 +1,91 @@
+"""System-throughput metrics (Sec. II of the paper).
+
+All metrics operate on per-job *speedups*: each job's current IPS
+divided by its co-location-free (isolation) IPS for the same program
+phase. Under partitioning a speedup lies in ``(0, 1]`` — a job cannot
+run faster with a slice of the machine than with all of it — so the
+normalized metrics below land in ``(0, 1]`` and are directly usable as
+SATORI objective-function components.
+
+The paper's default throughput metric is the *sum of instructions per
+second*; normalized by the sum of isolation IPS it equals the
+IPS-weighted mean speedup. Geometric and harmonic mean speedups are
+provided because Sec. II lists them as common alternatives and the
+paper confirms SATORI's improvements hold for them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def speedups(ips: Sequence[float], isolation_ips: Sequence[float]) -> np.ndarray:
+    """Per-job speedups relative to isolation performance.
+
+    Raises:
+        ExperimentError: on length mismatch or non-positive baselines.
+    """
+    ips = np.asarray(ips, dtype=float)
+    iso = np.asarray(isolation_ips, dtype=float)
+    if ips.shape != iso.shape:
+        raise ExperimentError(f"ips shape {ips.shape} != baseline shape {iso.shape}")
+    if np.any(iso <= 0):
+        raise ExperimentError("isolation IPS must be positive")
+    if np.any(ips < 0):
+        raise ExperimentError("IPS must be non-negative")
+    return ips / iso
+
+
+def geometric_mean_speedup(job_speedups: Sequence[float]) -> float:
+    """Geometric mean of the per-job speedups."""
+    s = _checked(job_speedups)
+    return float(np.exp(np.mean(np.log(np.maximum(s, 1e-12)))))
+
+
+def harmonic_mean_speedup(job_speedups: Sequence[float]) -> float:
+    """Harmonic mean of the per-job speedups."""
+    s = _checked(job_speedups)
+    return float(len(s) / np.sum(1.0 / np.maximum(s, 1e-12)))
+
+
+def weighted_mean_speedup(job_speedups: Sequence[float], isolation_ips: Sequence[float]) -> float:
+    """Sum-of-IPS throughput, normalized by the isolation sum.
+
+    ``sum_i ips_i / sum_i iso_i`` — the paper's default throughput
+    metric in its [0, 1] normalized form.
+    """
+    s = _checked(job_speedups)
+    iso = np.asarray(isolation_ips, dtype=float)
+    if iso.shape != s.shape:
+        raise ExperimentError(f"speedup shape {s.shape} != baseline shape {iso.shape}")
+    return float(np.sum(s * iso) / np.sum(iso))
+
+
+def total_ips(ips: Sequence[float]) -> float:
+    """Raw sum of instructions per second (unnormalized)."""
+    values = np.asarray(ips, dtype=float)
+    if values.size == 0:
+        raise ExperimentError("need at least one job")
+    return float(np.sum(values))
+
+
+#: Named throughput metrics over speedups alone, for metric-sweep
+#: experiments ("SATORI provides similar improvements ... for other
+#: commonly-used objective metrics").
+THROUGHPUT_METRICS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "geometric_mean": geometric_mean_speedup,
+    "harmonic_mean": harmonic_mean_speedup,
+}
+
+
+def _checked(job_speedups: Sequence[float]) -> np.ndarray:
+    s = np.asarray(job_speedups, dtype=float)
+    if s.size == 0:
+        raise ExperimentError("need at least one job")
+    if np.any(s < 0):
+        raise ExperimentError(f"speedups must be non-negative, got {s}")
+    return s

@@ -1,0 +1,37 @@
+"""Partitioning policies: SATORI's competitors and reference points."""
+
+from repro.policies.base import PartitioningPolicy
+from repro.policies.copart import CoPartPolicy
+from repro.policies.dcat import DCatPolicy
+from repro.policies.oracle import (
+    DEFAULT_MAX_CONFIGS,
+    OraclePolicy,
+    OracleResult,
+    OracleSearch,
+    balanced_oracle,
+)
+from repro.policies.parties import PartiesPolicy
+from repro.policies.qos_parties import QosPartiesPolicy
+from repro.policies.random_search import RandomSearchPolicy
+from repro.policies.static import (
+    EqualPartitionPolicy,
+    FixedConfigurationPolicy,
+    UnmanagedPolicy,
+)
+
+__all__ = [
+    "CoPartPolicy",
+    "DCatPolicy",
+    "DEFAULT_MAX_CONFIGS",
+    "EqualPartitionPolicy",
+    "FixedConfigurationPolicy",
+    "OraclePolicy",
+    "OracleResult",
+    "OracleSearch",
+    "PartiesPolicy",
+    "PartitioningPolicy",
+    "QosPartiesPolicy",
+    "RandomSearchPolicy",
+    "UnmanagedPolicy",
+    "balanced_oracle",
+]

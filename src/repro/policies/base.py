@@ -1,0 +1,78 @@
+"""The partitioning-policy protocol shared by SATORI and all baselines.
+
+A policy is an online controller: once per control interval it
+receives the previous interval's :class:`~repro.system.Observation`
+and returns the configuration to install for the next interval. The
+first call receives ``None`` (nothing has run yet). Policies declare
+which resources they control; resources outside that set stay shared
+and are subject to the simulator's contention model — this is how
+dCAT (LLC only) and CoPart (LLC + memory bandwidth) differ from the
+all-resource policies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.metrics.goals import GoalSet
+from repro.resources.allocation import Configuration
+from repro.resources.space import ConfigurationSpace
+from repro.system.simulation import Observation
+
+
+class PartitioningPolicy(abc.ABC):
+    """Base class for online resource-partitioning policies.
+
+    Args:
+        space: the configuration space over the resources this policy
+            controls (possibly a subset of the server's catalog).
+        goals: metric choices used to score observations.
+    """
+
+    #: Human-readable policy name, set by subclasses.
+    name: str = "policy"
+
+    def __init__(self, space: ConfigurationSpace, goals: Optional[GoalSet] = None):
+        self._space = space
+        self._goals = goals or GoalSet()
+
+    @property
+    def space(self) -> ConfigurationSpace:
+        return self._space
+
+    @property
+    def goals(self) -> GoalSet:
+        return self._goals
+
+    @property
+    def controlled_resources(self) -> Tuple[str, ...]:
+        """Resource names this policy actively partitions."""
+        return self._space.resource_names
+
+    @abc.abstractmethod
+    def decide(self, observation: Optional[Observation]) -> Configuration:
+        """Return the configuration for the next control interval.
+
+        Args:
+            observation: measurements from the previous interval, or
+                ``None`` on the first call.
+        """
+
+    def reset(self) -> None:
+        """Clear adaptive state (called between experiment runs)."""
+
+    def diagnostics(self) -> Dict[str, float]:
+        """Introspection values recorded into telemetry ``extra`` fields.
+
+        Subclasses override to expose internals (SATORI reports its
+        weights, objective value, and proxy-model change here).
+        """
+        return {}
+
+    def _scores(self, observation: Observation):
+        """Goal scores of an observation under this policy's metrics."""
+        if observation is None:
+            raise PolicyError("no observation to score")
+        return self._goals.scores(observation.ips, observation.isolation_ips)

@@ -1,0 +1,60 @@
+"""Server presets: catalogs for known partitionable CPUs.
+
+The paper's testbed is a 10-core Skylake Xeon; reproductions on other
+CAT/MBA-capable parts want matching catalogs. Capacities follow the
+public specifications (LLC size / way count) and conservative
+sustained-bandwidth figures under many-core co-location. Unit counts
+equal the hardware's actual allocation granularity: CAT allocates
+whole ways, MBA in 10 % throttle steps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SpaceError
+from repro.resources.types import Resource, ResourceCatalog, ResourceKind
+
+_MB = float(2**20)
+
+#: name -> (cores, llc_ways, llc_bytes, bandwidth_units, bandwidth_bytes_s)
+_PRESETS: Dict[str, tuple] = {
+    # The paper's testbed class: 10-core Skylake-SP, 13.75 MB LLC.
+    "skylake-sp-10": (10, 11, 13.75 * _MB, 10, 12e9),
+    # Larger Skylake-SP part: 28 cores, 38.5 MB LLC.
+    "skylake-sp-28": (28, 11, 38.5 * _MB, 10, 40e9),
+    # Cascade Lake refresh, 24 cores, 35.75 MB LLC.
+    "cascadelake-24": (24, 11, 35.75 * _MB, 10, 36e9),
+    # Broadwell-EP (pre-MBA; bandwidth partitioning emulated), 20-way LLC.
+    "broadwell-ep-16": (16, 20, 40.0 * _MB, 10, 24e9),
+    # AMD Milan with its L3 QoS extension, per-CCX 32 MB L3.
+    "milan-ccx-8": (8, 16, 32.0 * _MB, 10, 20e9),
+}
+
+
+def preset_names() -> tuple:
+    """Names accepted by :func:`preset_catalog`."""
+    return tuple(sorted(_PRESETS))
+
+
+def preset_catalog(name: str) -> ResourceCatalog:
+    """Build the resource catalog for a named server preset.
+
+    Raises:
+        SpaceError: for unknown preset names.
+    """
+    try:
+        cores, ways, llc_bytes, bw_units, bw_bytes = _PRESETS[name]
+    except KeyError:
+        raise SpaceError(
+            f"unknown server preset {name!r}; available: {', '.join(preset_names())}"
+        ) from None
+    return ResourceCatalog(
+        [
+            Resource(ResourceKind.CORES, cores, unit_capacity=1.0),
+            Resource(ResourceKind.LLC_WAYS, ways, unit_capacity=llc_bytes / ways),
+            Resource(
+                ResourceKind.MEMORY_BANDWIDTH, bw_units, unit_capacity=bw_bytes / bw_units
+            ),
+        ]
+    )

@@ -1,0 +1,259 @@
+"""The configuration search space and its combinatorics.
+
+The paper (Sec. II) sizes the space as a product over resources of the
+number of *compositions* of ``U`` units into ``M`` positive parts,
+``C(U - 1, M - 1)``. This module provides exact counting, full
+enumeration (used by the brute-force Oracle), uniform sampling (used by
+Random search and by BO candidate pools), elementary neighbor moves,
+and the normalized encoding that the Gaussian-process proxy model
+consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import comb
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SpaceError
+from repro.resources.allocation import Configuration, equal_partition
+from repro.resources.types import ResourceCatalog
+from repro.rng import SeedLike, make_rng
+
+
+def count_compositions(units: int, parts: int, min_units: int = 1) -> int:
+    """Number of ways to split ``units`` into ``parts`` ordered shares.
+
+    Each share receives at least ``min_units``. With ``min_units=1``
+    this is the paper's ``C(units - 1, parts - 1)``.
+    """
+    if parts < 1:
+        raise SpaceError(f"parts must be >=1, got {parts}")
+    free = units - parts * min_units
+    if free < 0:
+        return 0
+    return comb(free + parts - 1, parts - 1)
+
+
+def iter_compositions(units: int, parts: int, min_units: int = 1) -> Iterator[Tuple[int, ...]]:
+    """Yield every composition of ``units`` into ``parts`` ordered shares."""
+    if parts < 1:
+        raise SpaceError(f"parts must be >=1, got {parts}")
+    free = units - parts * min_units
+    if free < 0:
+        return
+    if parts == 1:
+        yield (units,)
+        return
+    # Stars and bars over the "free" units, shifted up by min_units.
+    for cuts in itertools.combinations_with_replacement(range(free + 1), parts - 1):
+        shares = []
+        prev = 0
+        for cut in cuts:
+            shares.append(cut - prev + min_units)
+            prev = cut
+        shares.append(free - prev + min_units)
+        yield tuple(shares)
+
+
+def compositions_matrix(units: int, parts: int, min_units: int = 1) -> np.ndarray:
+    """All compositions as an ``(n, parts)`` integer array.
+
+    The vectorized Oracle gathers per-job performance tables through
+    these index arrays instead of materializing Configuration objects.
+    """
+    rows = list(iter_compositions(units, parts, min_units))
+    if not rows:
+        return np.empty((0, parts), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def sample_composition(
+    units: int, parts: int, rng: np.random.Generator, min_units: int = 1
+) -> Tuple[int, ...]:
+    """Draw one composition uniformly at random.
+
+    Uses the stars-and-bars bijection: choosing ``parts - 1`` distinct
+    cut points among ``free + parts - 1`` slots is uniform over
+    compositions.
+    """
+    free = units - parts * min_units
+    if free < 0:
+        raise SpaceError(f"cannot split {units} units into {parts} parts of >= {min_units}")
+    if parts == 1:
+        return (units,)
+    slots = free + parts - 1
+    cuts = np.sort(rng.choice(slots, size=parts - 1, replace=False))
+    bounds = np.concatenate(([-1], cuts, [slots]))
+    gaps = np.diff(bounds) - 1
+    return tuple(int(g) + min_units for g in gaps)
+
+
+class ConfigurationSpace:
+    """All valid partitionings of a catalog's resources among ``n_jobs`` jobs.
+
+    Args:
+        catalog: the resources being partitioned. Policies that control
+            only a subset of the server's resources build their space
+            from ``catalog.subset(...)``.
+        n_jobs: number of co-located jobs.
+    """
+
+    def __init__(self, catalog: ResourceCatalog, n_jobs: int):
+        if n_jobs < 1:
+            raise SpaceError(f"n_jobs must be >=1, got {n_jobs}")
+        for resource in catalog:
+            if count_compositions(resource.units, n_jobs, resource.min_units) == 0:
+                raise SpaceError(
+                    f"{resource.name!r} has {resource.units} units; cannot host {n_jobs} jobs"
+                )
+        self._catalog = catalog
+        self._n_jobs = n_jobs
+
+    @property
+    def catalog(self) -> ResourceCatalog:
+        return self._catalog
+
+    @property
+    def n_jobs(self) -> int:
+        return self._n_jobs
+
+    @property
+    def resource_names(self) -> Tuple[str, ...]:
+        return self._catalog.names
+
+    @property
+    def dimensions(self) -> int:
+        """Length of the flattened configuration vector (jobs x resources)."""
+        return self._n_jobs * len(self._catalog)
+
+    def __repr__(self) -> str:
+        return f"ConfigurationSpace(n_jobs={self._n_jobs}, catalog={self._catalog!r})"
+
+    # -- combinatorics ---------------------------------------------------
+
+    def size(self) -> int:
+        """Exact number of configurations (the paper's ``S_conf``)."""
+        total = 1
+        for resource in self._catalog:
+            total *= count_compositions(resource.units, self._n_jobs, resource.min_units)
+        return total
+
+    def enumerate(self) -> Iterator[Configuration]:
+        """Yield every configuration in the space.
+
+        Intended for small/medium spaces (unit tests, reduced-scale
+        Oracle); the vectorized Oracle uses
+        :meth:`per_resource_matrices` instead.
+        """
+        per_resource = [
+            iter_compositions(r.units, self._n_jobs, r.min_units) for r in self._catalog
+        ]
+        names = self.resource_names
+        for combo in itertools.product(*per_resource):
+            yield Configuration(dict(zip(names, combo)))
+
+    def per_resource_matrices(self) -> List[np.ndarray]:
+        """Composition matrices, one ``(n_r, n_jobs)`` array per resource.
+
+        The full space is the cross product of the rows of these
+        matrices; :meth:`configuration_from_indices` maps a tuple of
+        row indices back to a :class:`Configuration`.
+        """
+        return [
+            compositions_matrix(r.units, self._n_jobs, r.min_units) for r in self._catalog
+        ]
+
+    def configuration_from_indices(
+        self, indices: Sequence[int], matrices: Sequence[np.ndarray]
+    ) -> Configuration:
+        """Build the configuration at one cross-product coordinate."""
+        if len(indices) != len(self._catalog):
+            raise SpaceError(f"expected {len(self._catalog)} indices, got {len(indices)}")
+        allocations = {
+            name: tuple(int(u) for u in matrix[index])
+            for name, matrix, index in zip(self.resource_names, matrices, indices)
+        }
+        return Configuration(allocations)
+
+    # -- construction and sampling ----------------------------------------
+
+    def equal_partition(self) -> Configuration:
+        """The all-resources-split-equally configuration (``S_init``)."""
+        return equal_partition(self._catalog, self._n_jobs)
+
+    def sample(self, rng: SeedLike = None) -> Configuration:
+        """Draw one configuration uniformly at random."""
+        rng = make_rng(rng)
+        allocations = {
+            r.name: sample_composition(r.units, self._n_jobs, rng, r.min_units)
+            for r in self._catalog
+        }
+        return Configuration(allocations)
+
+    def sample_batch(self, n: int, rng: SeedLike = None) -> List[Configuration]:
+        """Draw ``n`` configurations uniformly (duplicates possible)."""
+        rng = make_rng(rng)
+        return [self.sample(rng) for _ in range(n)]
+
+    def contains(self, config: Configuration) -> bool:
+        """Whether ``config`` is a valid member of this space."""
+        if config.n_jobs != self._n_jobs:
+            return False
+        if set(config.resource_names) != set(self.resource_names):
+            return False
+        for resource in self._catalog:
+            units = config.units(resource.name)
+            if sum(units) != resource.units:
+                return False
+            if any(u < resource.min_units for u in units):
+                return False
+        return True
+
+    # -- local moves -------------------------------------------------------
+
+    def neighbors(self, config: Configuration) -> List[Configuration]:
+        """All configurations one unit-move away from ``config``.
+
+        A unit move transfers one unit of one resource from one job to
+        another, respecting the resource's ``min_units``. These are the
+        steps taken by the FSM and gradient-descent baselines, and the
+        local refinement pool of SATORI's BO engine.
+        """
+        result = []
+        for resource in self._catalog:
+            units = config.units(resource.name)
+            for donor in range(self._n_jobs):
+                if units[donor] - 1 < resource.min_units:
+                    continue
+                for receiver in range(self._n_jobs):
+                    if receiver == donor:
+                        continue
+                    result.append(config.move_unit(resource.name, donor, receiver))
+        return result
+
+    # -- encoding for the proxy model ---------------------------------------
+
+    def encode(self, config: Configuration) -> np.ndarray:
+        """Encode a configuration as fractional shares in ``[0, 1]``.
+
+        The Gaussian process operates on this normalized vector
+        (catalog resource order, jobs-major within a resource) so that
+        length scales are comparable across resources with different
+        unit counts.
+        """
+        if not self.contains(config):
+            raise SpaceError(f"{config!r} is not a member of {self!r}")
+        parts = []
+        for resource in self._catalog:
+            total = resource.units
+            parts.extend(u / total for u in config.units(resource.name))
+        return np.asarray(parts, dtype=float)
+
+    def encode_batch(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Encode many configurations as an ``(n, dimensions)`` array."""
+        if not configs:
+            return np.empty((0, self.dimensions), dtype=float)
+        return np.stack([self.encode(c) for c in configs])

@@ -1,0 +1,39 @@
+"""Deterministic random-number helpers.
+
+All stochastic components of the reproduction (measurement noise,
+random search, BO candidate pools, synthetic workload generation) draw
+from :class:`numpy.random.Generator` instances derived from explicit
+seeds, so every experiment in the paper-reproduction harness is exactly
+repeatable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an integer seed, an existing generator (returned
+    unchanged, so components can share a stream), or ``None`` for an
+    OS-entropy seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, key: Optional[int] = None) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used to give each job / policy / monitor its own stream so that
+    adding one consumer does not perturb the random sequence observed
+    by the others.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) if key is None else key
+    return np.random.default_rng(seed)

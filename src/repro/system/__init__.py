@@ -1,0 +1,32 @@
+"""Co-location simulation: contention, server simulator, telemetry."""
+
+from repro.system.contention import (
+    INTERFERENCE_WEIGHT,
+    MIN_INTERFERENCE_FACTOR,
+    SystemState,
+    effective_allocations,
+    evaluate_system,
+    interference_factors,
+    isolation_ips,
+)
+from repro.system.simulation import (
+    DEFAULT_CONTROL_INTERVAL_S,
+    CoLocationSimulator,
+    Observation,
+)
+from repro.system.telemetry import TelemetryLog, TelemetryRecord
+
+__all__ = [
+    "CoLocationSimulator",
+    "DEFAULT_CONTROL_INTERVAL_S",
+    "INTERFERENCE_WEIGHT",
+    "MIN_INTERFERENCE_FACTOR",
+    "Observation",
+    "SystemState",
+    "TelemetryLog",
+    "TelemetryRecord",
+    "effective_allocations",
+    "evaluate_system",
+    "interference_factors",
+    "isolation_ips",
+]

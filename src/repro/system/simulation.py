@@ -1,0 +1,356 @@
+"""The co-location simulator: the paper's testbed as a substrate.
+
+:class:`CoLocationSimulator` plays the role of the paper's Skylake
+server. It hosts a job mix, accepts partitioning configurations
+through the simulated CAT / MBA / affinity / RAPL actuators, advances
+wall time in control intervals (0.1 s, the paper's sampling period),
+tracks fixed-work progress per job, and reports noisy ``pqos``
+measurements — everything a partitioning policy is allowed to see.
+
+Policies never touch the workload models directly; they observe only
+:class:`Observation` objects, the same information the paper's
+user-space service gets from hardware counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.hardware.affinity import CoreAffinityController
+from repro.hardware.cat import CacheAllocationTechnology
+from repro.hardware.mba import MemoryBandwidthAllocator
+from repro.hardware.msr import MsrFile
+from repro.hardware.pqos import PqosMonitor
+from repro.hardware.rapl import PowerCapController
+from repro.resources.allocation import Configuration, equal_partition
+from repro.resources.types import (
+    CORES,
+    LLC_WAYS,
+    MEMORY_BANDWIDTH,
+    POWER,
+    ResourceCatalog,
+    default_catalog,
+)
+from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.system.contention import effective_allocations, evaluate_system, isolation_ips
+from repro.workloads.mixes import JobMix
+
+#: The paper's control/sampling interval: SATORI updates its resource
+#: allocation every 0.1 seconds.
+DEFAULT_CONTROL_INTERVAL_S = 0.1
+
+#: Strength of the reconfiguration disturbance: installing a new
+#: partition is not free on real hardware — reassigned cache ways must
+#: be refilled, migrated threads lose their L1/L2 state, and MBA
+#: throttle changes take effect with lag. A job whose entire allocation
+#: changed loses this fraction of one interval's work; proportionally
+#: less for smaller moves. (Per-interval, so slow movers barely notice
+#: and per-interval random thrashing pays full price.)
+RECONFIGURATION_PENALTY = 0.2
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a policy sees after one control interval.
+
+    Attributes:
+        time_s: wall time at the *end* of the interval.
+        interval_s: interval length.
+        ips: measured (noisy) per-job IPS over the interval.
+        isolation_ips: the most recently measured isolation baselines.
+        config: the configuration that was active during the interval
+            (``None`` while running unmanaged).
+        completed_runs: per-job count of fixed-work completions so far.
+        memory_bandwidth_bytes_s: measured per-job memory traffic
+            (Intel MBM counters via pqos); miss-driven policies such
+            as dCAT key off this.
+        llc_occupancy_bytes: measured per-job LLC occupancy (CMT).
+    """
+
+    time_s: float
+    interval_s: float
+    ips: Tuple[float, ...]
+    isolation_ips: Tuple[float, ...]
+    config: Optional[Configuration]
+    completed_runs: Tuple[int, ...]
+    memory_bandwidth_bytes_s: Tuple[float, ...] = ()
+    llc_occupancy_bytes: Tuple[float, ...] = ()
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.ips)
+
+
+class CoLocationSimulator:
+    """Simulated CMP server running one job mix.
+
+    Args:
+        mix: the co-located workloads.
+        catalog: server resources; defaults to the paper's 3-resource
+            setup (10 cores, 10 LLC way units, 10 bandwidth units).
+        control_interval_s: seconds per control interval.
+        noise_sigma: pqos measurement noise (lognormal sigma).
+        outlier_rate: probability of a monitoring glitch per job per
+            interval (fault injection; 0 = clean counters).
+        seed: RNG seed for measurement noise.
+        phase_offset_s: initial offset added to every workload's phase
+            clock (staggered per job), so repeated experiments on the
+            same mix can start from different phase alignments.
+    """
+
+    def __init__(
+        self,
+        mix: JobMix,
+        catalog: Optional[ResourceCatalog] = None,
+        control_interval_s: float = DEFAULT_CONTROL_INTERVAL_S,
+        noise_sigma: float = 0.02,
+        outlier_rate: float = 0.0,
+        seed: SeedLike = None,
+        phase_offset_s: float = 0.0,
+    ):
+        if control_interval_s <= 0:
+            raise ExperimentError(f"control interval must be positive, got {control_interval_s}")
+        catalog = catalog or default_catalog()
+        for required in (CORES, LLC_WAYS, MEMORY_BANDWIDTH):
+            if required not in catalog:
+                raise ExperimentError(f"catalog must include {required!r}")
+        if phase_offset_s:
+            mix = JobMix(
+                tuple(
+                    w.with_offset(phase_offset_s * (j + 1)) for j, w in enumerate(mix.workloads)
+                )
+            )
+        self._mix = mix
+        self._catalog = catalog
+        self._interval = control_interval_s
+        self._rng = make_rng(seed)
+        self._monitor = PqosMonitor(
+            noise_sigma=noise_sigma, outlier_rate=outlier_rate, rng=spawn_rng(self._rng)
+        )
+
+        # Hardware actuators over a shared register file.
+        self._msr = MsrFile()
+        self._cat = CacheAllocationTechnology(self._msr, n_ways=catalog.get(LLC_WAYS).units)
+        self._mba = MemoryBandwidthAllocator(
+            self._msr, total_units=catalog.get(MEMORY_BANDWIDTH).units
+        )
+        self._affinity = CoreAffinityController(n_cores=catalog.get(CORES).units)
+        self._rapl = PowerCapController(self._msr)
+
+        self._time_s = 0.0
+        self._config: Optional[Configuration] = None
+        self._instructions = np.zeros(len(mix), dtype=float)
+        self._completed_runs = np.zeros(len(mix), dtype=np.int64)
+        self._prev_allocations: Optional[dict] = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def mix(self) -> JobMix:
+        return self._mix
+
+    @property
+    def catalog(self) -> ResourceCatalog:
+        return self._catalog
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self._mix)
+
+    @property
+    def time_s(self) -> float:
+        return self._time_s
+
+    @property
+    def control_interval_s(self) -> float:
+        return self._interval
+
+    @property
+    def current_config(self) -> Optional[Configuration]:
+        return self._config
+
+    @property
+    def msr(self) -> MsrFile:
+        """The simulated register file (inspectable by tests)."""
+        return self._msr
+
+    def equal_partition(self) -> Configuration:
+        """The ``S_init`` configuration for this server and mix."""
+        return equal_partition(self._catalog, self.n_jobs)
+
+    # -- actuation ----------------------------------------------------------
+
+    def apply(self, config: Optional[Configuration]) -> None:
+        """Install a partitioning configuration on the (simulated) hardware.
+
+        Resources the configuration covers are programmed through the
+        corresponding actuator; resources it omits revert to shared.
+        ``None`` removes all partitions (unmanaged baseline).
+
+        Raises:
+            ConfigurationError: if the configuration is invalid for
+                this server/mix.
+        """
+        if config is not None:
+            if config.n_jobs != self.n_jobs:
+                raise ConfigurationError(
+                    f"configuration covers {config.n_jobs} jobs, mix has {self.n_jobs}"
+                )
+            config.validate(self._catalog.subset(config.resource_names))
+            if config.partitions(LLC_WAYS):
+                self._cat.apply_partition(config.units(LLC_WAYS))
+            if config.partitions(MEMORY_BANDWIDTH):
+                self._mba.apply_partition(config.units(MEMORY_BANDWIDTH))
+            if config.partitions(CORES):
+                self._affinity.apply_partition(config.units(CORES))
+            if config.partitions(POWER):
+                self._rapl.apply_partition(config.units(POWER))
+        self._config = config
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self, config: Optional[Configuration] = None) -> Observation:
+        """Run one control interval and return its measurements.
+
+        Args:
+            config: if given, installed via :meth:`apply` before the
+                interval runs; otherwise the previous configuration
+                stays active ("jobs continue to execute using their
+                previous resource allocation configuration until
+                SATORI generates a new decision", Sec. V).
+        """
+        if config is not None:
+            self.apply(config)
+
+        state = evaluate_system(self._mix, self._catalog, self._config, self._time_s)
+        ips = state.ips * self._reconfiguration_factors()
+        self._instructions += ips * self._interval
+        self._account_completions()
+        self._time_s += self._interval
+
+        samples = self._monitor.observe(
+            ips,
+            self._interval,
+            llc_occupancy_bytes=state.llc_occupancy_bytes,
+            memory_bandwidth_bytes_s=state.memory_bandwidth_bytes_s,
+        )
+        return Observation(
+            time_s=self._time_s,
+            interval_s=self._interval,
+            ips=tuple(s.ips for s in samples),
+            isolation_ips=tuple(self.measure_isolation()),
+            config=self._config,
+            completed_runs=tuple(int(c) for c in self._completed_runs),
+            memory_bandwidth_bytes_s=tuple(s.memory_bandwidth_bytes_s for s in samples),
+            llc_occupancy_bytes=tuple(s.llc_occupancy_bytes for s in samples),
+        )
+
+    def run(self, config: Optional[Configuration], n_steps: int) -> List[Observation]:
+        """Run ``n_steps`` intervals under a fixed configuration."""
+        if n_steps < 1:
+            raise ExperimentError(f"n_steps must be >= 1, got {n_steps}")
+        self.apply(config)
+        return [self.step() for _ in range(n_steps)]
+
+    # -- workload churn ------------------------------------------------------
+
+    def replace_workload(self, job_index: int, workload) -> None:
+        """Swap one co-located job for a different workload (mix change).
+
+        The paper (Sec. III-C) requires SATORI to adapt to workload-mix
+        changes with no re-initialization; this models a job ending and
+        a new one taking its slot. The new job starts with zero
+        progress; the co-location degree is unchanged, so the installed
+        partitioning configuration stays valid.
+
+        Raises:
+            ExperimentError: if the job index is out of range.
+        """
+        if not 0 <= job_index < self.n_jobs:
+            raise ExperimentError(f"job index {job_index} out of range [0, {self.n_jobs})")
+        workloads = list(self._mix.workloads)
+        workloads[job_index] = workload
+        self._mix = JobMix(tuple(workloads))
+        self._instructions[job_index] = 0.0
+        # The newcomer's phase clock starts fresh relative to wall time;
+        # shift its schedule so phase_at(self._time_s) is its phase 0.
+        if self._time_s > 0:
+            period = workload.schedule.period
+            offset = (-self._time_s) % period
+            self._mix = JobMix(
+                tuple(
+                    w if j != job_index else w.with_offset(offset)
+                    for j, w in enumerate(self._mix.workloads)
+                )
+            )
+
+    # -- baselines ----------------------------------------------------------
+
+    def measure_isolation(self, noisy: bool = False) -> np.ndarray:
+        """Per-job isolation IPS at the current phases.
+
+        The paper re-records isolation performances at the start and
+        on every baseline reset (Algorithm 1, line 13); controllers
+        call this at those points. ``noisy=True`` passes the values
+        through the pqos noise model, as a real re-measurement would.
+        """
+        iso = isolation_ips(self._mix, self._catalog, self._time_s)
+        if not noisy:
+            return iso
+        samples = self._monitor.observe(iso, self._interval)
+        return np.array([s.ips for s in samples])
+
+    def true_ips(self, config: Optional[Configuration] = None, at_time: float = None) -> np.ndarray:
+        """Noise-free IPS under ``config`` (defaults: active config, now).
+
+        Exposed for the Oracle and for experiment analysis; online
+        policies must use :meth:`step` observations instead.
+        """
+        target = self._config if config is None else config
+        t = self._time_s if at_time is None else at_time
+        return evaluate_system(self._mix, self._catalog, target, t).ips
+
+    def phase_key(self, at_time: float = None) -> Tuple[int, ...]:
+        """The tuple of active phase indices (Oracle cache key)."""
+        t = self._time_s if at_time is None else at_time
+        return tuple(w.phase_index_at(t) for w in self._mix)
+
+    def _reconfiguration_factors(self) -> np.ndarray:
+        """Per-job IPS multipliers for this interval's allocation change.
+
+        A job whose allocation moved loses up to
+        :data:`RECONFIGURATION_PENALTY` of the interval to cache
+        refill / thread-migration disturbance, in proportion to the
+        fraction of its allocation that changed. The first interval is
+        free (jobs are starting anyway).
+        """
+        current = effective_allocations(self._mix, self._catalog, self._config, self._time_s)
+        if self._prev_allocations is None:
+            self._prev_allocations = current
+            return np.ones(self.n_jobs)
+
+        moved = np.zeros(self.n_jobs)
+        for resource in self._catalog:
+            old = self._prev_allocations[resource.name]
+            new = current[resource.name]
+            moved += np.abs(new - old) / resource.units
+        moved /= len(self._catalog)
+        self._prev_allocations = current
+        return 1.0 - RECONFIGURATION_PENALTY * np.minimum(2.0 * moved, 1.0)
+
+    def _account_completions(self) -> None:
+        """Fixed-work accounting: completing a run restarts the job.
+
+        The fixed-work methodology (Sec. IV) measures equal work per
+        job; a completed run immediately restarts, which keeps the
+        co-location degree constant during an experiment.
+        """
+        for j, workload in enumerate(self._mix):
+            total = workload.total_instructions
+            while self._instructions[j] >= total:
+                self._instructions[j] -= total
+                self._completed_runs[j] += 1

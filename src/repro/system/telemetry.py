@@ -1,0 +1,153 @@
+"""Telemetry recording for experiment runs.
+
+A :class:`TelemetryLog` accumulates one record per control interval —
+time, active configuration, measured IPS, and the derived goal scores
+— and provides the aggregations the paper reports: time-averaged
+throughput/fairness, per-job mean speedups, worst-job performance
+(Fig. 9), and extraction of time series for the trace figures
+(Figs. 14, 15(b), 17, 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.metrics.goals import GoalScores, GoalSet
+from repro.metrics.throughput import speedups
+from repro.resources.allocation import Configuration
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One control interval's worth of measurements and scores."""
+
+    time_s: float
+    config: Optional[Configuration]
+    ips: Tuple[float, ...]
+    isolation_ips: Tuple[float, ...]
+    throughput: float
+    fairness: float
+    weights: Optional[Tuple[float, float]] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedups(self) -> np.ndarray:
+        return speedups(self.ips, self.isolation_ips)
+
+    @property
+    def scores(self) -> GoalScores:
+        return GoalScores(self.throughput, self.fairness)
+
+
+class TelemetryLog:
+    """Accumulates per-interval records for one policy run."""
+
+    def __init__(self, goals: Optional[GoalSet] = None):
+        self._goals = goals or GoalSet()
+        self._records: List[TelemetryRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    @property
+    def goals(self) -> GoalSet:
+        return self._goals
+
+    @property
+    def records(self) -> List[TelemetryRecord]:
+        return list(self._records)
+
+    def record(
+        self,
+        time_s: float,
+        config: Optional[Configuration],
+        ips: Sequence[float],
+        isolation_ips: Sequence[float],
+        weights: Optional[Tuple[float, float]] = None,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> TelemetryRecord:
+        """Score one interval's measurements and append the record."""
+        scores = self._goals.scores(ips, isolation_ips)
+        rec = TelemetryRecord(
+            time_s=time_s,
+            config=config,
+            ips=tuple(float(v) for v in ips),
+            isolation_ips=tuple(float(v) for v in isolation_ips),
+            throughput=scores.throughput,
+            fairness=scores.fairness,
+            weights=weights,
+            extra=dict(extra or {}),
+        )
+        self._records.append(rec)
+        return rec
+
+    # -- aggregations ---------------------------------------------------
+
+    def _require_records(self) -> None:
+        if not self._records:
+            raise ExperimentError("telemetry log is empty")
+
+    def mean_throughput(self) -> float:
+        """Time-averaged throughput score over the run."""
+        self._require_records()
+        return float(np.mean([r.throughput for r in self._records]))
+
+    def mean_fairness(self) -> float:
+        """Time-averaged fairness score over the run."""
+        self._require_records()
+        return float(np.mean([r.fairness for r in self._records]))
+
+    def mean_job_speedups(self) -> np.ndarray:
+        """Per-job speedups averaged over the run."""
+        self._require_records()
+        return np.mean([r.speedups for r in self._records], axis=0)
+
+    def worst_job_speedup(self) -> float:
+        """Run-average speedup of the worst-performing job (Fig. 9)."""
+        return float(np.min(self.mean_job_speedups()))
+
+    def series(self, what: str) -> np.ndarray:
+        """Extract a named time series.
+
+        ``what`` is ``"time"``, ``"throughput"``, ``"fairness"``,
+        ``"weight_throughput"``, ``"weight_fairness"``, or any key
+        present in the records' ``extra`` dicts.
+        """
+        self._require_records()
+        if what == "time":
+            return np.array([r.time_s for r in self._records])
+        if what == "throughput":
+            return np.array([r.throughput for r in self._records])
+        if what == "fairness":
+            return np.array([r.fairness for r in self._records])
+        if what in ("weight_throughput", "weight_fairness"):
+            index = 0 if what == "weight_throughput" else 1
+            values = [r.weights[index] if r.weights else np.nan for r in self._records]
+            return np.array(values)
+        if any(what in r.extra for r in self._records):
+            return np.array([r.extra.get(what, np.nan) for r in self._records])
+        raise ExperimentError(f"unknown telemetry series {what!r}")
+
+    def tail(self, fraction: float) -> "TelemetryLog":
+        """A log holding only the last ``fraction`` of records.
+
+        Used to score the converged portion of a run, discarding the
+        initial exploration transient.
+        """
+        if not 0 < fraction <= 1:
+            raise ExperimentError(f"fraction must be in (0, 1], got {fraction}")
+        self._require_records()
+        keep = max(1, int(round(len(self._records) * fraction)))
+        out = TelemetryLog(self._goals)
+        out._records = self._records[-keep:]
+        return out

@@ -1,0 +1,45 @@
+"""Workload models: roofline phases, benchmark suites, job mixes."""
+
+from repro.workloads.mixes import SUITE_MIX_SIZE, JobMix, mix_from_names, suite_mixes
+from repro.workloads.model import (
+    CACHE_LINE_BYTES,
+    Phase,
+    PhaseSchedule,
+    Workload,
+    smoothmin,
+)
+from repro.workloads.latency_critical import (
+    LatencyCriticalJob,
+    RequestProfile,
+    latency_critical_suite,
+)
+from repro.workloads.registry import WorkloadRegistry, default_registry, get_workload
+from repro.workloads.trace import TraceSample, synthesize_trace, workload_from_trace
+from repro.workloads.validation import assert_valid, validate_workload
+from repro.workloads.synthetic import random_phase, random_workload, random_workloads
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "JobMix",
+    "LatencyCriticalJob",
+    "RequestProfile",
+    "TraceSample",
+    "assert_valid",
+    "latency_critical_suite",
+    "synthesize_trace",
+    "validate_workload",
+    "workload_from_trace",
+    "Phase",
+    "PhaseSchedule",
+    "SUITE_MIX_SIZE",
+    "Workload",
+    "WorkloadRegistry",
+    "default_registry",
+    "get_workload",
+    "mix_from_names",
+    "random_phase",
+    "random_workload",
+    "random_workloads",
+    "smoothmin",
+    "suite_mixes",
+]

@@ -1,0 +1,133 @@
+"""CloudSuite benchmark models (paper Table II).
+
+Five scale-out cloud workloads. Profiles follow the published
+characterization of CloudSuite (Ferdman et al., ASPLOS'12): large
+instruction/data footprints, modest per-core ILP, and — for the
+serving workloads — low core-scaling with bandwidth-heavy data
+movement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.model import Phase, PhaseSchedule, Workload
+
+MB = float(2**20)
+
+SUITE = "cloudsuite"
+
+
+def _workload(name: str, description: str, schedule: PhaseSchedule, **kwargs: float) -> Workload:
+    return Workload(name=name, suite=SUITE, description=description, schedule=schedule, **kwargs)
+
+
+def build_cloudsuite_workloads() -> Dict[str, Workload]:
+    """Construct the five CloudSuite workload models keyed by name."""
+    data_analytics_base = Phase(
+        ips_per_core=1.5e9,
+        parallel_fraction=0.82,
+        working_set_bytes=8.0 * MB,
+        miss_peak=0.010,
+        miss_floor=0.0018,
+        stream_bytes_per_instr=0.6,
+        latency_sensitivity=0.35,
+    )
+    graph_analytics_base = Phase(
+        ips_per_core=1.2e9,
+        parallel_fraction=0.72,
+        working_set_bytes=30.0 * MB,
+        miss_peak=0.020,
+        miss_floor=0.006,
+        stream_bytes_per_instr=0.8,
+        latency_sensitivity=0.60,
+    )
+    in_memory_analytics_base = Phase(
+        ips_per_core=1.6e9,
+        parallel_fraction=0.78,
+        working_set_bytes=10.0 * MB,
+        miss_peak=0.013,
+        miss_floor=0.002,
+        stream_bytes_per_instr=0.4,
+        latency_sensitivity=0.50,
+    )
+    media_streaming_base = Phase(
+        ips_per_core=1.3e9,
+        parallel_fraction=0.60,
+        working_set_bytes=1.0 * MB,
+        miss_peak=0.005,
+        miss_floor=0.002,
+        stream_bytes_per_instr=2.0,
+        latency_sensitivity=0.10,
+    )
+    web_search_base = Phase(
+        ips_per_core=1.7e9,
+        parallel_fraction=0.86,
+        working_set_bytes=6.0 * MB,
+        miss_peak=0.011,
+        miss_floor=0.0015,
+        stream_bytes_per_instr=0.35,
+        latency_sensitivity=0.40,
+    )
+
+    return {
+        "data_analytics": _workload(
+            "data_analytics",
+            "Naive Bayes classifier on Wikipedia entries",
+            PhaseSchedule(
+                (
+                    (4.0, data_analytics_base),
+                    (3.0, data_analytics_base.scaled(stream_bytes_per_instr=1.5, ips_per_core=0.9)),
+                    (2.5, data_analytics_base.scaled(working_set_bytes=1.3)),
+                )
+            ),
+            contention_sensitivity=0.07,
+        ),
+        "graph_analytics": _workload(
+            "graph_analytics",
+            "Page ranking on Twitter data",
+            PhaseSchedule(
+                (
+                    (3.5, graph_analytics_base),
+                    (2.5, graph_analytics_base.scaled(miss_peak=1.2, stream_bytes_per_instr=1.3)),
+                    (3.0, graph_analytics_base.scaled(working_set_bytes=0.7, ips_per_core=1.1)),
+                )
+            ),
+            contention_sensitivity=0.09,
+        ),
+        "in_memory_analytics": _workload(
+            "in_memory_analytics",
+            "In-memory filtering of movie ratings",
+            PhaseSchedule(
+                (
+                    (4.5, in_memory_analytics_base),
+                    (3.0, in_memory_analytics_base.scaled(working_set_bytes=1.4, miss_peak=1.1)),
+                )
+            ),
+            contention_sensitivity=0.07,
+        ),
+        "media_streaming": _workload(
+            "media_streaming",
+            "Nginx server to stream videos",
+            PhaseSchedule(
+                (
+                    (5.0, media_streaming_base),
+                    (2.5, media_streaming_base.scaled(stream_bytes_per_instr=1.3)),
+                    (3.5, media_streaming_base.scaled(stream_bytes_per_instr=0.7, ips_per_core=1.1)),
+                )
+            ),
+            contention_sensitivity=0.10,
+        ),
+        "web_search": _workload(
+            "web_search",
+            "Web search algorithm implementation",
+            PhaseSchedule(
+                (
+                    (3.0, web_search_base),
+                    (2.5, web_search_base.scaled(working_set_bytes=1.3, ips_per_core=0.92)),
+                    (4.0, web_search_base.scaled(parallel_fraction=0.95)),
+                )
+            ),
+            contention_sensitivity=0.06,
+        ),
+    }

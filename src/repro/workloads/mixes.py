@@ -1,0 +1,90 @@
+"""Job-mix generation (Sec. IV of the paper).
+
+The paper co-locates 5 of the 7 PARSEC workloads (``C(7,5) = 21``
+mixes), 3 of the 5 CloudSuite workloads and 2 of the 5 ECP workloads
+(10 mixes each). A :class:`JobMix` is an ordered tuple of workloads;
+order matters only for labeling (job 0, job 1, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.model import Workload
+from repro.workloads.registry import WorkloadRegistry, default_registry
+
+#: Co-location degree used by the paper for each suite.
+SUITE_MIX_SIZE = {"parsec": 5, "cloudsuite": 3, "ecp": 2}
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """An ordered set of co-located workloads."""
+
+    workloads: Tuple[Workload, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.workloads) < 2:
+            raise WorkloadError("a job mix needs at least two workloads")
+        names = [w.name for w in self.workloads]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate workloads in mix: {names}")
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+    def __iter__(self):
+        return iter(self.workloads)
+
+    def __getitem__(self, index: int) -> Workload:
+        return self.workloads[index]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(w.name for w in self.workloads)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable mix label."""
+        return "+".join(self.names)
+
+
+def suite_mixes(
+    suite: str,
+    mix_size: int = None,
+    registry: WorkloadRegistry = None,
+) -> List[JobMix]:
+    """All ``C(n, k)`` job mixes of a suite, in deterministic order.
+
+    Args:
+        suite: suite name (``"parsec"``, ``"cloudsuite"``, ``"ecp"``).
+        mix_size: workloads per mix; defaults to the paper's choice for
+            the suite (5, 3, and 2 respectively).
+        registry: workload registry; defaults to the built-in one.
+
+    Mix indices used throughout the reproduction (e.g. "job mix 20" in
+    Fig. 8 discussions) refer to positions in this list.
+    """
+    registry = registry or default_registry()
+    if mix_size is None:
+        try:
+            mix_size = SUITE_MIX_SIZE[suite]
+        except KeyError:
+            raise WorkloadError(
+                f"no default mix size for suite {suite!r}; pass mix_size explicitly"
+            ) from None
+    workloads = registry.suite(suite)
+    if mix_size > len(workloads):
+        raise WorkloadError(
+            f"suite {suite!r} has {len(workloads)} workloads; cannot form mixes of {mix_size}"
+        )
+    return [JobMix(tuple(combo)) for combo in itertools.combinations(workloads, mix_size)]
+
+
+def mix_from_names(names: Sequence[str], registry: WorkloadRegistry = None) -> JobMix:
+    """Build a mix from workload names (any suites)."""
+    registry = registry or default_registry()
+    return JobMix(tuple(registry.get(name) for name in names))

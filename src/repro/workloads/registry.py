@@ -1,0 +1,91 @@
+"""Workload registry: lookup by name and by suite.
+
+The registry is the single source of truth for the benchmark models
+used by examples, tests, and the paper-reproduction harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.cloudsuite import build_cloudsuite_workloads
+from repro.workloads.ecp import build_ecp_workloads
+from repro.workloads.model import Workload
+from repro.workloads.parsec import build_parsec_workloads
+
+#: Suite name -> builder. Extending the registry with a new suite only
+#: requires adding an entry here.
+_SUITE_BUILDERS = {
+    "parsec": build_parsec_workloads,
+    "cloudsuite": build_cloudsuite_workloads,
+    "ecp": build_ecp_workloads,
+}
+
+
+class WorkloadRegistry:
+    """Immutable catalog of all benchmark workload models."""
+
+    def __init__(self, workloads: Dict[str, Workload] = None):
+        if workloads is None:
+            workloads = {}
+            for builder in _SUITE_BUILDERS.values():
+                built = builder()
+                overlap = set(workloads) & set(built)
+                if overlap:
+                    raise WorkloadError(f"duplicate workload names across suites: {sorted(overlap)}")
+                workloads.update(built)
+        self._workloads = dict(workloads)
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._workloads
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._workloads))
+
+    @property
+    def suites(self) -> Tuple[str, ...]:
+        return tuple(sorted({w.suite for w in self._workloads.values()}))
+
+    def get(self, name: str) -> Workload:
+        """Return the workload called ``name``.
+
+        Raises:
+            WorkloadError: if no such workload is registered.
+        """
+        try:
+            return self._workloads[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown workload {name!r}; registered: {', '.join(self.names)}"
+            ) from None
+
+    def suite(self, suite_name: str) -> List[Workload]:
+        """All workloads of one suite, sorted by name."""
+        found = sorted(
+            (w for w in self._workloads.values() if w.suite == suite_name),
+            key=lambda w: w.name,
+        )
+        if not found:
+            raise WorkloadError(f"unknown suite {suite_name!r}; suites: {self.suites}")
+        return found
+
+
+_DEFAULT_REGISTRY = None
+
+
+def default_registry() -> WorkloadRegistry:
+    """The process-wide registry of the paper's benchmark models."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = WorkloadRegistry()
+    return _DEFAULT_REGISTRY
+
+
+def get_workload(name: str) -> Workload:
+    """Convenience lookup in the default registry."""
+    return default_registry().get(name)

@@ -1,0 +1,191 @@
+"""Trace-driven workload models.
+
+The analytic suites model benchmarks from published characterizations;
+users reproducing SATORI on *their own* workloads usually have pqos
+traces instead: per-interval IPS under a few probe allocations. This
+module turns such traces into :class:`~repro.workloads.model.Workload`
+objects by fitting each trace segment to a roofline phase, so the rest
+of the stack (simulator, policies, Oracle) works unchanged.
+
+A trace is a sequence of :class:`TraceSample` records — duration plus
+the probe measurements. The fit recovers the phase parameters:
+
+* ``ips_per_core`` and ``parallel_fraction`` from the core-scaling
+  probes (1 core vs all cores, cache/bandwidth unconstrained);
+* the miss curve (``miss_peak``/``miss_floor``/``working_set_bytes``)
+  from the cache-size probes at full bandwidth;
+* ``stream_bytes_per_instr`` from the measured bandwidth at the
+  largest cache point.
+
+This is the same information a short offline profiling pass with
+``pqos`` + CAT sweeps collects on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.model import CACHE_LINE_BYTES, Phase, PhaseSchedule, Workload
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One trace segment: probe measurements over a time window.
+
+    Attributes:
+        duration_s: how long this behaviour lasted.
+        ips_one_core: measured IPS pinned to one core (ample cache/BW).
+        ips_all_cores: measured IPS on all ``n_cores`` cores.
+        n_cores: core count of the probing machine.
+        cache_probe_bytes: cache sizes of the LLC probe points.
+        ips_at_cache: measured IPS at each cache probe point (all
+            cores, ample bandwidth).
+        bandwidth_bytes_s: measured memory traffic at the largest
+            cache probe point.
+    """
+
+    duration_s: float
+    ips_one_core: float
+    ips_all_cores: float
+    n_cores: int
+    cache_probe_bytes: Tuple[float, ...]
+    ips_at_cache: Tuple[float, ...]
+    bandwidth_bytes_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise WorkloadError("trace segment duration must be positive")
+        if self.ips_one_core <= 0 or self.ips_all_cores <= 0:
+            raise WorkloadError("trace IPS measurements must be positive")
+        if self.ips_all_cores < self.ips_one_core * 0.99:
+            raise WorkloadError("all-core IPS cannot be below one-core IPS")
+        if self.n_cores < 2:
+            raise WorkloadError("core-scaling probes need >= 2 cores")
+        if len(self.cache_probe_bytes) != len(self.ips_at_cache):
+            raise WorkloadError("cache probe arrays must have equal lengths")
+        if len(self.cache_probe_bytes) < 2:
+            raise WorkloadError("need at least two cache probe points")
+        if self.bandwidth_bytes_s <= 0:
+            raise WorkloadError("bandwidth measurement must be positive")
+
+
+def fit_phase(sample: TraceSample) -> Phase:
+    """Fit one roofline phase to a trace segment's probe measurements."""
+    # Core scaling -> Amdahl parameters.
+    speedup = sample.ips_all_cores / sample.ips_one_core
+    n = sample.n_cores
+    # speedup = 1 / ((1-p) + p/n)  =>  p = (1 - 1/speedup) / (1 - 1/n)
+    p = (1.0 - 1.0 / speedup) / (1.0 - 1.0 / n)
+    p = float(np.clip(p, 0.0, 1.0))
+    ips_per_core = sample.ips_one_core
+
+    # Cache probes -> miss curve. Convert each probe's IPS deficit
+    # (relative to the best cache point) into an apparent
+    # bytes-per-instruction, then misses per instruction.
+    cache = np.asarray(sample.cache_probe_bytes, dtype=float)
+    ips = np.asarray(sample.ips_at_cache, dtype=float)
+    order = np.argsort(cache)
+    cache, ips = cache[order], ips[order]
+    best_ips = float(ips.max())
+
+    bpi_best = sample.bandwidth_bytes_s / best_ips
+    # At smaller cache points the same compute does more memory work;
+    # scale bytes/instr by the slowdown (memory-bound approximation).
+    bpi = bpi_best * best_ips / np.maximum(ips, 1e-9)
+    misses = np.maximum((bpi - _stream_component(bpi_best)) / CACHE_LINE_BYTES, 1e-6)
+
+    miss_peak = float(misses.max())
+    miss_floor = float(min(misses.min(), miss_peak))
+    if miss_floor >= miss_peak:
+        miss_floor = miss_peak * 0.5
+    # Working set: the cache size where the miss rate crosses halfway.
+    halfway = 0.5 * (miss_peak + miss_floor)
+    crossing = cache[-1]
+    for size, miss in zip(cache, misses):
+        if miss <= halfway:
+            crossing = size
+            break
+    working_set = max(crossing / 0.6, cache[0] * 1.5)  # invert the 0.6 midpoint
+
+    return Phase(
+        ips_per_core=ips_per_core,
+        parallel_fraction=p,
+        working_set_bytes=float(working_set),
+        miss_peak=miss_peak,
+        miss_floor=miss_floor,
+        stream_bytes_per_instr=_stream_component(bpi_best),
+    )
+
+
+def _stream_component(bytes_per_instr: float) -> float:
+    """Split measured traffic into stream vs cacheable components.
+
+    Without per-event counters the trace cannot distinguish streaming
+    stores from misses; attribute half of the best-case traffic to an
+    incompressible stream, a neutral prior that keeps both the cache
+    and bandwidth sensitivities live.
+    """
+    return 0.5 * bytes_per_instr
+
+
+def workload_from_trace(
+    name: str,
+    samples: Sequence[TraceSample],
+    description: str = "trace-driven workload",
+    contention_sensitivity: float = 0.06,
+) -> Workload:
+    """Build a Workload whose phases are fitted from trace segments."""
+    if not samples:
+        raise WorkloadError("need at least one trace segment")
+    segments = tuple((s.duration_s, fit_phase(s)) for s in samples)
+    return Workload(
+        name=name,
+        suite="trace",
+        description=description,
+        schedule=PhaseSchedule(segments),
+        contention_sensitivity=contention_sensitivity,
+    )
+
+
+def synthesize_trace(
+    workload: Workload,
+    n_cores: int = 8,
+    cache_probe_bytes: Sequence[float] = None,
+    bandwidth_bytes_s: float = 48e9,
+) -> Tuple[TraceSample, ...]:
+    """Generate the probe trace a profiling pass would record.
+
+    Used in tests to close the loop: synthesize a trace from a known
+    workload, re-fit it, and compare behaviours. Probes each phase of
+    the workload once. Probing runs on an otherwise idle machine, so
+    the default probe bandwidth is the unthrottled peak (well above
+    the co-located budget) — core-scaling probes must not be
+    bandwidth-limited or the fit conflates saturation with serial
+    fraction.
+    """
+    if cache_probe_bytes is None:
+        mb = 2.0**20
+        cache_probe_bytes = (1 * mb, 2 * mb, 4 * mb, 8 * mb, 13.75 * mb)
+    samples = []
+    for duration, phase in workload.schedule.segments:
+        big_cache = max(cache_probe_bytes)
+        ips_at_cache = tuple(
+            float(phase.ips(n_cores, c, bandwidth_bytes_s)) for c in cache_probe_bytes
+        )
+        best = max(ips_at_cache)
+        samples.append(
+            TraceSample(
+                duration_s=duration,
+                ips_one_core=float(phase.ips(1, big_cache, bandwidth_bytes_s)),
+                ips_all_cores=float(phase.ips(n_cores, big_cache, bandwidth_bytes_s)),
+                n_cores=n_cores,
+                cache_probe_bytes=tuple(cache_probe_bytes),
+                ips_at_cache=ips_at_cache,
+                bandwidth_bytes_s=float(best * phase.bytes_per_instruction(big_cache)),
+            )
+        )
+    return tuple(samples)

@@ -1,0 +1,147 @@
+"""Validation of workload profiles.
+
+User-defined workloads (hand-written profiles or trace fits) can
+silently encode physically implausible behaviour — a memory roofline
+that never binds, a working set the machine can never cache, phases
+that differ so little the model is effectively phase-free. This module
+checks a :class:`~repro.workloads.model.Workload` against a catalog
+and reports findings, so profile bugs surface before they skew an
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog, default_catalog
+from repro.workloads.model import Workload
+
+#: Severity levels for findings.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    severity: str
+    phase_index: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        where = "workload" if self.phase_index is None else f"phase {self.phase_index}"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+def validate_workload(
+    workload: Workload, catalog: Optional[ResourceCatalog] = None
+) -> List[Finding]:
+    """Check a workload's profile for plausibility on a catalog.
+
+    Returns findings sorted most-severe first; an empty list means the
+    profile looks sound. Never raises on content issues — the caller
+    decides what severity to tolerate.
+    """
+    catalog = catalog or default_catalog()
+    findings: List[Finding] = []
+    llc_capacity = catalog.get(LLC_WAYS).capacity
+    bw_capacity = catalog.get(MEMORY_BANDWIDTH).capacity
+    cores = catalog.get(CORES).units
+
+    phases = [phase for _, phase in workload.schedule.segments]
+    for index, phase in enumerate(phases):
+        compute_peak = phase.compute_rate(cores)
+        mem_full = phase.memory_rate(llc_capacity, bw_capacity)
+        mem_min = phase.memory_rate(llc_capacity / 10.0, bw_capacity / 10.0)
+
+        if mem_full > 20.0 * compute_peak:
+            findings.append(
+                Finding(
+                    WARNING,
+                    index,
+                    "memory roofline never binds (memory rate "
+                    f"{mem_full / compute_peak:.0f}x the compute peak); cache and "
+                    "bandwidth allocations will be irrelevant for this phase",
+                )
+            )
+        if mem_min > 3.0 * compute_peak:
+            findings.append(
+                Finding(
+                    WARNING,
+                    index,
+                    "phase is compute-bound even at 10% of the memory resources; "
+                    "partitioning decisions cannot differentiate it",
+                )
+            )
+        if compute_peak > 50.0 * mem_full:
+            findings.append(
+                Finding(
+                    WARNING,
+                    index,
+                    "phase is extremely memory-bound (compute peak "
+                    f"{compute_peak / mem_full:.0f}x the memory rate); core "
+                    "allocations will be irrelevant",
+                )
+            )
+        if phase.working_set_bytes > 20.0 * llc_capacity:
+            findings.append(
+                Finding(
+                    INFO,
+                    index,
+                    f"working set ({phase.working_set_bytes / 2**20:.0f} MB) dwarfs "
+                    f"the LLC ({llc_capacity / 2**20:.1f} MB); cache allocation "
+                    "yields only its floor effect",
+                )
+            )
+        if phase.miss_peak > 0.1:
+            findings.append(
+                Finding(
+                    ERROR,
+                    index,
+                    f"miss_peak {phase.miss_peak:.3f}/instr exceeds 100 MPKI — "
+                    "beyond plausible LLC behaviour",
+                )
+            )
+        if phase.ips_per_core > 2e10:
+            findings.append(
+                Finding(ERROR, index, f"ips_per_core {phase.ips_per_core:.2e} exceeds any real core")
+            )
+
+    if len(phases) >= 2:
+        spread = _phase_spread(phases)
+        if spread < 0.02:
+            findings.append(
+                Finding(
+                    INFO,
+                    None,
+                    f"phases differ by <2% ({100 * spread:.1f}%); the workload is "
+                    "effectively phase-free and will not exercise re-adaptation",
+                )
+            )
+
+    severity_rank = {ERROR: 0, WARNING: 1, INFO: 2}
+    findings.sort(key=lambda f: severity_rank[f.severity])
+    return findings
+
+
+def _phase_spread(phases) -> float:
+    """Relative spread of the phases' key parameters."""
+    spreads = []
+    for attribute in ("ips_per_core", "working_set_bytes", "stream_bytes_per_instr", "parallel_fraction"):
+        values = np.array([getattr(p, attribute) for p in phases], dtype=float)
+        mean = values.mean()
+        if mean > 0:
+            spreads.append(values.std() / mean)
+    return float(max(spreads)) if spreads else 0.0
+
+
+def assert_valid(workload: Workload, catalog: Optional[ResourceCatalog] = None) -> None:
+    """Raise ``ValueError`` if the profile has error-level findings."""
+    errors = [f for f in validate_workload(workload, catalog) if f.severity == ERROR]
+    if errors:
+        raise ValueError("; ".join(str(f) for f in errors))

@@ -1,0 +1,74 @@
+"""Shared fixtures: small-scale servers, mixes, and spaces for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import experiment_catalog
+from repro.metrics.goals import GoalSet
+from repro.resources.space import ConfigurationSpace
+from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH, default_catalog
+from repro.system.simulation import CoLocationSimulator
+from repro.workloads.mixes import JobMix, mix_from_names, suite_mixes
+from repro.workloads.registry import default_registry
+from repro.workloads.synthetic import random_workloads
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def catalog6():
+    """A 6-unit-per-resource experiment catalog (small but non-trivial)."""
+    return experiment_catalog(units=6)
+
+
+@pytest.fixture(scope="session")
+def catalog4():
+    """The smallest useful catalog (4 units per resource)."""
+    return experiment_catalog(units=4)
+
+
+@pytest.fixture(scope="session")
+def paper_catalog():
+    """Paper-scale catalog: 10 units per resource."""
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def parsec_mix3(registry):
+    """A three-job PARSEC mix with distinct resource characters."""
+    return mix_from_names(["canneal", "fluidanimate", "streamcluster"], registry)
+
+
+@pytest.fixture(scope="session")
+def parsec_mix5(registry):
+    return suite_mixes("parsec", registry=registry)[0]
+
+
+@pytest.fixture(scope="session")
+def synthetic_pair():
+    return JobMix(tuple(random_workloads(2, rng=11)))
+
+
+@pytest.fixture
+def space6x3(catalog6):
+    return ConfigurationSpace(catalog6, 3)
+
+
+@pytest.fixture
+def goals():
+    return GoalSet()
+
+
+@pytest.fixture
+def make_simulator(catalog6, parsec_mix3):
+    """Factory for small simulators with deterministic noise."""
+
+    def factory(mix=None, catalog=None, **kwargs):
+        kwargs.setdefault("seed", 123)
+        return CoLocationSimulator(mix or parsec_mix3, catalog=catalog or catalog6, **kwargs)
+
+    return factory

@@ -1,0 +1,78 @@
+"""Tests for the terminal plot renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import bar_chart, line_chart, sparkline
+from repro.errors import ExperimentError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(range(8))
+        assert list(line) == sorted(line, key="▁▂▃▄▅▆▇█".index)
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_nan_rendered_as_space(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_custom_bounds(self):
+        clipped = sparkline([5.0], lo=0.0, hi=10.0)
+        assert clipped == "▄" or clipped == "▅"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart(["a", "bb"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "long"], [1.0, 1.0])
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ExperimentError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        assert "%" in bar_chart(["a"], [42.0], unit="%")
+
+    def test_max_value_caps_bars(self):
+        chart = bar_chart(["a"], [200.0], width=10, max_value=100.0)
+        assert chart.count("█") == 10
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart({"s": np.sin(np.linspace(0, 6, 50))}, height=8, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 9  # height rows + legend
+        assert "s" in lines[-1]
+
+    def test_multi_series_legend(self):
+        chart = line_chart({"a": [1, 2], "b": [2, 1]})
+        assert "* a" in chart and "+ b" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = line_chart({"a": [0.0, 10.0]})
+        assert "10.000" in chart and "0.000" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            line_chart({})
+        with pytest.raises(ExperimentError):
+            line_chart({"a": []})

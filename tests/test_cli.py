@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in (
+            "workloads",
+            "quickstart",
+            "compare",
+            "weights",
+            "sensitivity",
+            "scalability",
+            "overhead",
+        ):
+            args = parser.parse_args([command] if command == "workloads" else [command, "--duration", "2"])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out and "xsbench" in out
+
+    def test_quickstart_small(self, capsys):
+        assert main(["quickstart", "--duration", "2", "--units", "4", "--suite", "ecp"]) == 0
+        out = capsys.readouterr().out
+        assert "SATORI" in out and "Balanced Oracle" in out
+
+    def test_compare_single_mix(self, capsys):
+        assert (
+            main(["compare", "--duration", "2", "--units", "4", "--suite", "ecp", "--mix", "1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PARTIES" in out
+
+    def test_weights(self, capsys):
+        assert main(["weights", "--duration", "3", "--units", "4", "--suite", "ecp"]) == 0
+        out = capsys.readouterr().out
+        assert "W_T" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--duration", "2", "--units", "4", "--suite", "ecp"]) == 0
+        out = capsys.readouterr().out
+        assert "decision time" in out

@@ -1,0 +1,164 @@
+"""Tests for the Gaussian process, kernels, and acquisition functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquisition import (
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    make_acquisition,
+)
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import RBF, Matern52
+from repro.errors import ModelError
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_diagonal_is_variance(self, kernel_cls):
+        kernel = kernel_cls(lengthscale=0.5, variance=2.0)
+        x = np.random.default_rng(0).random((5, 3))
+        k = kernel(x, x)
+        assert np.allclose(np.diag(k), 2.0)
+
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_symmetric_psd(self, kernel_cls):
+        x = np.random.default_rng(1).random((8, 4))
+        k = kernel_cls()(x, x)
+        assert np.allclose(k, k.T)
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues.min() > -1e-8
+
+    @pytest.mark.parametrize("kernel_cls", [Matern52, RBF])
+    def test_decays_with_distance(self, kernel_cls):
+        kernel = kernel_cls(lengthscale=0.3)
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[1.0]]))[0, 0]
+        assert near > far
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ModelError):
+            Matern52(lengthscale=0.0)
+        with pytest.raises(ModelError):
+            Matern52(variance=-1.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ModelError):
+            Matern52()(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_with_params(self):
+        k = Matern52(lengthscale=0.5).with_params(lengthscale=1.0)
+        assert k.lengthscale == 1.0
+        assert isinstance(k, Matern52)
+
+
+class TestGaussianProcess:
+    def test_interpolates_noise_free(self):
+        x = np.linspace(0, 1, 8).reshape(-1, 1)
+        y = np.sin(3 * x).ravel()
+        gp = GaussianProcess(noise=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.0], [0.1]])
+        gp = GaussianProcess().fit(x, [0.0, 0.1])
+        _, std_near = gp.predict(np.array([[0.05]]))
+        _, std_far = gp.predict(np.array([[3.0]]))
+        assert std_far > std_near
+
+    def test_prediction_reverts_to_mean_far_away(self):
+        x = np.array([[0.0], [0.2]])
+        gp = GaussianProcess().fit(x, [1.0, 3.0])
+        mean, _ = gp.predict(np.array([[50.0]]))
+        assert mean[0] == pytest.approx(2.0, abs=0.2)
+
+    def test_constant_targets_handled(self):
+        x = np.random.default_rng(0).random((5, 2))
+        gp = GaussianProcess().fit(x, np.full(5, 0.7))
+        mean, _ = gp.predict(x)
+        assert np.allclose(mean, 0.7, atol=1e-6)
+
+    def test_fit_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            GaussianProcess().fit(np.ones((3, 2)), [1.0, 2.0])
+
+    def test_fit_empty(self):
+        with pytest.raises(ModelError):
+            GaussianProcess().fit(np.empty((0, 2)), [])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelError):
+            GaussianProcess().predict(np.ones((1, 2)))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ModelError):
+            GaussianProcess(noise=-0.1)
+
+    def test_lengthscale_optimization_improves_evidence(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((30, 2))
+        y = np.sin(4 * x[:, 0]) + 0.3 * x[:, 1]
+        fixed = GaussianProcess(kernel=Matern52(lengthscale=5.0), noise=1e-4).fit(x, y)
+        tuned = GaussianProcess(kernel=Matern52(lengthscale=5.0), noise=1e-4).fit(
+            x, y, optimize_lengthscale=True
+        )
+        assert tuned.log_marginal_likelihood() >= fixed.log_marginal_likelihood() - 1e-9
+
+    def test_n_samples(self):
+        gp = GaussianProcess().fit(np.ones((4, 1)) * np.arange(4).reshape(-1, 1), np.arange(4.0))
+        assert gp.n_samples == 4
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_posterior_std_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random((6, 3))
+        y = rng.random(6)
+        gp = GaussianProcess().fit(x, y)
+        _, std = gp.predict(rng.random((10, 3)))
+        assert np.all(std >= 0)
+
+
+class TestAcquisitions:
+    def test_ei_zero_when_certain_and_worse(self):
+        ei = ExpectedImprovement(xi=0.0)
+        value = ei(np.array([0.0]), np.array([1e-9]), best=1.0)
+        assert value[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_ei_positive_with_uncertainty(self):
+        ei = ExpectedImprovement()
+        assert ei(np.array([0.0]), np.array([1.0]), best=1.0)[0] > 0
+
+    def test_ei_increases_with_mean(self):
+        ei = ExpectedImprovement()
+        lo, hi = ei(np.array([0.5, 0.9]), np.array([0.1, 0.1]), best=1.0)
+        assert hi > lo
+
+    def test_pi_bounded(self):
+        pi = ProbabilityOfImprovement()
+        values = pi(np.array([-1.0, 0.0, 5.0]), np.array([0.5, 0.5, 0.5]), best=1.0)
+        assert np.all(values >= 0) and np.all(values <= 1)
+
+    def test_ucb_formula(self):
+        ucb = UpperConfidenceBound(kappa=2.0)
+        assert ucb(np.array([1.0]), np.array([0.5]), best=0.0)[0] == pytest.approx(2.0)
+
+    def test_factory(self):
+        assert isinstance(make_acquisition("ei"), ExpectedImprovement)
+        assert isinstance(make_acquisition("pi"), ProbabilityOfImprovement)
+        assert isinstance(make_acquisition("ucb", kappa=1.0), UpperConfidenceBound)
+
+    def test_factory_unknown(self):
+        with pytest.raises(ModelError):
+            make_acquisition("thompson")
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ModelError):
+            ExpectedImprovement(xi=-1.0)
+        with pytest.raises(ModelError):
+            UpperConfidenceBound(kappa=-1.0)

@@ -1,0 +1,84 @@
+"""Tests for the workload-churn adaptation experiment."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.churn import workload_churn
+from repro.workloads.registry import get_workload
+
+
+class TestReplaceWorkload:
+    def test_swap_changes_mix(self, make_simulator):
+        sim = make_simulator()
+        sim.step(sim.equal_partition())
+        before = sim.mix.names
+        sim.replace_workload(1, get_workload("vips"))
+        assert sim.mix.names != before
+        assert sim.mix.names[1] == "vips"
+        assert sim.n_jobs == 3
+
+    def test_newcomer_starts_at_phase_zero(self, make_simulator):
+        sim = make_simulator()
+        for _ in range(23):
+            sim.step(sim.equal_partition())
+        newcomer = get_workload("vips")
+        sim.replace_workload(0, newcomer)
+        active = sim.mix[0].phase_at(sim.time_s)
+        assert active.ips_per_core == pytest.approx(newcomer.phase_at(0.0).ips_per_core)
+
+    def test_progress_reset(self, make_simulator):
+        sim = make_simulator()
+        for _ in range(5):
+            sim.step(sim.equal_partition())
+        sim.replace_workload(0, get_workload("vips"))
+        obs = sim.step()
+        assert obs.completed_runs[0] == 0
+
+    def test_bad_index_rejected(self, make_simulator):
+        sim = make_simulator()
+        with pytest.raises(ExperimentError):
+            sim.replace_workload(5, get_workload("vips"))
+
+
+class TestChurnExperiment:
+    @pytest.fixture(scope="class")
+    def churn_result(self, request):
+        catalog = request.getfixturevalue("catalog6")
+        mix = request.getfixturevalue("parsec_mix3")
+        return workload_churn(
+            mix,
+            get_workload("vips"),
+            swap_index=1,
+            catalog=catalog,
+            duration_s=14.0,
+            seed=1,
+            window_s=3.0,
+        )
+
+    def test_windows_measured(self, churn_result):
+        assert 0 < churn_result.before_ratio <= 1.3
+        assert 0 < churn_result.disturbance_ratio <= 1.3
+        assert 0 < churn_result.recovered_ratio <= 1.3
+
+    def test_satori_recovers(self, churn_result):
+        """Sec. III-C: mix changes need no re-initialization."""
+        assert churn_result.recovers
+
+    def test_newcomer_recorded(self, churn_result):
+        assert churn_result.newcomer == "vips"
+
+    def test_duplicate_newcomer_rejected(self, catalog6, parsec_mix3):
+        with pytest.raises(ExperimentError):
+            workload_churn(
+                parsec_mix3, get_workload("canneal"), catalog=catalog6, duration_s=6.0
+            )
+
+    def test_swap_time_validated(self, catalog6, parsec_mix3):
+        with pytest.raises(ExperimentError):
+            workload_churn(
+                parsec_mix3,
+                get_workload("vips"),
+                catalog=catalog6,
+                duration_s=6.0,
+                swap_time_s=10.0,
+            )

@@ -1,0 +1,200 @@
+"""Tests for the per-figure experiment drivers (small scales)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import bo_design_ablation, resource_subset_ablation
+from repro.experiments.characterization import (
+    conflicting_goal_gap,
+    optimal_configuration_drift,
+    rebalancing_opportunity,
+)
+from repro.experiments.internals import (
+    dynamic_vs_static,
+    objective_trace,
+    performance_variation,
+    weak_goal_priority,
+    weight_trace,
+)
+from repro.experiments.overhead import controller_overhead
+from repro.experiments.proximity import distance_to_oracle
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import RunConfig
+from repro.experiments.scalability import colocation_scalability
+from repro.experiments.sensitivity import period_sensitivity
+from repro.resources.types import LLC_WAYS, MEMORY_BANDWIDTH
+
+RC = RunConfig(duration_s=4.0)
+
+
+class TestCharacterization:
+    def test_drift_shapes(self, catalog6, parsec_mix3):
+        drift = optimal_configuration_drift(parsec_mix3, catalog6, duration_s=6.0, step_s=1.0)
+        assert drift.times.shape == (6,)
+        for series in drift.shares.values():
+            assert series.shape == (6, 3)
+            assert np.allclose(series.sum(axis=1), 100.0)
+
+    def test_drift_detects_change(self, catalog6, parsec_mix3):
+        """Observation 1: the optimum changes over the run."""
+        drift = optimal_configuration_drift(parsec_mix3, catalog6, duration_s=10.0, step_s=0.5)
+        assert drift.n_distinct_configs() > 1
+        assert drift.max_share_change_percent() > 0
+
+    def test_goal_gap_conflict(self, catalog6, parsec_mix3):
+        """Observation 2: cross ratios are strictly below 1."""
+        gap = conflicting_goal_gap(parsec_mix3, catalog6)
+        assert gap.cross_fairness_ratio < 1.0
+        assert gap.cross_throughput_ratio < 1.0
+        assert 0 < gap.config_distance <= gap.max_distance
+
+    def test_naive_compromises_below_balanced(self, catalog6, parsec_mix3):
+        gap = conflicting_goal_gap(parsec_mix3, catalog6)
+        balanced_value = 0.5 * sum(gap.balanced_opt)
+        assert 0.5 * sum(gap.average_config) <= balanced_value + 1e-9
+        assert 0.5 * sum(gap.alternating) <= balanced_value + 1e-9
+
+    def test_rebalancing_opportunity_exists(self, catalog6, parsec_mix3):
+        """Observation 3: opposite-sign fairness deltas are findable."""
+        example = rebalancing_opportunity(parsec_mix3, catalog6, n_samples=40)
+        assert example is not None
+        assert example.demonstrates_opportunity
+
+
+class TestInternals:
+    def test_weight_trace_invariants(self, catalog6, parsec_mix3):
+        trace, _ = weight_trace(parsec_mix3, catalog6, RC, seed=1)
+        valid = ~np.isnan(trace.w_throughput)
+        assert np.all(trace.w_throughput[valid] + trace.w_fairness[valid] == pytest.approx(1.0))
+        mean_t, mean_f = trace.mean_weights()
+        assert abs(mean_t - 0.5) < 0.15
+
+    def test_weights_deviate_from_equal(self, catalog6, parsec_mix3):
+        trace, _ = weight_trace(parsec_mix3, catalog6, RunConfig(duration_s=6.0), seed=1)
+        assert trace.max_deviation_from_equal() > 0.0
+
+    def test_dynamic_vs_static_returns_both(self, catalog6, parsec_mix3):
+        comparison = dynamic_vs_static(parsec_mix3, catalog6, RC, seed=1)
+        assert comparison.dynamic.policy_name == "SATORI"
+        assert "static" in comparison.other.policy_name
+
+    def test_objective_trace_shapes(self, catalog6, parsec_mix3):
+        traces = objective_trace(parsec_mix3, catalog6, RC, seed=1)
+        assert traces.dynamic_objective.shape == traces.static_objective.shape
+        (dyn_lo, dyn_hi), (sta_lo, sta_hi) = traces.proxy_change_ranges()
+        assert dyn_lo >= 0 and sta_lo >= 0
+
+    def test_performance_variation_fields(self, catalog6, parsec_mix3):
+        variation = performance_variation(parsec_mix3, catalog6, RC, seed=1)
+        assert variation.dynamic_throughput_std >= 0
+        assert variation.static_fairness_std >= 0
+        assert all(0 < m <= 1 for m in variation.dynamic_means)
+
+    def test_weak_goal_priority_runs_both(self, catalog6, parsec_mix3):
+        comparison = weak_goal_priority(parsec_mix3, catalog6, RC, seed=1)
+        assert comparison.other_label == "favor stronger goal"
+        assert np.isfinite(comparison.throughput_gain_percent)
+
+
+class TestProximity:
+    def test_distances_nonnegative(self, catalog6, parsec_mix3):
+        result = distance_to_oracle(
+            parsec_mix3, catalog6, RC, seed=0, include=("Random", "SATORI")
+        )
+        assert set(result.mean_distance) == {"Random", "SATORI"}
+        assert all(d >= 0 for d in result.mean_distance.values())
+
+    def test_relative_to_reference(self, catalog6, parsec_mix3):
+        result = distance_to_oracle(
+            parsec_mix3, catalog6, RC, seed=0, include=("Random", "SATORI")
+        )
+        rel = result.relative_to("SATORI")
+        assert rel["SATORI"] == pytest.approx(1.0)
+
+    def test_series_lengths(self, catalog6, parsec_mix3):
+        result = distance_to_oracle(parsec_mix3, catalog6, RC, seed=0, include=("SATORI",))
+        assert result.distance_series["SATORI"].shape == result.times.shape
+
+
+class TestSensitivity:
+    def test_sweep_points(self, catalog6, parsec_mix3):
+        result = period_sensitivity(
+            parsec_mix3,
+            catalog6,
+            RunConfig(duration_s=3.0),
+            seed=0,
+            prioritization_sweep=(0.5, 2.0),
+            equalization_sweep=(3.0, 10.0),
+        )
+        assert len(result.prioritization) == 2
+        assert len(result.equalization) == 2
+        assert result.prioritization_spread() >= 0
+
+
+class TestScalability:
+    def test_degrees_covered(self, catalog4):
+        result = colocation_scalability(
+            degrees=(2, 3),
+            mixes_per_degree=1,
+            catalog=catalog4,
+            run_config=RunConfig(duration_s=3.0),
+            seed=0,
+        )
+        assert [p.degree for p in result.points] == [2, 3]
+        assert len(result.gaps()) == 2
+
+    def test_too_large_degree_rejected(self, catalog6):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            colocation_scalability(degrees=(9,), catalog=catalog6)
+
+
+class TestOverhead:
+    def test_overhead_fields(self, catalog6, parsec_mix3):
+        result = controller_overhead(parsec_mix3, catalog6, RunConfig(duration_s=3.0), seed=0)
+        assert result.mean_decision_time_ms > 0
+        assert result.control_interval_ms == pytest.approx(100.0)
+        assert 0 <= result.idle_fraction <= 1
+        assert 0 < result.decision_fraction_of_interval < 1
+
+
+class TestAblation:
+    def test_llc_subset_vs_dcat(self, catalog6, parsec_mix3):
+        result = resource_subset_ablation(
+            parsec_mix3, [LLC_WAYS], catalog6, RunConfig(duration_s=3.0), seed=0
+        )
+        assert result.baseline_name == "dCAT"
+        assert result.resources == (LLC_WAYS,)
+
+    def test_llc_bw_subset_vs_copart(self, catalog6, parsec_mix3):
+        result = resource_subset_ablation(
+            parsec_mix3, [LLC_WAYS, MEMORY_BANDWIDTH], catalog6, RunConfig(duration_s=3.0), seed=0
+        )
+        assert result.baseline_name == "CoPart"
+
+    def test_unknown_subset_rejected(self, catalog6, parsec_mix3):
+        with pytest.raises(ValueError):
+            resource_subset_ablation(parsec_mix3, ["cores"], catalog6)
+
+    def test_bo_design_variants(self, catalog4, parsec_mix3):
+        result = bo_design_ablation(parsec_mix3, catalog4, RunConfig(duration_s=2.0), seed=0)
+        assert "EI + Matern52 (paper)" in result.scores
+        assert len(result.scores) == 4
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "T", "F"], [["SATORI", 92.0, 91.5]], title="Fig")
+        lines = table.splitlines()
+        assert lines[0] == "Fig"
+        assert "SATORI" in lines[3]
+        assert "92.0" in lines[3]
+
+    def test_format_series_subsamples(self):
+        out = format_series("x", list(range(100)), limit=5)
+        assert out.startswith("x:")
+
+    def test_format_table_precision(self):
+        table = format_table(["v"], [[1.23456]], precision=3)
+        assert "1.235" in table

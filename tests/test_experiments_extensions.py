@@ -1,0 +1,66 @@
+"""Tests for the extension experiments (power resource, metric sweep)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    metric_sweep,
+    power_capped_partitioning,
+    power_catalog,
+)
+from repro.experiments.runner import RunConfig
+from repro.resources.space import ConfigurationSpace
+from repro.resources.types import POWER
+
+
+class TestPowerCatalog:
+    def test_includes_power(self):
+        catalog = power_catalog(units=6, power_units=6)
+        assert POWER in catalog
+        assert catalog.get(POWER).units == 6
+
+    def test_power_capacity_is_tdp(self):
+        catalog = power_catalog(units=6, power_units=6)
+        assert catalog.get(POWER).capacity == pytest.approx(85.0)
+
+    def test_four_resource_space(self):
+        catalog = power_catalog(units=6)
+        space = ConfigurationSpace(catalog, 3)
+        assert len(space.resource_names) == 4
+        assert space.dimensions == 12
+
+
+class TestPowerExtension:
+    def test_satori_partitions_four_resources(self, parsec_mix3):
+        result = power_capped_partitioning(
+            parsec_mix3, RunConfig(duration_s=4.0), seed=0, units=6
+        )
+        final_config = result.satori_four_resource.telemetry[-1].config
+        assert final_config.partitions(POWER)
+        assert 0 < result.satori_four_resource.throughput <= 1
+
+    def test_satori_not_much_worse_than_equal(self, parsec_mix3):
+        """Managing four resources should at least match a naive split."""
+        result = power_capped_partitioning(
+            parsec_mix3, RunConfig(duration_s=8.0), seed=0, units=6
+        )
+        combined_satori = (
+            result.satori_four_resource.throughput + result.satori_four_resource.fairness
+        )
+        combined_equal = result.equal_partition.throughput + result.equal_partition.fairness
+        assert combined_satori >= combined_equal * 0.9
+
+
+class TestMetricSweep:
+    def test_all_combinations_present(self, parsec_mix3):
+        results = metric_sweep(
+            parsec_mix3,
+            RunConfig(duration_s=3.0),
+            seed=0,
+            throughput_metrics=("sum_ips", "geometric_mean"),
+            fairness_metrics=("jain",),
+            include=("SATORI",),
+        )
+        assert set(results) == {("sum_ips", "jain"), ("geometric_mean", "jain")}
+        for scores in results.values():
+            t, f = scores["SATORI"]
+            assert 0 < t < 200 and 0 < f < 200

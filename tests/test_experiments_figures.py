@@ -1,0 +1,71 @@
+"""Tests for the figure registry and its CLI command."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureScale, figure_names, run_figure
+
+#: Small scale so every driver finishes quickly in tests.
+# 5-job PARSEC mixes need >= 5 units per resource; degree-7
+# scalability needs >= 7, so tests use 8 with very short runs.
+SCALE = FigureScale(units=8, duration_s=3.0, n_mixes=1, seed=0)
+
+
+class TestRegistry:
+    def test_names_sorted_and_nonempty(self):
+        names = figure_names()
+        assert names and list(names) == sorted(names)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown figure"):
+            run_figure("fig99")
+
+    @pytest.mark.parametrize("name", ["fig1", "fig2", "fig3"])
+    def test_characterization_figures(self, name):
+        out = run_figure(name, SCALE)
+        assert name.replace("fig", "Fig. ") in out
+
+    def test_fig7_table(self):
+        out = run_figure("fig7", SCALE)
+        assert "SATORI" in out and "PARTIES" in out
+
+    def test_suite_variants(self):
+        assert "cloudsuite" in run_figure("fig12", SCALE)
+        assert "ecp" in run_figure("fig13", SCALE)
+
+    def test_fig14_weights(self):
+        out = run_figure("fig14", SCALE)
+        assert "W_T" in out and "dynamic-vs-static" in out
+
+    def test_overhead(self):
+        out = run_figure("overhead", SCALE)
+        assert "ms/interval" in out and "idle" in out
+
+    def test_scalability(self):
+        out = run_figure("scalability", SCALE)
+        assert "gap by degree" in out
+
+    def test_ablation(self):
+        out = run_figure("ablation", SCALE)
+        assert "dCAT" in out and "CoPart" in out
+
+
+class TestFigureCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "--list"]) == 0
+        assert "fig7" in capsys.readouterr().out
+
+    def test_run_one(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["figure", "fig2", "--units", "8", "--duration", "2", "--mixes", "1"]) == 0
+        )
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_missing_name_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure"]) == 2

@@ -1,0 +1,68 @@
+"""Unit tests for the simulated pqos monitor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.pqos import DEFAULT_SAMPLE_HZ, PqosMonitor
+
+
+class TestPqosMonitor:
+    def test_sample_interval(self):
+        assert PqosMonitor().sample_interval_s == pytest.approx(1.0 / DEFAULT_SAMPLE_HZ)
+
+    def test_noiseless_passthrough(self):
+        monitor = PqosMonitor(noise_sigma=0.0)
+        samples = monitor.observe([1e9, 2e9], 0.1)
+        assert [s.ips for s in samples] == [1e9, 2e9]
+
+    def test_instructions_consistent_with_ips(self):
+        monitor = PqosMonitor(noise_sigma=0.0)
+        (sample,) = monitor.observe([5e9], 0.1)
+        assert sample.instructions == pytest.approx(5e8)
+
+    def test_noise_is_multiplicative_and_bounded(self):
+        monitor = PqosMonitor(noise_sigma=0.02, rng=1)
+        values = [monitor.observe([1e9], 0.1)[0].ips for _ in range(500)]
+        ratios = np.array(values) / 1e9
+        assert 0.99 < ratios.mean() < 1.01
+        assert 0.01 < ratios.std() < 0.04
+
+    def test_deterministic_given_seed(self):
+        a = PqosMonitor(noise_sigma=0.05, rng=42).observe([1e9, 2e9], 0.1)
+        b = PqosMonitor(noise_sigma=0.05, rng=42).observe([1e9, 2e9], 0.1)
+        assert [s.ips for s in a] == [s.ips for s in b]
+
+    def test_job_indices(self):
+        samples = PqosMonitor(rng=0).observe([1e9, 2e9, 3e9], 0.1)
+        assert [s.job for s in samples] == [0, 1, 2]
+
+    def test_optional_telemetry_defaults_zero(self):
+        (sample,) = PqosMonitor(rng=0).observe([1e9], 0.1)
+        assert sample.llc_occupancy_bytes == 0.0
+        assert sample.memory_bandwidth_bytes_s == 0.0
+
+    def test_telemetry_passthrough(self):
+        monitor = PqosMonitor(noise_sigma=0.0)
+        (sample,) = monitor.observe(
+            [1e9], 0.1, llc_occupancy_bytes=[2**20], memory_bandwidth_bytes_s=[3e9]
+        )
+        assert sample.llc_occupancy_bytes == 2**20
+        assert sample.memory_bandwidth_bytes_s == 3e9
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(HardwareError):
+            PqosMonitor().observe([1e9, 2e9], 0.1, llc_occupancy_bytes=[1.0])
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(HardwareError):
+            PqosMonitor().observe([1e9], 0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(HardwareError):
+            PqosMonitor(noise_sigma=-0.1)
+
+    def test_ips_never_negative(self):
+        monitor = PqosMonitor(noise_sigma=0.5, rng=3)
+        for _ in range(100):
+            assert monitor.observe([1e3], 0.1)[0].ips >= 0.0

@@ -1,0 +1,149 @@
+"""Unit and property tests for throughput/fairness metrics and GoalSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.metrics.fairness import (
+    coefficient_of_variation,
+    jain_index,
+    one_minus_cov,
+    one_minus_cov_normalized,
+)
+from repro.metrics.goals import GoalScores, GoalSet
+from repro.metrics.throughput import (
+    geometric_mean_speedup,
+    harmonic_mean_speedup,
+    speedups,
+    total_ips,
+    weighted_mean_speedup,
+)
+
+positive_speedups = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8
+)
+
+
+class TestSpeedups:
+    def test_basic(self):
+        s = speedups([1e9, 2e9], [2e9, 2e9])
+        assert list(s) == [0.5, 1.0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            speedups([1e9], [1e9, 2e9])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ExperimentError):
+            speedups([1e9], [0.0])
+
+    def test_negative_ips_rejected(self):
+        with pytest.raises(ExperimentError):
+            speedups([-1.0], [1e9])
+
+
+class TestThroughputMetrics:
+    def test_geometric_mean_of_equal_speedups(self):
+        assert geometric_mean_speedup([0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_harmonic_below_geometric(self):
+        s = [0.2, 0.8]
+        assert harmonic_mean_speedup(s) < geometric_mean_speedup(s)
+
+    def test_weighted_mean_equals_ips_ratio(self):
+        iso = np.array([2e9, 4e9])
+        s = np.array([0.5, 0.75])
+        expected = (0.5 * 2e9 + 0.75 * 4e9) / 6e9
+        assert weighted_mean_speedup(s, iso) == pytest.approx(expected)
+
+    def test_total_ips(self):
+        assert total_ips([1e9, 2e9]) == pytest.approx(3e9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean_speedup([])
+
+    @given(positive_speedups)
+    @settings(max_examples=50, deadline=None)
+    def test_means_bounded_by_extremes(self, s):
+        for metric in (geometric_mean_speedup, harmonic_mean_speedup):
+            value = metric(s)
+            assert min(s) - 1e-9 <= value <= max(s) + 1e-9
+
+
+class TestFairnessMetrics:
+    def test_perfect_fairness(self):
+        assert jain_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+        assert one_minus_cov([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_jain_decreases_with_spread(self):
+        assert jain_index([0.4, 0.6]) > jain_index([0.2, 0.8])
+
+    def test_jain_formula(self):
+        s = [0.2, 0.8]
+        cov = coefficient_of_variation(s)
+        assert jain_index(s) == pytest.approx(1.0 / (1.0 + cov**2))
+
+    def test_one_minus_cov_can_be_negative(self):
+        assert one_minus_cov([0.01, 1.0, 0.01]) < 0
+
+    def test_normalized_clipped(self):
+        assert one_minus_cov_normalized([0.01, 1.0, 0.01]) == 0.0
+
+    def test_scale_invariance(self):
+        assert jain_index([0.2, 0.4]) == pytest.approx(jain_index([0.4, 0.8]))
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ExperimentError):
+            coefficient_of_variation([0.0, 0.0])
+
+    @given(positive_speedups)
+    @settings(max_examples=50, deadline=None)
+    def test_jain_in_unit_interval(self, s):
+        assert 0.0 < jain_index(s) <= 1.0
+
+    @given(positive_speedups)
+    @settings(max_examples=50, deadline=None)
+    def test_jain_lower_bound_one_over_n(self, s):
+        # Jain's index is bounded below by 1/n for n values.
+        assert jain_index(s) >= 1.0 / len(s) - 1e-9
+
+
+class TestGoalSet:
+    def test_defaults_match_paper(self):
+        goals = GoalSet()
+        assert goals.throughput_metric == "sum_ips"
+        assert goals.fairness_metric == "jain"
+
+    def test_unknown_metrics_rejected(self):
+        with pytest.raises(ExperimentError):
+            GoalSet(throughput_metric="latency")
+        with pytest.raises(ExperimentError):
+            GoalSet(fairness_metric="karma")
+
+    def test_scores_in_unit_interval(self):
+        scores = GoalSet().scores([1e9, 2e9], [4e9, 4e9])
+        assert 0 < scores.throughput <= 1
+        assert 0 < scores.fairness <= 1
+
+    def test_weighted_combination(self):
+        scores = GoalScores(throughput=0.4, fairness=0.8)
+        assert scores.weighted(0.75, 0.25) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("throughput_metric", ["sum_ips", "geometric_mean", "harmonic_mean"])
+    @pytest.mark.parametrize("fairness_metric", ["jain", "one_minus_cov"])
+    def test_batch_matches_scalar(self, throughput_metric, fairness_metric):
+        goals = GoalSet(throughput_metric, fairness_metric)
+        iso = np.array([2e9, 3e9, 5e9])
+        ips = np.array([[1e9, 2e9, 2e9], [0.5e9, 3e9, 1e9]])
+        t_batch, f_batch = goals.scores_batch(ips, iso)
+        for i in range(2):
+            scalar = goals.scores(ips[i], iso)
+            assert t_batch[i] == pytest.approx(scalar.throughput, rel=1e-9)
+            assert f_batch[i] == pytest.approx(scalar.fairness, rel=1e-9)
+
+    def test_batch_shape_checked(self):
+        with pytest.raises(ExperimentError):
+            GoalSet().scores_batch(np.ones((2, 3)), np.ones(2))

@@ -1,0 +1,92 @@
+"""Tests for server presets and the reproduction report."""
+
+import pytest
+
+from repro.errors import ExperimentError, SpaceError
+from repro.resources.presets import preset_catalog, preset_names
+from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH
+
+
+class TestPresets:
+    def test_names_nonempty_sorted(self):
+        names = preset_names()
+        assert names
+        assert list(names) == sorted(names)
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_every_preset_builds_valid_catalog(self, name):
+        catalog = preset_catalog(name)
+        assert {CORES, LLC_WAYS, MEMORY_BANDWIDTH} <= set(catalog.names)
+        for resource in catalog:
+            assert resource.units >= 2
+            assert resource.capacity > 0
+
+    def test_paper_testbed_preset(self):
+        catalog = preset_catalog("skylake-sp-10")
+        assert catalog.get(CORES).units == 10
+        assert catalog.get(LLC_WAYS).capacity == pytest.approx(13.75 * 2**20)
+
+    def test_unknown_preset(self):
+        with pytest.raises(SpaceError, match="unknown server preset"):
+            preset_catalog("epyc-9999")
+
+    def test_presets_usable_in_simulation(self, parsec_mix3):
+        from repro.system.simulation import CoLocationSimulator
+
+        sim = CoLocationSimulator(parsec_mix3, preset_catalog("milan-ccx-8"), seed=0)
+        obs = sim.step(sim.equal_partition())
+        assert all(v > 0 for v in obs.ips)
+
+
+class TestReport:
+    def test_generate_small_report(self):
+        from repro.experiments.report import ReportConfig, generate_report
+
+        report = generate_report(
+            ReportConfig(suite="ecp", n_mixes=1, duration_s=4.0, units=4)
+        )
+        assert "# SATORI reproduction report" in report
+        assert "Policy comparison" in report
+        assert "SATORI" in report
+        assert "Controller overhead" in report
+
+    def test_sections_configurable(self):
+        from repro.experiments.report import ReportConfig, generate_report
+
+        report = generate_report(
+            ReportConfig(
+                suite="ecp", n_mixes=1, duration_s=3.0, units=4, sections=("overhead",)
+            )
+        )
+        assert "Controller overhead" in report
+        assert "Policy comparison" not in report
+
+    def test_unknown_section_rejected(self):
+        from repro.experiments.report import ReportConfig
+
+        with pytest.raises(ExperimentError):
+            ReportConfig(sections=("bogus",))
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--suite",
+                    "ecp",
+                    "--mixes",
+                    "1",
+                    "--duration",
+                    "3",
+                    "--units",
+                    "4",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.read_text().startswith("# SATORI reproduction report")

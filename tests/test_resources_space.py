@@ -1,0 +1,189 @@
+"""Unit and property tests for the configuration space combinatorics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpaceError
+from repro.resources.space import (
+    ConfigurationSpace,
+    compositions_matrix,
+    count_compositions,
+    iter_compositions,
+    sample_composition,
+)
+from repro.resources.types import CORES, default_catalog
+from repro.rng import make_rng
+
+
+class TestCompositions:
+    def test_count_matches_paper_formula(self):
+        # Sec. II: 3 jobs, 2 resources of 10 units -> C(9,2)^2 = 1296.
+        assert count_compositions(10, 3) ** 2 == 1296
+
+    def test_count_four_jobs(self):
+        # 4 jobs, 2 resources of 10 units -> 7056 (paper Sec. II).
+        assert count_compositions(10, 4) ** 2 == 7056
+
+    def test_count_three_resources(self):
+        # adding a third resource -> 592,704 (paper Sec. II).
+        assert count_compositions(10, 4) ** 3 == 592704
+
+    def test_enumeration_matches_count(self):
+        rows = list(iter_compositions(8, 3))
+        assert len(rows) == count_compositions(8, 3)
+
+    def test_all_rows_sum_to_units(self):
+        for row in iter_compositions(7, 4):
+            assert sum(row) == 7
+
+    def test_all_rows_respect_min(self):
+        for row in iter_compositions(9, 3, min_units=2):
+            assert min(row) >= 2
+
+    def test_rows_unique(self):
+        rows = list(iter_compositions(8, 3))
+        assert len(set(rows)) == len(rows)
+
+    def test_single_part(self):
+        assert list(iter_compositions(5, 1)) == [(5,)]
+
+    def test_infeasible_yields_nothing(self):
+        assert list(iter_compositions(2, 3)) == []
+        assert count_compositions(2, 3) == 0
+
+    def test_matrix_shape(self):
+        m = compositions_matrix(8, 3)
+        assert m.shape == (count_compositions(8, 3), 3)
+
+    def test_matrix_empty_when_infeasible(self):
+        assert compositions_matrix(2, 5).shape == (0, 5)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(SpaceError):
+            count_compositions(5, 0)
+
+    @given(
+        units=st.integers(min_value=1, max_value=12),
+        parts=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sample_is_valid_composition(self, units, parts):
+        if units < parts:
+            return
+        rng = make_rng(units * 31 + parts)
+        comp = sample_composition(units, parts, rng)
+        assert len(comp) == parts
+        assert sum(comp) == units
+        assert min(comp) >= 1
+
+    def test_sample_roughly_uniform(self):
+        # All C(3,1)=3 compositions of 4 into 2 parts appear.
+        rng = make_rng(0)
+        seen = {sample_composition(4, 2, rng) for _ in range(200)}
+        assert seen == {(1, 3), (2, 2), (3, 1)}
+
+    def test_sample_infeasible_raises(self):
+        with pytest.raises(SpaceError):
+            sample_composition(2, 3, make_rng(0))
+
+
+class TestConfigurationSpace:
+    @pytest.fixture
+    def space(self):
+        return ConfigurationSpace(default_catalog(6, 6, 6), 3)
+
+    def test_size(self, space):
+        assert space.size() == count_compositions(6, 3) ** 3
+
+    def test_dimensions(self, space):
+        assert space.dimensions == 9
+
+    def test_enumerate_matches_size_small(self):
+        space = ConfigurationSpace(default_catalog(4, 4, 4), 2)
+        configs = list(space.enumerate())
+        assert len(configs) == space.size()
+        assert len(set(configs)) == space.size()
+
+    def test_all_enumerated_are_members(self):
+        space = ConfigurationSpace(default_catalog(4, 4, 4), 2)
+        for config in space.enumerate():
+            assert space.contains(config)
+
+    def test_equal_partition_member(self, space):
+        assert space.contains(space.equal_partition())
+
+    def test_sample_members(self, space):
+        rng = make_rng(5)
+        for _ in range(30):
+            assert space.contains(space.sample(rng))
+
+    def test_sample_batch_length(self, space):
+        assert len(space.sample_batch(7, make_rng(1))) == 7
+
+    def test_contains_rejects_wrong_jobs(self, space):
+        other = ConfigurationSpace(default_catalog(6, 6, 6), 2).equal_partition()
+        assert not space.contains(other)
+
+    def test_neighbors_are_members_and_one_move_away(self, space):
+        config = space.equal_partition()
+        neighbors = space.neighbors(config)
+        assert neighbors
+        for n in neighbors:
+            assert space.contains(n)
+            diff = np.abs(n.as_vector() - config.as_vector()).sum()
+            assert diff == 2  # one unit moved
+
+    def test_neighbors_unique(self, space):
+        config = space.equal_partition()
+        neighbors = space.neighbors(config)
+        assert len(set(neighbors)) == len(neighbors)
+
+    def test_encode_range_and_shape(self, space):
+        vec = space.encode(space.equal_partition())
+        assert vec.shape == (space.dimensions,)
+        assert np.all(vec > 0) and np.all(vec < 1)
+
+    def test_encode_shares_sum_to_one_per_resource(self, space):
+        vec = space.encode(space.sample(make_rng(2)))
+        per_resource = vec.reshape(len(space.catalog), space.n_jobs)
+        assert np.allclose(per_resource.sum(axis=1), 1.0)
+
+    def test_encode_rejects_non_member(self, space):
+        foreign = ConfigurationSpace(default_catalog(8, 8, 8), 3).equal_partition()
+        with pytest.raises(SpaceError):
+            space.encode(foreign)
+
+    def test_encode_batch(self, space):
+        batch = space.sample_batch(4, make_rng(3))
+        encoded = space.encode_batch(batch)
+        assert encoded.shape == (4, space.dimensions)
+
+    def test_encode_batch_empty(self, space):
+        assert space.encode_batch([]).shape == (0, space.dimensions)
+
+    def test_per_resource_matrices_roundtrip(self, space):
+        matrices = space.per_resource_matrices()
+        config = space.configuration_from_indices((0, 0, 0), matrices)
+        assert space.contains(config)
+
+    def test_configuration_from_indices_wrong_len(self, space):
+        with pytest.raises(SpaceError):
+            space.configuration_from_indices((0,), space.per_resource_matrices())
+
+    def test_too_many_jobs_rejected(self):
+        with pytest.raises(SpaceError):
+            ConfigurationSpace(default_catalog(4, 4, 4), 5)
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(SpaceError):
+            ConfigurationSpace(default_catalog(), 0)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_configs_validate(self, seed):
+        catalog = default_catalog(7, 7, 7)
+        space = ConfigurationSpace(catalog, 3)
+        config = space.sample(make_rng(seed))
+        config.validate(catalog)

@@ -1,0 +1,135 @@
+"""Behavioural tests of the suite models under the full system.
+
+Beyond the parameter-level checks in ``test_workloads_suites``, these
+tests assert that the *system-level behaviours* the paper's analysis
+relies on actually emerge from the models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resources.allocation import Configuration, equal_partition
+from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH
+from repro.system.contention import evaluate_system, isolation_ips
+from repro.workloads.mixes import mix_from_names
+from repro.workloads.registry import get_workload
+
+
+def ips_under(catalog, workload, cores, ways, bw, t=0.0):
+    return workload.ips_under(catalog, t, cores=cores, llc_ways=ways, bandwidth_units=bw)
+
+
+class TestCoreSensitivity:
+    def test_fluidanimate_gains_most_from_cores(self, catalog6):
+        """The paper attributes mix-0's low gain to fluidanimate's
+        core sensitivity: its IPS must scale with cores far more than
+        canneal's."""
+        gains = {}
+        for name in ("fluidanimate", "canneal"):
+            w = get_workload(name)
+            gains[name] = ips_under(catalog6, w, 5, 4, 4) / ips_under(catalog6, w, 1, 4, 4)
+        assert gains["fluidanimate"] > 1.5 * gains["canneal"]
+
+    def test_swaptions_scales_nearly_linearly(self, catalog6):
+        w = get_workload("swaptions")
+        ratio = ips_under(catalog6, w, 6, 3, 6) / ips_under(catalog6, w, 1, 3, 6)
+        assert ratio > 4.5  # near-linear over 6x cores
+
+
+class TestCacheSensitivity:
+    def test_canneal_cache_cliff_under_scarce_bandwidth(self, catalog6):
+        """Crossing canneal's working-set cliff must collapse its memory
+        traffic — the utility that co-located bandwidth competition
+        turns into the non-convexity defeating single-step hill
+        climbing. (Canneal's own IPS gain is capped by its serial
+        compute roofline, so the cliff is asserted on
+        bytes/instruction, the quantity that frees the shared bus.)"""
+        phase = get_workload("canneal").phase_at(0.0)
+        way_bytes = catalog6.get(LLC_WAYS).unit_capacity
+        bpi_low = phase.bytes_per_instruction(1 * way_bytes)
+        bpi_high = phase.bytes_per_instruction(6 * way_bytes)
+        assert bpi_low > 2.5 * bpi_high
+        # And some direct IPS benefit remains under scarce bandwidth.
+        w = get_workload("canneal")
+        assert ips_under(catalog6, w, 4, 6, 1) > 1.05 * ips_under(catalog6, w, 4, 1, 1)
+
+    def test_streamcluster_cache_insensitive(self, catalog6):
+        w = get_workload("streamcluster")
+        low = ips_under(catalog6, w, 2, 1, 2)
+        high = ips_under(catalog6, w, 2, 6, 2)
+        assert high < 1.4 * low  # streaming: cache barely helps
+
+    def test_xsbench_cache_resistant(self, catalog6):
+        """XSBench's random lookups defeat any realistic LLC."""
+        w = get_workload("xsbench")
+        low = ips_under(catalog6, w, 3, 1, 3)
+        high = ips_under(catalog6, w, 3, 5, 3)
+        assert high < 1.25 * low
+
+
+class TestBandwidthSensitivity:
+    @pytest.mark.parametrize("name", ["streamcluster", "amg", "media_streaming"])
+    def test_streaming_workloads_bandwidth_bound(self, catalog6, name):
+        w = get_workload(name)
+        low = ips_under(catalog6, w, 4, 3, 1)
+        high = ips_under(catalog6, w, 4, 3, 5)
+        assert high > 1.8 * low
+
+    def test_swaptions_bandwidth_insensitive(self, catalog6):
+        w = get_workload("swaptions")
+        low = ips_under(catalog6, w, 4, 3, 1)
+        high = ips_under(catalog6, w, 4, 3, 5)
+        assert high < 1.2 * low
+
+
+class TestPaperMixAnalysis:
+    def test_minife_swfft_contend_for_llc(self, catalog6):
+        """The paper calls minife+swfft the hardest ECP pair: both
+        benefit substantially from LLC, so their joint demand exceeds
+        the cache. Verify both have real cache utility under scarce
+        bandwidth."""
+        for name in ("minife", "swfft"):
+            w = get_workload(name)
+            gain = ips_under(catalog6, w, 3, 5, 1) / ips_under(catalog6, w, 3, 1, 1)
+            assert gain > 1.2, name
+
+    def test_amg_hypre_similar_system_behaviour(self, catalog6):
+        """The paper calls amg+hypre the easiest pair (similar needs):
+        their IPS responses across allocations must correlate highly."""
+        allocations = [(1, 1, 1), (4, 2, 1), (1, 2, 4), (3, 3, 3), (2, 5, 2)]
+        amg = np.array([ips_under(catalog6, get_workload("amg"), *a) for a in allocations])
+        hypre = np.array([ips_under(catalog6, get_workload("hypre"), *a) for a in allocations])
+        correlation = np.corrcoef(amg, hypre)[0, 1]
+        assert correlation > 0.95
+
+    def test_blackscholes_streamcluster_bandwidth_conflict(self, catalog6):
+        """Sec. V: blackscholes contends with other streaming jobs for
+        memory bandwidth — under a shared bus the pair's combined
+        traffic saturates capacity."""
+        mix = mix_from_names(["blackscholes", "streamcluster"])
+        config = equal_partition(catalog6, 2).restrict([CORES, LLC_WAYS])
+        state = evaluate_system(mix, catalog6, config, 0.0)
+        capacity = catalog6.get(MEMORY_BANDWIDTH).capacity
+        assert state.memory_bandwidth_bytes_s.sum() > 0.85 * capacity
+
+
+class TestContentionEdgeCases:
+    def test_two_job_minimum_mix(self, catalog6):
+        mix = mix_from_names(["amg", "hypre"])
+        state = evaluate_system(mix, catalog6, equal_partition(catalog6, 2), 0.0)
+        assert state.ips.shape == (2,)
+
+    def test_degenerate_all_to_one_job(self, catalog6):
+        """Starving jobs to one unit each must stay finite and positive."""
+        mix = mix_from_names(["canneal", "fluidanimate", "streamcluster"])
+        config = Configuration(
+            {CORES: (4, 1, 1), LLC_WAYS: (4, 1, 1), MEMORY_BANDWIDTH: (4, 1, 1)}
+        )
+        state = evaluate_system(mix, catalog6, config, 0.0)
+        assert np.all(np.isfinite(state.ips)) and np.all(state.ips > 0)
+
+    def test_isolation_invariant_to_config(self, catalog6):
+        mix = mix_from_names(["amg", "hypre"])
+        iso_a = isolation_ips(mix, catalog6, 1.0)
+        iso_b = isolation_ips(mix, catalog6, 1.0)
+        assert np.array_equal(iso_a, iso_b)

@@ -1,0 +1,161 @@
+"""Tests for the co-location simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.hardware.msr import IA32_L3_QOS_MASK_BASE
+from repro.resources.allocation import Configuration
+from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH
+from repro.system.simulation import RECONFIGURATION_PENALTY, CoLocationSimulator
+from repro.workloads.mixes import mix_from_names
+
+
+class TestStepping:
+    def test_time_advances(self, make_simulator):
+        sim = make_simulator()
+        sim.step(sim.equal_partition())
+        sim.step()
+        assert sim.time_s == pytest.approx(0.2)
+
+    def test_observation_shape(self, make_simulator):
+        sim = make_simulator()
+        obs = sim.step(sim.equal_partition())
+        assert obs.n_jobs == 3
+        assert len(obs.isolation_ips) == 3
+        assert len(obs.memory_bandwidth_bytes_s) == 3
+
+    def test_config_persists_between_steps(self, make_simulator):
+        sim = make_simulator()
+        config = sim.equal_partition()
+        sim.step(config)
+        obs = sim.step()  # no new config
+        assert obs.config == config
+
+    def test_run_helper(self, make_simulator):
+        sim = make_simulator()
+        observations = sim.run(sim.equal_partition(), 5)
+        assert len(observations) == 5
+        assert observations[-1].time_s == pytest.approx(0.5)
+
+    def test_run_rejects_zero_steps(self, make_simulator):
+        sim = make_simulator()
+        with pytest.raises(ExperimentError):
+            sim.run(sim.equal_partition(), 0)
+
+    def test_noise_seeded(self, make_simulator):
+        a = make_simulator().step(None)
+        b = make_simulator().step(None)
+        assert a.ips == b.ips
+
+    def test_measured_ips_near_truth(self, catalog6, parsec_mix3):
+        sim = CoLocationSimulator(parsec_mix3, catalog6, noise_sigma=0.02, seed=9)
+        config = sim.equal_partition()
+        truth = sim.true_ips(config, at_time=0.0)
+        obs = sim.step(config)
+        assert np.allclose(obs.ips, truth, rtol=0.2)
+
+    def test_zero_noise_exact(self, catalog6, parsec_mix3):
+        sim = CoLocationSimulator(parsec_mix3, catalog6, noise_sigma=0.0, seed=9)
+        config = sim.equal_partition()
+        truth = sim.true_ips(config, at_time=0.0)
+        obs = sim.step(config)
+        assert np.allclose(obs.ips, truth, rtol=1e-9)
+
+
+class TestActuation:
+    def test_apply_programs_cat_msrs(self, make_simulator):
+        sim = make_simulator()
+        sim.apply(sim.equal_partition())
+        assert sim.msr.read(IA32_L3_QOS_MASK_BASE) != 0
+
+    def test_partial_config_supported(self, make_simulator, catalog6):
+        sim = make_simulator()
+        obs = sim.step(Configuration({LLC_WAYS: (2, 2, 2)}))
+        assert obs.config.partitions(LLC_WAYS)
+        assert not obs.config.partitions(CORES)
+
+    def test_wrong_job_count_rejected(self, make_simulator):
+        sim = make_simulator()
+        with pytest.raises(ConfigurationError):
+            sim.apply(Configuration({CORES: (3, 3)}))
+
+    def test_invalid_sum_rejected(self, make_simulator):
+        sim = make_simulator()
+        with pytest.raises(ConfigurationError):
+            sim.apply(Configuration({CORES: (1, 1, 1)}))
+
+    def test_none_clears_partitions(self, make_simulator):
+        sim = make_simulator()
+        sim.apply(sim.equal_partition())
+        sim.apply(None)
+        assert sim.current_config is None
+
+
+class TestReconfigurationDisturbance:
+    def test_stable_config_no_penalty(self, catalog6, parsec_mix3):
+        sim = CoLocationSimulator(parsec_mix3, catalog6, noise_sigma=0.0, seed=1)
+        config = sim.equal_partition()
+        first = np.array(sim.step(config).ips)
+        second = np.array(sim.step(config).ips)
+        truth = sim.true_ips(config, at_time=0.1)
+        assert np.allclose(second, truth, rtol=1e-9)
+
+    def test_reconfiguration_costs_ips(self, catalog6, parsec_mix3):
+        sim = CoLocationSimulator(parsec_mix3, catalog6, noise_sigma=0.0, seed=1)
+        config = sim.equal_partition()
+        sim.step(config)
+        flipped = Configuration(
+            {
+                CORES: (4, 1, 1),
+                LLC_WAYS: (4, 1, 1),
+                MEMORY_BANDWIDTH: (4, 1, 1),
+            }
+        )
+        obs = np.array(sim.step(flipped).ips)
+        truth = sim.true_ips(flipped, at_time=0.1)
+        assert np.all(obs <= truth + 1e-6)
+        assert np.any(obs < truth * 0.99)
+
+    def test_penalty_bounded(self):
+        assert 0.0 <= RECONFIGURATION_PENALTY <= 1.0
+
+
+class TestFixedWork:
+    def test_completions_accumulate(self, catalog6):
+        mix = mix_from_names(["amg", "hypre"])
+        # Shrink the fixed work so completions happen within a few steps.
+        import dataclasses
+
+        small = type(mix)(
+            tuple(dataclasses.replace(w, total_instructions=1e8) for w in mix.workloads)
+        )
+        sim = CoLocationSimulator(small, catalog6, seed=0)
+        obs = None
+        for _ in range(10):
+            obs = sim.step(sim.equal_partition())
+        assert all(c >= 1 for c in obs.completed_runs)
+
+    def test_phase_key(self, make_simulator):
+        sim = make_simulator()
+        key0 = sim.phase_key(at_time=0.0)
+        assert len(key0) == 3
+        assert key0 == tuple(w.phase_index_at(0.0) for w in sim.mix)
+
+
+class TestBaselines:
+    def test_measure_isolation_true_values(self, make_simulator):
+        sim = make_simulator()
+        iso = sim.measure_isolation()
+        assert np.all(iso > 0)
+
+    def test_noisy_isolation_close(self, make_simulator):
+        sim = make_simulator()
+        truth = sim.measure_isolation()
+        noisy = sim.measure_isolation(noisy=True)
+        assert np.allclose(noisy, truth, rtol=0.25)
+
+    def test_phase_offset_changes_alignment(self, catalog6, parsec_mix3):
+        a = CoLocationSimulator(parsec_mix3, catalog6, seed=1, phase_offset_s=0.0)
+        b = CoLocationSimulator(parsec_mix3, catalog6, seed=1, phase_offset_s=1.7)
+        assert not np.allclose(a.measure_isolation(), b.measure_isolation())

@@ -1,0 +1,97 @@
+"""Tests for telemetry recording and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.goals import GoalSet
+from repro.system.telemetry import TelemetryLog
+
+
+@pytest.fixture
+def log():
+    telemetry = TelemetryLog(GoalSet())
+    iso = (2e9, 4e9)
+    for i in range(10):
+        telemetry.record(
+            time_s=0.1 * (i + 1),
+            config=None,
+            ips=(1e9 + i * 1e7, 2e9),
+            isolation_ips=iso,
+            weights=(0.5 + 0.01 * i, 0.5 - 0.01 * i),
+            extra={"objective": 0.5 + 0.01 * i},
+        )
+    return telemetry
+
+
+class TestRecording:
+    def test_length(self, log):
+        assert len(log) == 10
+
+    def test_records_scored(self, log):
+        rec = log[0]
+        assert 0 < rec.throughput <= 1
+        assert 0 < rec.fairness <= 1
+
+    def test_speedups(self, log):
+        assert log[0].speedups == pytest.approx([0.5, 0.5])
+
+    def test_iteration(self, log):
+        assert len(list(log)) == 10
+
+
+class TestAggregation:
+    def test_mean_scores(self, log):
+        assert log.mean_throughput() == pytest.approx(
+            np.mean([r.throughput for r in log]), rel=1e-12
+        )
+        assert 0 < log.mean_fairness() <= 1
+
+    def test_mean_job_speedups_shape(self, log):
+        assert log.mean_job_speedups().shape == (2,)
+
+    def test_worst_job(self, log):
+        assert log.worst_job_speedup() == pytest.approx(log.mean_job_speedups().min())
+
+    def test_empty_log_raises(self):
+        with pytest.raises(ExperimentError):
+            TelemetryLog().mean_throughput()
+
+
+class TestSeries:
+    def test_time_series(self, log):
+        t = log.series("time")
+        assert t[0] == pytest.approx(0.1)
+        assert np.all(np.diff(t) > 0)
+
+    def test_weight_series(self, log):
+        w = log.series("weight_throughput")
+        assert w[0] == pytest.approx(0.5)
+        assert w[-1] == pytest.approx(0.59)
+
+    def test_extra_series(self, log):
+        assert log.series("objective")[-1] == pytest.approx(0.59)
+
+    def test_unknown_series_raises(self, log):
+        with pytest.raises(ExperimentError):
+            log.series("latency")
+
+    def test_throughput_series_increasing(self, log):
+        t = log.series("throughput")
+        assert t[-1] > t[0]
+
+
+class TestTail:
+    def test_tail_keeps_last_records(self, log):
+        tail = log.tail(0.5)
+        assert len(tail) == 5
+        assert tail[0].time_s == pytest.approx(0.6)
+
+    def test_tail_full(self, log):
+        assert len(log.tail(1.0)) == 10
+
+    def test_tail_bad_fraction(self, log):
+        with pytest.raises(ExperimentError):
+            log.tail(0.0)
+        with pytest.raises(ExperimentError):
+            log.tail(1.5)
