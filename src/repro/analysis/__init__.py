@@ -1,6 +1,8 @@
 """Analysis utilities: telemetry export and replication statistics."""
 
 from repro.analysis.export import (
+    engine_summary,
+    engine_summary_json,
     run_summary,
     run_summary_json,
     telemetry_rows,
@@ -19,6 +21,8 @@ __all__ = [
     "ReplicatedScore",
     "confidence_interval",
     "convergence_time_s",
+    "engine_summary",
+    "engine_summary_json",
     "replicate_policy",
     "run_summary",
     "run_summary_json",

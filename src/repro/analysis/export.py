@@ -13,6 +13,7 @@ import io
 import json
 from typing import Any, Dict, List
 
+from repro.engine import ExecutionEngine
 from repro.experiments.runner import RunResult
 from repro.system.telemetry import TelemetryLog
 
@@ -27,17 +28,18 @@ def telemetry_rows(telemetry: TelemetryLog) -> List[Dict[str, Any]]:
     rows = []
     for record in telemetry:
         row: Dict[str, Any] = {
-            "time_s": record.time_s,
-            "throughput": record.throughput,
-            "fairness": record.fairness,
+            "time_s": float(record.time_s),
+            "throughput": float(record.throughput),
+            "fairness": float(record.fairness),
         }
         for j, (ips, iso) in enumerate(zip(record.ips, record.isolation_ips)):
-            row[f"ips_job{j}"] = ips
-            row[f"speedup_job{j}"] = ips / iso
+            row[f"ips_job{j}"] = float(ips)
+            row[f"speedup_job{j}"] = float(ips) / float(iso)
         if record.weights is not None:
-            row["weight_throughput"], row["weight_fairness"] = record.weights
+            row["weight_throughput"] = float(record.weights[0])
+            row["weight_fairness"] = float(record.weights[1])
         for key, value in record.extra.items():
-            row[key] = value
+            row[key] = float(value) if isinstance(value, (int, float)) else value
         rows.append(row)
     return rows
 
@@ -68,9 +70,9 @@ def run_summary(result: RunResult) -> Dict[str, Any]:
         "duration_s": result.run_config.duration_s,
         "interval_s": result.run_config.interval_s,
         "intervals": len(result.telemetry),
-        "throughput": result.throughput,
-        "fairness": result.fairness,
-        "worst_job_speedup": result.worst_job_speedup,
+        "throughput": float(result.throughput),
+        "fairness": float(result.fairness),
+        "worst_job_speedup": float(result.worst_job_speedup),
         "mean_job_speedups": [float(s) for s in scored.mean_job_speedups()],
     }
 
@@ -78,3 +80,16 @@ def run_summary(result: RunResult) -> Dict[str, Any]:
 def run_summary_json(result: RunResult, indent: int = 2) -> str:
     """The run summary rendered as a JSON string."""
     return json.dumps(run_summary(result), indent=indent)
+
+
+def engine_summary(engine: ExecutionEngine) -> Dict[str, Any]:
+    """JSON-compatible snapshot of an engine's counters and cache state."""
+    summary: Dict[str, Any] = {"workers": engine.workers, **engine.stats.to_dict()}
+    if engine.cache is not None:
+        summary["cache"] = {"root": str(engine.cache.root), **engine.cache.stats()}
+    return summary
+
+
+def engine_summary_json(engine: ExecutionEngine, indent: int = 2) -> str:
+    """The engine summary rendered as a JSON string."""
+    return json.dumps(engine_summary(engine), indent=indent)

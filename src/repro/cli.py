@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.controller import SatoriController
+from repro.engine import ExecutionEngine, RunCache
 from repro.experiments.comparison import (
     STANDARD_POLICY_ORDER,
     aggregate,
@@ -48,6 +49,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=20.0, help="simulated seconds")
     parser.add_argument("--units", type=int, default=8, help="allocation units per resource")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for batched runs")
+    parser.add_argument("--cache-dir", default="",
+                        help="directory for the content-addressed run cache")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir and recompute everything")
+
+
+def _engine(args: argparse.Namespace) -> ExecutionEngine:
+    cache_dir = "" if args.no_cache else args.cache_dir
+    cache = RunCache(cache_dir) if cache_dir else None
+    return ExecutionEngine(workers=args.workers, cache=cache)
+
+
+def _print_engine_stats(engine: ExecutionEngine) -> None:
+    print(f"\nengine: {engine.stats.summary()} ({engine.workers} worker(s))")
 
 
 def _mixes(args: argparse.Namespace):
@@ -86,8 +103,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     catalog = experiment_catalog(args.units)
     mixes = _mixes(args)
     chosen = mixes if args.all_mixes else [mixes[args.mix]]
+    engine = _engine(args)
     comparisons = compare_on_mixes(
-        chosen, catalog, RunConfig(duration_s=args.duration), seed=args.seed
+        chosen, catalog, RunConfig(duration_s=args.duration), seed=args.seed, engine=engine
     )
     agg = aggregate(comparisons, STANDARD_POLICY_ORDER)
     print(
@@ -97,6 +115,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"{len(chosen)} {args.suite} mix(es), {args.duration:.0f}s runs:",
         )
     )
+    _print_engine_stats(engine)
     return 0
 
 
@@ -116,7 +135,10 @@ def cmd_weights(args: argparse.Namespace) -> int:
 def cmd_sensitivity(args: argparse.Namespace) -> int:
     catalog = experiment_catalog(args.units)
     mix = _mixes(args)[args.mix]
-    result = period_sensitivity(mix, catalog, RunConfig(duration_s=args.duration), seed=args.seed)
+    engine = _engine(args)
+    result = period_sensitivity(
+        mix, catalog, RunConfig(duration_s=args.duration), seed=args.seed, engine=engine
+    )
     print(
         format_table(
             ["T_P (s)", "T %", "F %"],
@@ -132,22 +154,26 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
             title="equalization-period sweep:",
         )
     )
+    _print_engine_stats(engine)
     return 0
 
 
 def cmd_scalability(args: argparse.Namespace) -> int:
     catalog = experiment_catalog(args.units)
+    engine = _engine(args)
     result = colocation_scalability(
         degrees=tuple(args.degrees),
         catalog=catalog,
         run_config=RunConfig(duration_s=args.duration),
         seed=args.seed,
+        engine=engine,
     )
     rows = [
         [p.degree, p.satori_throughput, p.parties_throughput, p.throughput_gap_points]
         for p in result.points
     ]
     print(format_table(["degree", "SATORI T%", "PARTIES T%", "gap (pts)"], rows))
+    _print_engine_stats(engine)
     return 0
 
 
@@ -172,7 +198,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print("specify a figure id (or --list)", file=sys.stderr)
         return 2
     scale = FigureScale(
-        units=args.units, duration_s=args.duration, n_mixes=args.mixes, seed=args.seed
+        units=args.units, duration_s=args.duration, n_mixes=args.mixes, seed=args.seed,
+        workers=args.workers, cache_dir="" if args.no_cache else args.cache_dir,
     )
     print(run_figure(args.name, scale))
     return 0
@@ -188,6 +215,8 @@ def cmd_report(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             units=args.units,
             seed=args.seed,
+            workers=args.workers,
+            cache_dir="" if args.no_cache else args.cache_dir,
         )
     )
     if args.out:

@@ -1,0 +1,134 @@
+"""Content-addressed on-disk cache of completed runs.
+
+Artifacts are JSON files addressed by ``sha256(spec digest | salt)``:
+the spec digest covers everything that determines the result (workload
+models, policy id + kwargs, catalog, run config, goal metrics, seed),
+and the *salt* folds in a code-version tag so results computed by an
+older engine/runner are never served after the code changes — bumping
+:data:`CACHE_SCHEMA_VERSION` (or the package version) invalidates the
+whole store without deleting anything.
+
+Layout::
+
+    <root>/<salt>/<key[:2]>/<key>.json
+
+Each artifact stores the full spec dict alongside the result, so a
+cache directory is self-describing and greppable. Reads and writes are
+crash-safe: artifacts are written to a temp file and atomically
+renamed, and unreadable/mismatched artifacts count as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.engine.spec import RunSpec
+from repro.experiments.runner import RunResult
+
+#: Bump to invalidate every cached artifact after a semantic change to
+#: the runner, the workload models, or the serialization format.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_salt() -> str:
+    """The code-version salt: package version + cache schema."""
+    try:
+        from repro import __version__ as version
+    except ImportError:  # pragma: no cover - repro always has a version
+        version = "unknown"
+    return f"repro-{version}-schema{CACHE_SCHEMA_VERSION}"
+
+
+class RunCache:
+    """Content-addressed JSON store of :class:`RunResult` artifacts.
+
+    Args:
+        root: cache directory (created lazily on first write).
+        salt: code-version tag mixed into every key; defaults to
+            :func:`default_cache_salt`.
+    """
+
+    def __init__(self, root: Union[str, Path], salt: Optional[str] = None):
+        self._root = Path(root)
+        self._salt = salt or default_cache_salt()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def salt(self) -> str:
+        return self._salt
+
+    @property
+    def hits(self) -> int:
+        """Number of ``get`` calls served from disk."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of ``get`` calls that found no usable artifact."""
+        return self._misses
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """The artifact path a spec's result lives at (existing or not)."""
+        key = hashlib.sha256(f"{spec.digest}|{self._salt}".encode()).hexdigest()
+        return self._root / self._salt / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or ``None`` (counted as a miss)."""
+        path = self.path_for(spec)
+        try:
+            with open(path) as handle:
+                artifact = json.load(handle)
+            if artifact.get("digest") != spec.digest:
+                raise ValueError("artifact digest mismatch")
+            result = RunResult.from_dict(artifact["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self._misses += 1
+            return None
+        self._hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Store ``result`` under ``spec``'s key (atomic replace)."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        artifact = {
+            "digest": spec.digest,
+            "salt": self._salt,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w") as handle:
+            json.dump(artifact, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        return path
+
+    def invalidate(self, spec: RunSpec) -> bool:
+        """Delete one spec's artifact; returns whether one existed."""
+        path = self.path_for(spec)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Delete every artifact under this cache's salt; returns the count."""
+        salt_dir = self._root / self._salt
+        count = sum(1 for _ in salt_dir.rglob("*.json")) if salt_dir.exists() else 0
+        shutil.rmtree(salt_dir, ignore_errors=True)
+        return count
+
+    def stats(self) -> dict:
+        """Hit/miss counters as a JSON-compatible dict."""
+        return {"hits": self._hits, "misses": self._misses, "salt": self._salt}

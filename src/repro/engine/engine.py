@@ -1,0 +1,195 @@
+"""The execution engine: batch fan-out with deterministic results.
+
+:class:`ExecutionEngine.run` takes a batch of :class:`RunSpec` jobs
+and returns their :class:`RunResult` objects in submission order. The
+engine guarantees *bit-identical* results regardless of worker count,
+submission order, or completion order, because
+
+* every RNG stream a run consumes is derived from the spec's content
+  digest (:meth:`RunSpec.seed_for`), never from shared generators or
+  submission sequence;
+* every result — computed serially, computed in a worker, or loaded
+  from cache — passes through the same lossless JSON representation
+  (:meth:`RunResult.to_dict` / ``from_dict``), so all three paths
+  yield structurally equal objects.
+
+Duplicate specs inside a batch execute once (the 21-mix PARSEC grid
+shares one Balanced Oracle run per mix across all drivers that ask for
+it), and an attached :class:`~repro.engine.cache.RunCache` extends the
+dedup across engine instances, processes, and sessions.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.cache import RunCache
+from repro.engine.spec import RunSpec
+from repro.errors import EngineError
+from repro.experiments.runner import RunResult, run_policy
+from repro.policies.registry import make_policy
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Execute one spec from scratch (no cache, current process).
+
+    This is the single choke point every run goes through — the
+    warm-cache tests monkeypatch :func:`repro.experiments.runner.run_policy`
+    via this module to prove cached batches trigger zero executions.
+    """
+    goals = spec.goal_set()
+    policy = make_policy(
+        spec.policy,
+        spec.mix,
+        spec.catalog,
+        goals,
+        rng=spec.seed_for("policy"),
+        **spec.kwargs_dict(),
+    )
+    return run_policy(
+        policy, spec.mix, spec.catalog, spec.run_config, goals, seed=spec.seed_for("noise")
+    )
+
+
+def _execute_run_payload(spec: RunSpec) -> dict:
+    """Worker entry point: run a spec, ship the result as plain data."""
+    return execute_run(spec).to_dict()
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine's lifetime (all ``run`` calls summed).
+
+    Attributes:
+        submitted: specs passed to ``run`` (including duplicates).
+        executed: specs actually run via :func:`execute_run`.
+        deduplicated: duplicate specs coalesced within batches.
+        cache_hits / cache_misses: disk-cache lookups (zero without a
+            cache attached).
+        batches: number of ``run`` calls.
+    """
+
+    submitted: int = 0
+    executed: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "deduplicated": self.deduplicated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "batches": self.batches,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable form for CLI/report output."""
+        return (
+            f"{self.submitted} submitted, {self.executed} executed, "
+            f"{self.deduplicated} deduplicated, "
+            f"{self.cache_hits} cache hits, {self.cache_misses} cache misses"
+        )
+
+
+class ExecutionEngine:
+    """Runs batches of specs serially or across worker processes.
+
+    Args:
+        workers: process count; ``1`` (the default) executes in-process
+            with no multiprocessing dependency, which is also the
+            deterministic fallback on single-core machines.
+        cache: optional :class:`RunCache`; hits skip execution
+            entirely and misses are stored after execution.
+    """
+
+    def __init__(self, workers: int = 1, cache: Optional[RunCache] = None):
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers)
+        self._cache = cache
+        self._stats = EngineStats()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def cache(self) -> Optional[RunCache]:
+        return self._cache
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._stats
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Convenience wrapper: run a single spec."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute a batch; results align with ``specs`` by position.
+
+        Identical specs (equal content, hence equal digest) execute at
+        most once per batch; with a cache attached, at most once ever
+        per code version.
+        """
+        specs = list(specs)
+        self._stats.batches += 1
+        self._stats.submitted += len(specs)
+
+        # First-seen order of unique specs keeps scheduling deterministic.
+        unique: Dict[RunSpec, Optional[RunResult]] = {}
+        for spec in specs:
+            if spec in unique:
+                self._stats.deduplicated += 1
+            else:
+                unique[spec] = None
+
+        pending: List[RunSpec] = []
+        for spec in unique:
+            cached = self._cache.get(spec) if self._cache is not None else None
+            if cached is not None:
+                self._stats.cache_hits += 1
+                unique[spec] = cached
+            else:
+                if self._cache is not None:
+                    self._stats.cache_misses += 1
+                pending.append(spec)
+
+        for spec, payload in zip(pending, self._execute_batch(pending)):
+            result = RunResult.from_dict(payload)
+            self._stats.executed += 1
+            if self._cache is not None:
+                self._cache.put(spec, result)
+            unique[spec] = result
+
+        return [unique[spec] for spec in specs]
+
+    # -- internals -------------------------------------------------------
+
+    def _execute_batch(self, pending: Sequence[RunSpec]) -> List[dict]:
+        """Run ``pending`` specs, returning payload dicts in order.
+
+        Results are collected by index, so out-of-order completion in
+        the pool cannot reorder or cross-wire them.
+        """
+        if not pending:
+            return []
+        if self._workers == 1 or len(pending) == 1:
+            return [_execute_run_payload(spec) for spec in pending]
+
+        payloads: List[Optional[dict]] = [None] * len(pending)
+        max_workers = min(self._workers, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_execute_run_payload, spec): index
+                for index, spec in enumerate(pending)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                payloads[futures[future]] = future.result()
+        return payloads  # type: ignore[return-value]

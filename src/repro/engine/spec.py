@@ -1,0 +1,192 @@
+"""Declarative run specifications with content-addressed identity.
+
+A :class:`RunSpec` captures everything that determines one policy run:
+the job mix (full workload models, not just names), the policy-factory
+id and its kwargs, the resource catalog, the methodology knobs, the
+goal metrics, and a base seed. Two specs with equal content have equal
+digests — across processes and Python sessions — which is what lets
+the engine deduplicate work, fan it out to workers, and cache results
+on disk.
+
+Randomness is derived *from the spec digest*, never from submission
+order: each consumer (policy search, measurement noise) gets its own
+stream via :meth:`RunSpec.seed_for`, so a spec produces bit-identical
+telemetry whether it runs first or last, serially or on worker 7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import EngineError
+from repro.experiments.runner import RunConfig
+from repro.metrics.goals import GoalSet
+from repro.resources.types import Resource, ResourceCatalog, ResourceKind
+from repro.workloads.mixes import JobMix
+
+#: Derived seeds live in numpy's legal seed range.
+_SEED_SPACE = 2**63 - 1
+
+
+def derive_seed(*parts: Any) -> int:
+    """A stable 63-bit seed from arbitrary string-able parts.
+
+    Used wherever a deterministic child seed is needed outside a spec
+    (e.g. legacy in-process policies that bypass the registry).
+    """
+    text = "/".join(str(p) for p in parts)
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big") % _SEED_SPACE
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert plain data into a hashable canonical form."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise EngineError(
+        f"policy kwargs must be JSON-compatible plain data; got {type(value).__name__}: {value!r}"
+    )
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for passing kwargs to factories."""
+    if isinstance(value, tuple):
+        if all(isinstance(v, tuple) and len(v) == 2 and isinstance(v[0], str) for v in value):
+            return {k: _thaw(v) for k, v in value}
+        return tuple(_thaw(v) for v in value)
+    return value
+
+
+def _jsonable(value: Any) -> Any:
+    """Frozen kwargs rendered back into JSON-native containers."""
+    thawed = _thaw(value)
+    if isinstance(thawed, tuple):
+        return [_jsonable(v) for v in thawed]
+    if isinstance(thawed, dict):
+        return {k: _jsonable(v) for k, v in thawed.items()}
+    return thawed
+
+
+def _listify(value: Any) -> Any:
+    """Tuples (from frozen dataclasses) rendered as JSON-native lists."""
+    if isinstance(value, dict):
+        return {k: _listify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_listify(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A frozen, hashable description of one policy run.
+
+    Attributes:
+        mix: the co-located workloads (frozen dataclasses — the digest
+            covers their full analytic models, so regenerated synthetic
+            workloads with different parameters hash differently).
+        policy: a policy-factory id registered in
+            :mod:`repro.policies.registry` (e.g. ``"SATORI"``).
+        catalog: the server's resource catalog.
+        policy_kwargs: JSON-compatible kwargs for the factory, stored
+            canonically as sorted key/value tuples (pass a dict).
+        run_config: methodology knobs (duration, intervals, noise).
+        goals: ``(throughput_metric, fairness_metric)`` names.
+        seed: base seed; all RNG streams derive from the digest, which
+            includes this value.
+    """
+
+    mix: JobMix
+    policy: str
+    catalog: ResourceCatalog
+    policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    run_config: RunConfig = RunConfig()
+    goals: Tuple[str, str] = ("sum_ips", "jain")
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy_kwargs", _freeze(dict(self.policy_kwargs)
+                           if isinstance(self.policy_kwargs, Mapping)
+                           else dict(tuple(self.policy_kwargs))))
+        object.__setattr__(self, "goals", (str(self.goals[0]), str(self.goals[1])))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    # -- identity --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-compatible representation (digest input)."""
+        return {
+            "mix": {
+                "label": self.mix.label,
+                "workloads": [_listify(dataclasses.asdict(w)) for w in self.mix],
+            },
+            "policy": self.policy,
+            "policy_kwargs": _jsonable(self.policy_kwargs),
+            "catalog": [
+                {
+                    "kind": r.kind.value,
+                    "units": r.units,
+                    "min_units": r.min_units,
+                    "unit_capacity": r.unit_capacity,
+                }
+                for r in self.catalog
+            ],
+            "run_config": self.run_config.to_dict(),
+            "goals": list(self.goals),
+            "seed": self.seed,
+        }
+
+    @cached_property
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical representation."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def seed_for(self, stream: str) -> int:
+        """A deterministic seed for one named consumer of this spec.
+
+        Distinct ``stream`` names (``"policy"``, ``"noise"``) yield
+        independent streams; both are functions of the content digest
+        only, so they are identical in every process that runs the
+        spec.
+        """
+        return derive_seed(self.digest, stream)
+
+    # -- reconstruction helpers -----------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.mix)
+
+    def goal_set(self) -> GoalSet:
+        return GoalSet(*self.goals)
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        """Policy kwargs as a plain dict for the factory call."""
+        return dict(_thaw(self.policy_kwargs))
+
+    @staticmethod
+    def catalog_from_dict(entries) -> ResourceCatalog:
+        """Rebuild a catalog from the ``catalog`` part of :meth:`to_dict`."""
+        return ResourceCatalog(
+            Resource(
+                kind=ResourceKind(e["kind"]),
+                units=int(e["units"]),
+                min_units=int(e["min_units"]),
+                unit_capacity=float(e["unit_capacity"]),
+            )
+            for e in entries
+        )
+
+    def __repr__(self) -> str:  # keep logs readable: the mix dataclass repr is huge
+        return (
+            f"RunSpec(policy={self.policy!r}, mix={self.mix.label!r}, "
+            f"seed={self.seed}, digest={self.digest[:12]})"
+        )

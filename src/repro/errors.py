@@ -49,3 +49,11 @@ class ModelError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver received inconsistent parameters."""
+
+
+class EngineError(ReproError):
+    """The execution engine was misconfigured or a run spec is invalid.
+
+    Raised for non-serializable policy kwargs, unknown policy-factory
+    ids, invalid worker counts, and malformed cache artifacts.
+    """

@@ -32,7 +32,9 @@ from repro.experiments.comparison import (
     aggregate,
     compare_on_mix,
     compare_on_mixes,
+    comparison_specs,
     full_space,
+    seed_to_int,
     standard_policies,
 )
 from repro.experiments.internals import (
@@ -112,6 +114,7 @@ __all__ = [
     "colocation_scalability",
     "compare_on_mix",
     "compare_on_mixes",
+    "comparison_specs",
     "conflicting_goal_gap",
     "controller_overhead",
     "distance_to_oracle",
@@ -127,6 +130,7 @@ __all__ = [
     "rebalancing_opportunity",
     "resource_subset_ablation",
     "run_policy",
+    "seed_to_int",
     "standard_policies",
     "weak_goal_priority",
     "weight_trace",

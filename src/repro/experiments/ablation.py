@@ -7,26 +7,24 @@
   knob set.
 * Acquisition-function and kernel ablations for the design choices
   DESIGN.md calls out (EI + Matérn 5/2 vs the alternatives).
+
+Every variant is expressed as :class:`~repro.engine.RunSpec` policy
+kwargs (``resources``, ``acquisition``, ``kernel`` by name), so the
+ablations are plain engine batches and share the Balanced Oracle run
+with every other driver through the cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.core.controller import SatoriController
-from repro.core.kernels import RBF, Matern52
+from repro.engine import ExecutionEngine, RunSpec
 from repro.metrics.goals import GoalSet
-from repro.policies.copart import CoPartPolicy
-from repro.policies.dcat import DCatPolicy
-from repro.policies.oracle import OraclePolicy, OracleSearch
-from repro.resources.space import ConfigurationSpace
 from repro.resources.types import LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog
-from repro.rng import SeedLike, make_rng, spawn_rng
-from repro.experiments.comparison import full_space
-from repro.experiments.runner import RunConfig, run_policy, experiment_catalog
+from repro.rng import SeedLike
+from repro.experiments.comparison import seed_to_int
+from repro.experiments.runner import RunConfig, experiment_catalog
 from repro.workloads.mixes import JobMix
 
 
@@ -51,6 +49,22 @@ class SubsetAblationResult:
         return self.satori_fairness - self.baseline_fairness
 
 
+def _base_fields(mix, catalog, run_config, goals, seed) -> dict:
+    return dict(
+        mix=mix,
+        catalog=catalog,
+        run_config=run_config or RunConfig(),
+        goals=(goals.throughput_metric, goals.fairness_metric),
+        seed=seed_to_int(seed),
+    )
+
+
+def _oracle_spec(base: dict) -> RunSpec:
+    return RunSpec(
+        policy="Oracle", policy_kwargs={"w_throughput": 0.5, "w_fairness": 0.5}, **base
+    )
+
+
 def resource_subset_ablation(
     mix: JobMix,
     subset: Sequence[str],
@@ -58,6 +72,7 @@ def resource_subset_ablation(
     run_config: Optional[RunConfig] = None,
     goals: Optional[GoalSet] = None,
     seed: SeedLike = 0,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SubsetAblationResult:
     """Compare SATORI-on-a-subset against the matching baseline.
 
@@ -68,24 +83,24 @@ def resource_subset_ablation(
     """
     catalog = catalog or experiment_catalog()
     goals = goals or GoalSet()
-    rng = make_rng(seed)
+    engine = engine or ExecutionEngine()
     subset = tuple(subset)
-    space = ConfigurationSpace(catalog.subset(subset), len(mix))
 
     if set(subset) == {LLC_WAYS}:
-        baseline = DCatPolicy(space, goals, rng=spawn_rng(rng))
+        baseline_policy = "dCAT"
     elif set(subset) == {LLC_WAYS, MEMORY_BANDWIDTH}:
-        baseline = CoPartPolicy(space, goals)
+        baseline_policy = "CoPart"
     else:
         raise ValueError(f"no matching baseline for resource subset {subset}")
 
-    search = OracleSearch(mix, catalog, goals)
-    oracle = run_policy(
-        OraclePolicy(search, 0.5, 0.5), mix, catalog, run_config, goals, seed=spawn_rng(rng)
+    base = _base_fields(mix, catalog, run_config, goals, seed)
+    oracle, satori_result, baseline_result = engine.run(
+        [
+            _oracle_spec(base),
+            RunSpec(policy="SATORI", policy_kwargs={"resources": subset}, **base),
+            RunSpec(policy=baseline_policy, **base),
+        ]
     )
-    satori = SatoriController(space, goals, rng=spawn_rng(rng))
-    satori_result = run_policy(satori, mix, catalog, run_config, goals, seed=spawn_rng(rng))
-    baseline_result = run_policy(baseline, mix, catalog, run_config, goals, seed=spawn_rng(rng))
 
     to_pct = lambda v, ref: 100.0 * v / max(ref, 1e-12)
     return SubsetAblationResult(
@@ -93,7 +108,7 @@ def resource_subset_ablation(
         resources=subset,
         satori_throughput=to_pct(satori_result.throughput, oracle.throughput),
         satori_fairness=to_pct(satori_result.fairness, oracle.fairness),
-        baseline_name=baseline.name,
+        baseline_name=baseline_result.policy_name,
         baseline_throughput=to_pct(baseline_result.throughput, oracle.throughput),
         baseline_fairness=to_pct(baseline_result.fairness, oracle.fairness),
     )
@@ -114,30 +129,35 @@ def bo_design_ablation(
     run_config: Optional[RunConfig] = None,
     goals: Optional[GoalSet] = None,
     seed: SeedLike = 0,
+    engine: Optional[ExecutionEngine] = None,
 ) -> DesignChoiceResult:
     """Swap the acquisition function and kernel (DESIGN.md ablations)."""
     catalog = catalog or experiment_catalog()
     goals = goals or GoalSet()
-    rng = make_rng(seed)
-    space = full_space(catalog, len(mix))
-
-    search = OracleSearch(mix, catalog, goals)
-    oracle = run_policy(
-        OraclePolicy(search, 0.5, 0.5), mix, catalog, run_config, goals, seed=spawn_rng(rng)
-    )
+    engine = engine or ExecutionEngine()
 
     variants = {
-        "EI + Matern52 (paper)": dict(acquisition="ei", kernel=Matern52()),
-        "PI + Matern52": dict(acquisition="pi", kernel=Matern52()),
-        "UCB + Matern52": dict(acquisition="ucb", kernel=Matern52()),
-        "EI + RBF": dict(acquisition="ei", kernel=RBF()),
+        "EI + Matern52 (paper)": dict(acquisition="ei", kernel="matern52"),
+        "PI + Matern52": dict(acquisition="pi", kernel="matern52"),
+        "UCB + Matern52": dict(acquisition="ucb", kernel="matern52"),
+        "EI + RBF": dict(acquisition="ei", kernel="rbf"),
     }
-    scores: Dict[str, Tuple[float, float]] = {}
-    for label, kwargs in variants.items():
-        controller = SatoriController(space, goals, rng=spawn_rng(rng), **kwargs)
-        result = run_policy(controller, mix, catalog, run_config, goals, seed=spawn_rng(rng))
-        scores[label] = (
+    base = _base_fields(mix, catalog, run_config, goals, seed)
+    results = engine.run(
+        [
+            _oracle_spec(base),
+            *(
+                RunSpec(policy="SATORI", policy_kwargs=kwargs, **base)
+                for kwargs in variants.values()
+            ),
+        ]
+    )
+    oracle = results[0]
+    scores: Dict[str, Tuple[float, float]] = {
+        label: (
             100.0 * result.throughput / max(oracle.throughput, 1e-12),
             100.0 * result.fairness / max(oracle.fairness, 1e-12),
         )
+        for label, result in zip(variants, results[1:])
+    }
     return DesignChoiceResult(mix_label=mix.label, scores=scores)

@@ -2,27 +2,28 @@
 
 The paper presents all evaluation results "as % of Balanced Oracle
 (i.e., % distance from the theoretical optimal)" (Sec. IV). This
-module runs every competing policy on a mix (or a list of mixes),
-runs the Balanced Oracle on the same mixes, and reports normalized
-throughput and fairness — the data behind Figs. 7-13.
+module describes every competing policy run on a mix (or a list of
+mixes) as :class:`~repro.engine.RunSpec` jobs, submits them to an
+:class:`~repro.engine.ExecutionEngine` — parallel and cache-aware —
+and reports normalized throughput and fairness, the data behind
+Figs. 7-13. The Balanced Oracle reference run is itself a spec, so the
+engine's cache shares it across every driver that normalizes against
+it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.controller import SatoriController
+from repro.engine import ExecutionEngine, RunSpec, derive_seed
 from repro.errors import ExperimentError
 from repro.metrics.goals import GoalSet
 from repro.policies.base import PartitioningPolicy
-from repro.policies.copart import CoPartPolicy
-from repro.policies.dcat import DCatPolicy
 from repro.policies.oracle import OraclePolicy, OracleSearch
-from repro.policies.parties import PartiesPolicy
-from repro.policies.random_search import RandomSearchPolicy
+from repro.policies.registry import make_policy, policy_names
 from repro.resources.space import ConfigurationSpace
 from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog
 from repro.rng import SeedLike, make_rng, spawn_rng
@@ -31,6 +32,9 @@ from repro.workloads.mixes import JobMix
 
 #: Canonical policy order used in tables (mirrors Fig. 7's x axis).
 STANDARD_POLICY_ORDER = ("Random", "dCAT", "CoPart", "PARTIES", "SATORI")
+
+#: Balanced Oracle weights (the normalization ceiling).
+_ORACLE_KWARGS = {"w_throughput": 0.5, "w_fairness": 0.5}
 
 
 @dataclass(frozen=True)
@@ -69,6 +73,59 @@ def full_space(catalog: ResourceCatalog, n_jobs: int) -> ConfigurationSpace:
     return ConfigurationSpace(catalog.subset([CORES, LLC_WAYS, MEMORY_BANDWIDTH]), n_jobs)
 
 
+def seed_to_int(seed: SeedLike) -> int:
+    """Collapse a SeedLike into the integer a :class:`RunSpec` carries.
+
+    Integers pass through unchanged (the reproducible path); a
+    generator or ``None`` draws one value, preserving the "no seed =
+    fresh randomness" convention of the legacy drivers.
+    """
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return int(seed)
+    return int(make_rng(seed).integers(0, 2**63 - 1))
+
+
+def comparison_specs(
+    mix: JobMix,
+    catalog: Optional[ResourceCatalog] = None,
+    run_config: Optional[RunConfig] = None,
+    goals: Optional[GoalSet] = None,
+    seed: SeedLike = 0,
+    include: Sequence[str] = STANDARD_POLICY_ORDER,
+    satori_kwargs: Optional[dict] = None,
+) -> Tuple[RunSpec, Dict[str, RunSpec]]:
+    """The Balanced Oracle spec plus one spec per included policy.
+
+    The returned specs fully determine the comparison: submitting them
+    to any engine — serial, parallel, cached — yields bit-identical
+    :class:`MixComparison` tables.
+    """
+    catalog = catalog or experiment_catalog()
+    run_config = run_config or RunConfig()
+    goals = goals or GoalSet()
+    known = set(policy_names())
+    unknown = set(include) - known
+    if unknown:
+        raise ExperimentError(f"unknown policies {sorted(unknown)}; have {sorted(known)}")
+    base = dict(
+        mix=mix,
+        catalog=catalog,
+        run_config=run_config,
+        goals=(goals.throughput_metric, goals.fairness_metric),
+        seed=seed_to_int(seed),
+    )
+    oracle = RunSpec(policy="Oracle", policy_kwargs=_ORACLE_KWARGS, **base)
+    specs = {
+        name: RunSpec(
+            policy=name,
+            policy_kwargs=(satori_kwargs or {}) if name == "SATORI" else {},
+            **base,
+        )
+        for name in include
+    }
+    return oracle, specs
+
+
 def standard_policies(
     catalog: ResourceCatalog,
     n_jobs: int,
@@ -79,30 +136,27 @@ def standard_policies(
 ) -> Dict[str, PartitioningPolicy]:
     """Fresh instances of the paper's competing policies.
 
+    Construction goes through the policy-factory registry
+    (:mod:`repro.policies.registry`) — the same factories the engine's
+    worker processes use — rather than ad-hoc closures.
+
     Args:
         include: which of the standard policy names to build.
         satori_kwargs: forwarded to :class:`SatoriController`.
     """
     rng = make_rng(seed)
     goals = goals or GoalSet()
-    space = full_space(catalog, n_jobs)
-    builders: Dict[str, Callable[[], PartitioningPolicy]] = {
-        "Random": lambda: RandomSearchPolicy(space, goals, rng=spawn_rng(rng)),
-        "dCAT": lambda: DCatPolicy(
-            ConfigurationSpace(catalog.subset([LLC_WAYS]), n_jobs), goals, rng=spawn_rng(rng)
-        ),
-        "CoPart": lambda: CoPartPolicy(
-            ConfigurationSpace(catalog.subset([LLC_WAYS, MEMORY_BANDWIDTH]), n_jobs), goals
-        ),
-        "PARTIES": lambda: PartiesPolicy(space, goals),
-        "SATORI": lambda: SatoriController(
-            space, goals, rng=spawn_rng(rng), **(satori_kwargs or {})
-        ),
-    }
-    unknown = set(include) - set(builders)
+    known = set(policy_names())
+    unknown = set(include) - known
     if unknown:
-        raise ExperimentError(f"unknown policies {sorted(unknown)}; have {sorted(builders)}")
-    return {name: builders[name]() for name in include}
+        raise ExperimentError(f"unknown policies {sorted(unknown)}; have {sorted(known)}")
+    policies: Dict[str, PartitioningPolicy] = {}
+    for name in include:
+        kwargs = (satori_kwargs or {}) if name == "SATORI" else {}
+        policies[name] = make_policy(
+            name, None, catalog, goals, rng=spawn_rng(rng), n_jobs=n_jobs, **kwargs
+        )
+    return policies
 
 
 def compare_on_mix(
@@ -115,25 +169,55 @@ def compare_on_mix(
     satori_kwargs: Optional[dict] = None,
     extra_policies: Optional[Dict[str, PartitioningPolicy]] = None,
     oracle_search: Optional[OracleSearch] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> MixComparison:
-    """Run the standard policies plus the Balanced Oracle on one mix."""
+    """Run the standard policies plus the Balanced Oracle on one mix.
+
+    Args:
+        engine: execution engine; defaults to a fresh serial engine.
+            Pass a shared parallel/cached engine to fan the runs out.
+        extra_policies: pre-built policy instances to score alongside
+            the registry policies; these cannot cross process
+            boundaries, so they always run in-process (uncached).
+        oracle_search: a pre-built (shareable) search used instead of
+            the engine's own Oracle run; in-process as well.
+    """
     catalog = catalog or experiment_catalog()
+    run_config = run_config or RunConfig()
     goals = goals or GoalSet()
-    rng = make_rng(seed)
+    engine = engine or ExecutionEngine()
 
-    search = oracle_search or OracleSearch(mix, catalog, goals)
-    oracle_policy = OraclePolicy(search, 0.5, 0.5)
-    oracle = run_policy(oracle_policy, mix, catalog, run_config, goals, seed=spawn_rng(rng))
-
-    policies = standard_policies(
-        catalog, len(mix), goals, seed=spawn_rng(rng), include=include, satori_kwargs=satori_kwargs
+    oracle_spec, policy_specs = comparison_specs(
+        mix, catalog, run_config, goals, seed, include, satori_kwargs
     )
-    if extra_policies:
-        policies.update(extra_policies)
+    if oracle_search is not None:
+        # Legacy path: honor the caller's search object but keep the
+        # noise stream identical to what the oracle spec would use.
+        oracle = run_policy(
+            OraclePolicy(oracle_search, 0.5, 0.5),
+            mix,
+            catalog,
+            run_config,
+            goals,
+            seed=oracle_spec.seed_for("noise"),
+        )
+        results = engine.run(list(policy_specs.values()))
+    else:
+        batch = engine.run([oracle_spec, *policy_specs.values()])
+        oracle, results = batch[0], batch[1:]
 
-    scores: Dict[str, PolicyScore] = {}
-    for name, policy in policies.items():
-        result = run_policy(policy, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+    scores: Dict[str, PolicyScore] = {
+        name: _normalize(result, oracle) for name, result in zip(policy_specs, results)
+    }
+    for name, policy in (extra_policies or {}).items():
+        result = run_policy(
+            policy,
+            mix,
+            catalog,
+            run_config,
+            goals,
+            seed=derive_seed(oracle_spec.digest, "extra", name),
+        )
         scores[name] = _normalize(result, oracle)
     return MixComparison(mix_label=mix.label, oracle=oracle, scores=scores)
 
@@ -146,21 +230,39 @@ def compare_on_mixes(
     seed: SeedLike = 0,
     include: Sequence[str] = STANDARD_POLICY_ORDER,
     satori_kwargs: Optional[dict] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[MixComparison]:
-    """Run :func:`compare_on_mix` over a list of mixes (Figs. 8, 10, 11)."""
-    rng = make_rng(seed)
-    return [
-        compare_on_mix(
-            mix,
-            catalog=catalog,
-            run_config=run_config,
-            goals=goals,
-            seed=spawn_rng(rng),
-            include=include,
-            satori_kwargs=satori_kwargs,
+    """Run :func:`compare_on_mix` over a list of mixes (Figs. 8, 10, 11).
+
+    All runs across all mixes are submitted as one engine batch, so a
+    parallel engine interleaves them freely; per-run noise depends
+    only on each spec's content, never on the mix order.
+    """
+    engine = engine or ExecutionEngine()
+    seed_int = seed_to_int(seed)
+
+    per_mix: List[Tuple[JobMix, RunSpec, Dict[str, RunSpec]]] = []
+    flat: List[RunSpec] = []
+    for mix in mixes:
+        oracle_spec, policy_specs = comparison_specs(
+            mix, catalog, run_config, goals, seed_int, include, satori_kwargs
         )
-        for mix in mixes
-    ]
+        per_mix.append((mix, oracle_spec, policy_specs))
+        flat.extend([oracle_spec, *policy_specs.values()])
+
+    results = engine.run(flat)
+
+    comparisons: List[MixComparison] = []
+    cursor = 0
+    for mix, _oracle_spec, policy_specs in per_mix:
+        oracle = results[cursor]
+        cursor += 1
+        scores: Dict[str, PolicyScore] = {}
+        for name in policy_specs:
+            scores[name] = _normalize(results[cursor], oracle)
+            cursor += 1
+        comparisons.append(MixComparison(mix_label=mix.label, oracle=oracle, scores=scores))
+    return comparisons
 
 
 def aggregate(

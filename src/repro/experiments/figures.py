@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import ExecutionEngine, RunCache
 from repro.errors import ExperimentError
 from repro.experiments.ablation import resource_subset_ablation
 from repro.experiments.characterization import (
@@ -45,16 +46,29 @@ from repro.workloads.mixes import suite_mixes
 
 @dataclass(frozen=True)
 class FigureScale:
-    """Scale knobs shared by all figure drivers."""
+    """Scale and execution knobs shared by all figure drivers.
+
+    Attributes:
+        workers: worker processes for the execution engine.
+        cache_dir: directory for the content-addressed run cache
+            (``None`` disables caching).
+    """
 
     units: int = 8
     duration_s: float = 15.0
     n_mixes: int = 4
     seed: int = 0
+    workers: int = 1
+    cache_dir: Optional[str] = None
 
     @property
     def run_config(self) -> RunConfig:
         return RunConfig(duration_s=self.duration_s)
+
+    def make_engine(self) -> ExecutionEngine:
+        """A fresh engine honoring the workers/cache knobs."""
+        cache = RunCache(self.cache_dir) if self.cache_dir else None
+        return ExecutionEngine(workers=self.workers, cache=cache)
 
 
 def _mixes(scale: FigureScale, suite: str = "parsec"):
@@ -99,7 +113,8 @@ def _fig3(scale: FigureScale) -> str:
 def _fig7(scale: FigureScale, suite: str = "parsec") -> str:
     catalog = experiment_catalog(scale.units)
     comparisons = compare_on_mixes(
-        _mixes(scale, suite), catalog, scale.run_config, seed=scale.seed
+        _mixes(scale, suite), catalog, scale.run_config, seed=scale.seed,
+        engine=scale.make_engine(),
     )
     agg = aggregate(comparisons, STANDARD_POLICY_ORDER)
     return format_table(
@@ -128,7 +143,8 @@ def _fig14(scale: FigureScale) -> str:
 def _fig15(scale: FigureScale) -> str:
     catalog = experiment_catalog(scale.units)
     result = distance_to_oracle(
-        suite_mixes("parsec")[17], catalog, scale.run_config, seed=scale.seed
+        suite_mixes("parsec")[17], catalog, scale.run_config, seed=scale.seed,
+        engine=scale.make_engine(),
     )
     rel = result.relative_to("SATORI")
     rows = [
@@ -142,7 +158,8 @@ def _fig15(scale: FigureScale) -> str:
 def _fig16(scale: FigureScale) -> str:
     catalog = experiment_catalog(scale.units)
     result = period_sensitivity(
-        suite_mixes("parsec")[17], catalog, scale.run_config, seed=scale.seed
+        suite_mixes("parsec")[17], catalog, scale.run_config, seed=scale.seed,
+        engine=scale.make_engine(),
     )
     return (
         f"Fig. 16: T_P-sweep spread {result.prioritization_spread():.1f} pts, "
@@ -187,7 +204,7 @@ def _scalability(scale: FigureScale) -> str:
     catalog = experiment_catalog(scale.units)
     result = colocation_scalability(
         degrees=(3, 5, 7), mixes_per_degree=1, catalog=catalog,
-        run_config=scale.run_config, seed=scale.seed,
+        run_config=scale.run_config, seed=scale.seed, engine=scale.make_engine(),
     )
     gaps = ", ".join(f"{p.degree}: {0.5 * (p.throughput_gap_points + p.fairness_gap_points):+.1f}"
                      for p in result.points)
@@ -209,9 +226,13 @@ def _overhead(scale: FigureScale) -> str:
 def _ablation(scale: FigureScale) -> str:
     catalog = experiment_catalog(scale.units)
     mix = suite_mixes("parsec")[17]
-    llc = resource_subset_ablation(mix, [LLC_WAYS], catalog, scale.run_config, seed=scale.seed)
+    engine = scale.make_engine()  # shared: with a cache, both subsets reuse the oracle run
+    llc = resource_subset_ablation(
+        mix, [LLC_WAYS], catalog, scale.run_config, seed=scale.seed, engine=engine
+    )
     both = resource_subset_ablation(
-        mix, [LLC_WAYS, MEMORY_BANDWIDTH], catalog, scale.run_config, seed=scale.seed
+        mix, [LLC_WAYS, MEMORY_BANDWIDTH], catalog, scale.run_config, seed=scale.seed,
+        engine=engine,
     )
     return (
         f"Ablation: SATORI-LLC vs dCAT {llc.throughput_gap_points:+.1f} T pts; "

@@ -21,15 +21,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import ExecutionEngine
 from repro.metrics.goals import GoalSet
-from repro.policies.base import PartitioningPolicy
 from repro.policies.oracle import OracleSearch
 from repro.resources.types import ResourceCatalog
-from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.rng import SeedLike
 from repro.system.contention import effective_allocations
-from repro.system.telemetry import TelemetryLog
-from repro.experiments.comparison import STANDARD_POLICY_ORDER, standard_policies
-from repro.experiments.runner import RunConfig, run_policy, experiment_catalog
+from repro.experiments.comparison import STANDARD_POLICY_ORDER, comparison_specs
+from repro.experiments.runner import RunConfig, experiment_catalog
 from repro.workloads.mixes import JobMix
 
 
@@ -70,20 +69,28 @@ def distance_to_oracle(
     goals: Optional[GoalSet] = None,
     seed: SeedLike = 0,
     include: Sequence[str] = STANDARD_POLICY_ORDER,
+    engine: Optional[ExecutionEngine] = None,
 ) -> ProximityResult:
-    """Run the standard policies and measure config distance to the oracle."""
+    """Run the standard policies and measure config distance to the oracle.
+
+    The policy runs are engine batches (shared with the comparison
+    drivers via the cache); only the oracle-distance post-processing of
+    each telemetry log happens in-process.
+    """
     catalog = catalog or experiment_catalog()
     goals = goals or GoalSet()
-    rng = make_rng(seed)
+    engine = engine or ExecutionEngine()
     search = OracleSearch(mix, catalog, goals)
 
-    policies = standard_policies(catalog, len(mix), goals, seed=spawn_rng(rng), include=include)
+    _oracle_spec, policy_specs = comparison_specs(
+        mix, catalog, run_config, goals, seed, include
+    )
+    results = engine.run(list(policy_specs.values()))
     mean_distance: Dict[str, float] = {}
     series: Dict[str, np.ndarray] = {}
     times: Optional[np.ndarray] = None
 
-    for name, policy in policies.items():
-        result = run_policy(policy, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+    for name, result in zip(policy_specs, results):
         distances = []
         ts = []
         for record in result.telemetry.records:

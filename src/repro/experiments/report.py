@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.plots import bar_chart, sparkline
+from repro.engine import ExecutionEngine, RunCache
 from repro.errors import ExperimentError
 from repro.experiments.characterization import conflicting_goal_gap, optimal_configuration_drift
 from repro.experiments.comparison import (
@@ -39,12 +40,19 @@ class ReportConfig:
     duration_s: float = 20.0
     units: int = 8
     seed: int = 0
+    workers: int = 1
+    cache_dir: Optional[str] = None
     sections: Sequence[str] = (
         "characterization",
         "comparison",
         "dynamics",
         "overhead",
     )
+
+    def make_engine(self) -> ExecutionEngine:
+        """The engine the report's batched experiments run on."""
+        cache = RunCache(self.cache_dir) if self.cache_dir else None
+        return ExecutionEngine(workers=self.workers, cache=cache)
 
     def __post_init__(self) -> None:
         known = {"characterization", "comparison", "dynamics", "overhead"}
@@ -63,6 +71,7 @@ def generate_report(config: Optional[ReportConfig] = None) -> str:
     stride = max(1, len(all_mixes) // config.n_mixes)
     mixes = all_mixes[::stride][: config.n_mixes]
     run_config = RunConfig(duration_s=config.duration_s)
+    engine = config.make_engine()
 
     started = time.perf_counter()
     parts: List[str] = [
@@ -76,14 +85,17 @@ def generate_report(config: Optional[ReportConfig] = None) -> str:
     if "characterization" in config.sections:
         parts.append(_characterization_section(mixes[0], catalog))
     if "comparison" in config.sections:
-        parts.append(_comparison_section(mixes, catalog, run_config, config.seed))
+        parts.append(_comparison_section(mixes, catalog, run_config, config.seed, engine))
     if "dynamics" in config.sections:
         parts.append(_dynamics_section(mixes[-1], catalog, run_config, config.seed))
     if "overhead" in config.sections:
         parts.append(_overhead_section(mixes[0], catalog, config.seed))
 
     elapsed = time.perf_counter() - started
-    parts.append(f"\n---\n*generated in {elapsed:.1f} s of wall time*")
+    parts.append(
+        f"\n---\n*generated in {elapsed:.1f} s of wall time; "
+        f"engine: {engine.stats.summary()} ({engine.workers} worker(s))*"
+    )
     return "\n".join(parts)
 
 
@@ -109,8 +121,8 @@ def _characterization_section(mix, catalog) -> str:
     return "\n".join(lines)
 
 
-def _comparison_section(mixes, catalog, run_config, seed) -> str:
-    comparisons = compare_on_mixes(mixes, catalog, run_config, seed=seed)
+def _comparison_section(mixes, catalog, run_config, seed, engine=None) -> str:
+    comparisons = compare_on_mixes(mixes, catalog, run_config, seed=seed, engine=engine)
     agg = aggregate(comparisons, STANDARD_POLICY_ORDER)
     rows = [[name, t, f] for name, (t, f) in agg.items()]
     chart = bar_chart(

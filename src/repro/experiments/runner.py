@@ -72,6 +72,15 @@ class RunConfig:
     def n_steps(self) -> int:
         return max(1, round(self.duration_s / self.interval_s))
 
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls) if f.name in data})
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -99,6 +108,31 @@ class RunResult:
     @property
     def worst_job_speedup(self) -> float:
         return self.scored.worst_job_speedup()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of the full run (lossless).
+
+        The engine's on-disk cache and its worker processes both ship
+        results through this representation, so equality of
+        ``to_dict`` outputs is the engine's definition of
+        "bit-identical results".
+        """
+        return {
+            "policy_name": self.policy_name,
+            "mix_label": self.mix_label,
+            "telemetry": self.telemetry.to_dict(),
+            "run_config": self.run_config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a run result from :meth:`to_dict` output."""
+        return cls(
+            policy_name=data["policy_name"],
+            mix_label=data["mix_label"],
+            telemetry=TelemetryLog.from_dict(data["telemetry"]),
+            run_config=RunConfig.from_dict(data["run_config"]),
+        )
 
 
 def run_policy(

@@ -13,11 +13,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine import ExecutionEngine
 from repro.errors import ExperimentError
 from repro.metrics.goals import GoalSet
 from repro.resources.types import ResourceCatalog
-from repro.rng import SeedLike, make_rng, spawn_rng
-from repro.experiments.comparison import compare_on_mix
+from repro.rng import SeedLike
+from repro.experiments.comparison import compare_on_mixes, seed_to_int
 from repro.experiments.runner import RunConfig, experiment_catalog
 from repro.workloads.mixes import JobMix, suite_mixes
 from repro.workloads.registry import WorkloadRegistry, default_registry
@@ -64,15 +65,18 @@ def colocation_scalability(
     goals: Optional[GoalSet] = None,
     seed: SeedLike = 0,
     registry: Optional[WorkloadRegistry] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> ScalabilityResult:
     """Compare SATORI and PARTIES across co-location degrees.
 
     For each degree, a few representative mixes (deterministically
-    chosen from the ``C(7, degree)`` combinations) are averaged.
+    chosen from the ``C(7, degree)`` combinations) are averaged; each
+    degree's mixes go to the engine as one batch.
     """
     catalog = catalog or experiment_catalog()
     registry = registry or default_registry()
-    rng = make_rng(seed)
+    engine = engine or ExecutionEngine()
+    seed_int = seed_to_int(seed)
     n_available = len(registry.suite(suite))
 
     points = []
@@ -85,20 +89,19 @@ def colocation_scalability(
         stride = max(1, len(all_mixes) // mixes_per_degree)
         chosen = all_mixes[::stride][:mixes_per_degree]
 
-        sat_t, sat_f, par_t, par_f = [], [], [], []
-        for mix in chosen:
-            comparison = compare_on_mix(
-                mix,
-                catalog=catalog,
-                run_config=run_config,
-                goals=goals,
-                seed=spawn_rng(rng),
-                include=("PARTIES", "SATORI"),
-            )
-            sat_t.append(comparison.score("SATORI").throughput_vs_oracle)
-            sat_f.append(comparison.score("SATORI").fairness_vs_oracle)
-            par_t.append(comparison.score("PARTIES").throughput_vs_oracle)
-            par_f.append(comparison.score("PARTIES").fairness_vs_oracle)
+        comparisons = compare_on_mixes(
+            chosen,
+            catalog=catalog,
+            run_config=run_config,
+            goals=goals,
+            seed=seed_int,
+            include=("PARTIES", "SATORI"),
+            engine=engine,
+        )
+        sat_t = [c.score("SATORI").throughput_vs_oracle for c in comparisons]
+        sat_f = [c.score("SATORI").fairness_vs_oracle for c in comparisons]
+        par_t = [c.score("PARTIES").throughput_vs_oracle for c in comparisons]
+        par_f = [c.score("PARTIES").fairness_vs_oracle for c in comparisons]
 
         points.append(
             DegreePoint(

@@ -5,20 +5,24 @@ the equalization period ``T_E`` — and reports throughput/fairness as
 % of the Balanced Oracle. The paper's finding: performance is flat
 across a wide range and only degrades for very long periods
 (``T_P > 5 s``, ``T_E > 30 s``), i.e. SATORI does not need tuning.
+
+Every sweep point is a :class:`~repro.engine.RunSpec` (SATORI with the
+periods as policy kwargs), so the whole sweep is one engine batch: the
+points run in parallel and repeat visits to the same setting hit the
+cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.controller import SatoriController
+from repro.engine import ExecutionEngine, RunSpec
 from repro.metrics.goals import GoalSet
-from repro.policies.oracle import OraclePolicy, OracleSearch
 from repro.resources.types import ResourceCatalog
-from repro.rng import SeedLike, make_rng, spawn_rng
-from repro.experiments.comparison import full_space
-from repro.experiments.runner import RunConfig, run_policy, experiment_catalog
+from repro.rng import SeedLike
+from repro.experiments.comparison import seed_to_int
+from repro.experiments.runner import RunConfig, RunResult, experiment_catalog
 from repro.workloads.mixes import JobMix
 
 #: Paper-style sweep points (seconds).
@@ -65,41 +69,56 @@ def period_sensitivity(
     seed: SeedLike = 0,
     prioritization_sweep: Sequence[float] = DEFAULT_PRIORITIZATION_SWEEP,
     equalization_sweep: Sequence[float] = DEFAULT_EQUALIZATION_SWEEP,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SensitivityResult:
     """Sweep T_P (at T_E=10 s) and T_E (at T_P=1 s) on one mix."""
     catalog = catalog or experiment_catalog()
+    run_config = run_config or RunConfig()
     goals = goals or GoalSet()
-    rng = make_rng(seed)
+    engine = engine or ExecutionEngine()
 
-    search = OracleSearch(mix, catalog, goals)
-    oracle = run_policy(
-        OraclePolicy(search, 0.5, 0.5), mix, catalog, run_config, goals, seed=spawn_rng(rng)
+    base = dict(
+        mix=mix,
+        catalog=catalog,
+        run_config=run_config,
+        goals=(goals.throughput_metric, goals.fairness_metric),
+        seed=seed_to_int(seed),
     )
 
-    def run_point(t_p: float, t_e: float) -> Tuple[float, float]:
-        controller = SatoriController(
-            full_space(catalog, len(mix)),
-            goals,
-            prioritization_period_s=t_p,
-            equalization_period_s=t_e,
-            rng=spawn_rng(rng),
+    def satori_spec(t_p: float, t_e: float) -> RunSpec:
+        return RunSpec(
+            policy="SATORI",
+            policy_kwargs={
+                "prioritization_period_s": float(t_p),
+                "equalization_period_s": float(t_e),
+            },
+            **base,
         )
-        result = run_policy(controller, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+
+    oracle_spec = RunSpec(
+        policy="Oracle", policy_kwargs={"w_throughput": 0.5, "w_fairness": 0.5}, **base
+    )
+    p_specs = [satori_spec(t_p, max(10.0, t_p)) for t_p in prioritization_sweep]
+    e_specs = [satori_spec(min(1.0, t_e), t_e) for t_e in equalization_sweep]
+
+    results = engine.run([oracle_spec, *p_specs, *e_specs])
+    oracle = results[0]
+    n_p = len(p_specs)
+
+    def score(result: RunResult) -> Tuple[float, float]:
         return (
             100.0 * result.throughput / max(oracle.throughput, 1e-12),
             100.0 * result.fairness / max(oracle.fairness, 1e-12),
         )
 
-    prioritization = []
-    for t_p in prioritization_sweep:
-        t_e = max(10.0, t_p)
-        t, f = run_point(t_p, t_e)
-        prioritization.append(SweepPoint(t_p, t, f))
-
-    equalization = []
-    for t_e in equalization_sweep:
-        t, f = run_point(min(1.0, t_e), t_e)
-        equalization.append(SweepPoint(t_e, t, f))
+    prioritization = [
+        SweepPoint(t_p, *score(result))
+        for t_p, result in zip(prioritization_sweep, results[1 : 1 + n_p])
+    ]
+    equalization = [
+        SweepPoint(t_e, *score(result))
+        for t_e, result in zip(equalization_sweep, results[1 + n_p :])
+    ]
 
     return SensitivityResult(
         mix_label=mix.label, prioritization=prioritization, equalization=equalization

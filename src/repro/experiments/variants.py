@@ -4,6 +4,10 @@ Sec. IV defines Throughput SATORI (W_T=1, W_F=0) and Fairness SATORI
 (W_T=0, W_F=1) "to quantify the limits of SATORI when optimizing a
 single goal". Fig. 7 shows each variant exceeding full SATORI on its
 own goal and approaching the corresponding single-goal Oracle.
+
+All six runs (three SATORI modes, three Oracle weightings) are one
+engine batch; the SATORI mode and the Oracle weights are policy kwargs
+in the run specs.
 """
 
 from __future__ import annotations
@@ -11,13 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.controller import SatoriController
+from repro.engine import ExecutionEngine, RunSpec
 from repro.metrics.goals import GoalSet
-from repro.policies.oracle import OraclePolicy, OracleSearch
 from repro.resources.types import ResourceCatalog
-from repro.rng import SeedLike, make_rng, spawn_rng
-from repro.experiments.comparison import full_space
-from repro.experiments.runner import RunConfig, RunResult, experiment_catalog, run_policy
+from repro.rng import SeedLike
+from repro.experiments.comparison import seed_to_int
+from repro.experiments.runner import RunConfig, RunResult, experiment_catalog
 from repro.workloads.mixes import JobMix
 
 
@@ -52,28 +55,48 @@ def single_goal_limits(
     run_config: Optional[RunConfig] = None,
     goals: Optional[GoalSet] = None,
     seed: SeedLike = 0,
+    engine: Optional[ExecutionEngine] = None,
 ) -> VariantLimitsResult:
     """Run all SATORI variants and all Oracle variants on one mix."""
     catalog = catalog or experiment_catalog()
+    run_config = run_config or RunConfig()
     goals = goals or GoalSet()
-    rng = make_rng(seed)
-    space = full_space(catalog, len(mix))
-    search = OracleSearch(mix, catalog, goals)
+    engine = engine or ExecutionEngine()
 
-    def satori(mode: str) -> RunResult:
-        controller = SatoriController(space, goals, mode=mode, rng=spawn_rng(rng))
-        return run_policy(controller, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+    base = dict(
+        mix=mix,
+        catalog=catalog,
+        run_config=run_config,
+        goals=(goals.throughput_metric, goals.fairness_metric),
+        seed=seed_to_int(seed),
+    )
 
-    def oracle(w_t: float, w_f: float) -> RunResult:
-        policy = OraclePolicy(search, w_t, w_f)
-        return run_policy(policy, mix, catalog, run_config, goals, seed=spawn_rng(rng))
+    def satori(mode: str) -> RunSpec:
+        return RunSpec(policy="SATORI", policy_kwargs={"mode": mode}, **base)
 
+    def oracle(w_t: float, w_f: float) -> RunSpec:
+        return RunSpec(
+            policy="Oracle",
+            policy_kwargs={"w_throughput": w_t, "w_fairness": w_f},
+            **base,
+        )
+
+    results = engine.run(
+        [
+            satori("dynamic"),
+            satori("throughput"),
+            satori("fairness"),
+            oracle(0.5, 0.5),
+            oracle(1.0, 0.0),
+            oracle(0.0, 1.0),
+        ]
+    )
     return VariantLimitsResult(
         mix_label=mix.label,
-        satori=satori("dynamic"),
-        throughput_satori=satori("throughput"),
-        fairness_satori=satori("fairness"),
-        balanced_oracle=oracle(0.5, 0.5),
-        throughput_oracle=oracle(1.0, 0.0),
-        fairness_oracle=oracle(0.0, 1.0),
+        satori=results[0],
+        throughput_satori=results[1],
+        fairness_satori=results[2],
+        balanced_oracle=results[3],
+        throughput_oracle=results[4],
+        fairness_oracle=results[5],
     )

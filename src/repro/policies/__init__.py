@@ -13,6 +13,12 @@ from repro.policies.oracle import (
 from repro.policies.parties import PartiesPolicy
 from repro.policies.qos_parties import QosPartiesPolicy
 from repro.policies.random_search import RandomSearchPolicy
+from repro.policies.registry import (
+    PolicyBuilder,
+    make_policy,
+    policy_names,
+    register_policy,
+)
 from repro.policies.static import (
     EqualPartitionPolicy,
     FixedConfigurationPolicy,
@@ -30,8 +36,12 @@ __all__ = [
     "OracleSearch",
     "PartiesPolicy",
     "PartitioningPolicy",
+    "PolicyBuilder",
     "QosPartiesPolicy",
     "RandomSearchPolicy",
     "UnmanagedPolicy",
     "balanced_oracle",
+    "make_policy",
+    "policy_names",
+    "register_policy",
 ]

@@ -1,0 +1,168 @@
+"""Policy-factory registry: construct any policy from plain data.
+
+The execution engine (``repro.engine``) fans runs out over worker
+processes, so a run specification can only carry *names and kwargs* —
+never closures or policy instances, which do not cross process
+boundaries. This registry maps a factory id (``"SATORI"``, ``"dCAT"``,
+``"Oracle"``, ...) to a module-level builder that constructs a fresh
+policy from the mix, catalog, goals, an RNG seed, and JSON-compatible
+keyword arguments.
+
+Builders receive the full job mix because some reference policies (the
+brute-force Oracle) need the workload models themselves, not just the
+job count; ordinary online policies ignore it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import PolicyError
+from repro.metrics.goals import GoalSet
+from repro.policies.base import PartitioningPolicy
+from repro.policies.copart import CoPartPolicy
+from repro.policies.dcat import DCatPolicy
+from repro.policies.oracle import OraclePolicy, OracleSearch
+from repro.policies.parties import PartiesPolicy
+from repro.policies.random_search import RandomSearchPolicy
+from repro.policies.static import EqualPartitionPolicy
+from repro.resources.space import ConfigurationSpace
+from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog
+from repro.rng import SeedLike, make_rng
+from repro.workloads.mixes import JobMix
+
+#: Builder signature: ``(mix, catalog, goals, rng, **kwargs) -> policy``.
+PolicyBuilder = Callable[..., PartitioningPolicy]
+
+_BUILDERS: Dict[str, PolicyBuilder] = {}
+
+#: The three resources the paper's full-space policies partition.
+FULL_RESOURCES = (CORES, LLC_WAYS, MEMORY_BANDWIDTH)
+
+
+def register_policy(name: str, builder: Optional[PolicyBuilder] = None):
+    """Register ``builder`` under ``name`` (usable as a decorator).
+
+    Re-registering a name replaces the previous builder, so downstream
+    extensions can override the stock factories.
+    """
+
+    def _register(fn: PolicyBuilder) -> PolicyBuilder:
+        _BUILDERS[name] = fn
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Registered factory ids, sorted."""
+    return tuple(sorted(_BUILDERS))
+
+
+def make_policy(
+    name: str,
+    mix: Optional[JobMix],
+    catalog: ResourceCatalog,
+    goals: Optional[GoalSet] = None,
+    rng: SeedLike = None,
+    n_jobs: Optional[int] = None,
+    **kwargs,
+) -> PartitioningPolicy:
+    """Build a fresh policy instance from registry id + kwargs.
+
+    Args:
+        name: a registered factory id (see :func:`policy_names`).
+        mix: the co-located workloads; may be ``None`` for policies
+            that only need the job count (pass ``n_jobs`` then).
+        catalog: the server's full resource catalog.
+        goals: metric choices; defaults to the paper's.
+        rng: seed for stochastic policies.
+        n_jobs: job count override when ``mix`` is ``None``.
+        kwargs: forwarded to the builder (must be plain data when the
+            policy will be constructed in a worker process).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy factory {name!r}; registered: {', '.join(policy_names())}"
+        ) from None
+    if mix is None and n_jobs is None:
+        raise PolicyError(f"policy factory {name!r} needs a mix or an explicit n_jobs")
+    return builder(mix, catalog, goals or GoalSet(), rng, _n_jobs(mix, n_jobs), **kwargs)
+
+
+def _n_jobs(mix: Optional[JobMix], n_jobs: Optional[int]) -> int:
+    return len(mix) if n_jobs is None else int(n_jobs)
+
+
+def _space(
+    catalog: ResourceCatalog, n_jobs: int, resources: Sequence[str] = FULL_RESOURCES
+) -> ConfigurationSpace:
+    return ConfigurationSpace(catalog.subset(tuple(resources)), n_jobs)
+
+
+# -- stock factories -----------------------------------------------------
+
+
+@register_policy("Random")
+def _build_random(mix, catalog, goals, rng, n_jobs, **kwargs):
+    return RandomSearchPolicy(_space(catalog, n_jobs), goals, rng=make_rng(rng), **kwargs)
+
+
+@register_policy("dCAT")
+def _build_dcat(mix, catalog, goals, rng, n_jobs, **kwargs):
+    return DCatPolicy(_space(catalog, n_jobs, [LLC_WAYS]), goals, rng=make_rng(rng), **kwargs)
+
+
+@register_policy("CoPart")
+def _build_copart(mix, catalog, goals, rng, n_jobs, **kwargs):
+    return CoPartPolicy(_space(catalog, n_jobs, [LLC_WAYS, MEMORY_BANDWIDTH]), goals, **kwargs)
+
+
+@register_policy("PARTIES")
+def _build_parties(mix, catalog, goals, rng, n_jobs, **kwargs):
+    return PartiesPolicy(_space(catalog, n_jobs), goals, **kwargs)
+
+
+@register_policy("EqualPartition")
+def _build_equal(mix, catalog, goals, rng, n_jobs, **kwargs):
+    return EqualPartitionPolicy(_space(catalog, n_jobs), goals, **kwargs)
+
+
+@register_policy("SATORI")
+def _build_satori(mix, catalog, goals, rng, n_jobs, resources=None, kernel=None, **kwargs):
+    """SATORI with optional resource restriction and kernel-by-name.
+
+    ``resources`` limits the controlled subset (ablations); ``kernel``
+    may be a kernel instance or one of ``"matern52"`` / ``"rbf"`` so
+    run specs stay JSON-serializable.
+    """
+    # Imported lazily: repro.core.controller itself imports policy base
+    # classes, and importing it at module scope would cycle through the
+    # repro.policies package initializer.
+    from repro.core.controller import SatoriController
+    from repro.core.kernels import RBF, Matern52
+
+    if isinstance(kernel, str):
+        try:
+            kernel = {"matern52": Matern52, "rbf": RBF}[kernel.lower()]()
+        except KeyError:
+            raise PolicyError(
+                f"unknown kernel name {kernel!r}; choices: 'matern52', 'rbf'"
+            ) from None
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    space = _space(catalog, n_jobs, tuple(resources) if resources else FULL_RESOURCES)
+    return SatoriController(space, goals, rng=make_rng(rng), **kwargs)
+
+
+@register_policy("Oracle")
+def _build_oracle(mix, catalog, goals, rng, n_jobs, w_throughput=0.5, w_fairness=0.5,
+                  label=None, **kwargs):
+    if mix is None:
+        raise PolicyError("the Oracle factory needs the job mix, not just n_jobs")
+    search = OracleSearch(mix, catalog, goals, **kwargs)
+    return OraclePolicy(search, w_throughput, w_fairness, label=label)

@@ -15,7 +15,7 @@ expressed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -103,6 +103,17 @@ class Configuration:
     def __repr__(self) -> str:
         inner = ", ".join(f"{name}={units}" for name, units in self._allocations.items())
         return f"Configuration({inner})"
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, List[int]]:
+        """JSON-compatible mapping of resource name to per-job units."""
+        return {name: list(units) for name, units in self._allocations.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[int]]) -> "Configuration":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return cls(data)
 
     # -- transformations -----------------------------------------------
 

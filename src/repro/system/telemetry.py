@@ -42,6 +42,39 @@ class TelemetryRecord:
     def scores(self) -> GoalScores:
         return GoalScores(self.throughput, self.fairness)
 
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation (exact float round-trip)."""
+        return {
+            "time_s": self.time_s,
+            "config": self.config.to_dict() if self.config is not None else None,
+            "ips": list(self.ips),
+            "isolation_ips": list(self.isolation_ips),
+            "throughput": self.throughput,
+            "fairness": self.fairness,
+            "weights": list(self.weights) if self.weights is not None else None,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TelemetryRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Stored goal scores are restored verbatim rather than recomputed
+        so a round-trip is bit-identical even if metric code changes.
+        """
+        weights = data.get("weights")
+        config = data.get("config")
+        return cls(
+            time_s=float(data["time_s"]),
+            config=Configuration.from_dict(config) if config is not None else None,
+            ips=tuple(float(v) for v in data["ips"]),
+            isolation_ips=tuple(float(v) for v in data["isolation_ips"]),
+            throughput=float(data["throughput"]),
+            fairness=float(data["fairness"]),
+            weights=tuple(float(w) for w in weights) if weights is not None else None,
+            extra={k: float(v) for k, v in data.get("extra", {}).items()},
+        )
+
 
 class TelemetryLog:
     """Accumulates per-interval records for one policy run."""
@@ -78,15 +111,18 @@ class TelemetryLog:
     ) -> TelemetryRecord:
         """Score one interval's measurements and append the record."""
         scores = self._goals.scores(ips, isolation_ips)
+        # Coerce to plain Python floats: diagnostics frequently hand us
+        # numpy scalars, which json.dumps rejects (np.bool_) or which
+        # break strict round-trip equality checks.
         rec = TelemetryRecord(
-            time_s=time_s,
+            time_s=float(time_s),
             config=config,
             ips=tuple(float(v) for v in ips),
             isolation_ips=tuple(float(v) for v in isolation_ips),
-            throughput=scores.throughput,
-            fairness=scores.fairness,
-            weights=weights,
-            extra=dict(extra or {}),
+            throughput=float(scores.throughput),
+            fairness=float(scores.fairness),
+            weights=(float(weights[0]), float(weights[1])) if weights is not None else None,
+            extra={key: float(value) for key, value in (extra or {}).items()},
         )
         self._records.append(rec)
         return rec
@@ -137,6 +173,31 @@ class TelemetryLog:
         if any(what in r.extra for r in self._records):
             return np.array([r.extra.get(what, np.nan) for r in self._records])
         raise ExperimentError(f"unknown telemetry series {what!r}")
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible representation of the whole log."""
+        return {
+            "goals": {
+                "throughput_metric": self._goals.throughput_metric,
+                "fairness_metric": self._goals.fairness_metric,
+            },
+            "records": [r.to_dict() for r in self._records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TelemetryLog":
+        """Rebuild a log (records restored verbatim) from :meth:`to_dict`."""
+        goals = data.get("goals") or {}
+        log = cls(
+            GoalSet(
+                goals.get("throughput_metric", "sum_ips"),
+                goals.get("fairness_metric", "jain"),
+            )
+        )
+        log._records = [TelemetryRecord.from_dict(r) for r in data.get("records", [])]
+        return log
 
     def tail(self, fraction: float) -> "TelemetryLog":
         """A log holding only the last ``fraction`` of records.
