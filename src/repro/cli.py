@@ -12,6 +12,7 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``sensitivity``  — T_P / T_E sweeps (Fig. 16).
 * ``scalability``  — SATORI vs PARTIES across co-location degrees.
 * ``overhead``     — controller decision-time measurement.
+* ``resilience``   — fault-intensity sweep: hardened vs unhardened SATORI.
 * ``workloads``    — list the benchmark workload models (Tables I-III).
 """
 
@@ -34,6 +35,7 @@ from repro.experiments.comparison import (
 from repro.experiments.internals import weight_trace
 from repro.experiments.overhead import controller_overhead
 from repro.experiments.reporting import format_table
+from repro.experiments.resilience import resilience_sweep
 from repro.experiments.runner import RunConfig, experiment_catalog, run_policy
 from repro.experiments.scalability import colocation_scalability
 from repro.experiments.sensitivity import period_sensitivity
@@ -188,6 +190,45 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    catalog = experiment_catalog(args.units)
+    mix = _mixes(args)[args.mix]
+    engine = _engine(args)
+    result = resilience_sweep(
+        mix,
+        catalog,
+        RunConfig(duration_s=args.duration),
+        intensities=tuple(args.intensities),
+        seed=args.seed,
+        engine=engine,
+    )
+    rows = []
+    for outcome in result.outcomes:
+        if outcome.failed:
+            rows.append([outcome.variant, outcome.intensity, "FAILED", "-", "-", "-"])
+            continue
+        recovery = "-"
+        if outcome.recovery_time_s is not None:
+            recovery = "never" if np.isinf(outcome.recovery_time_s) else f"{outcome.recovery_time_s:.1f}"
+        rows.append([
+            outcome.variant,
+            outcome.intensity,
+            f"{outcome.throughput:.3f}",
+            f"{100 * outcome.throughput_retention:.1f}",
+            f"{100 * outcome.fairness_retention:.1f}",
+            recovery,
+        ])
+    print(
+        format_table(
+            ["variant", "intensity", "throughput", "T retained %", "F retained %", "recovery (s)"],
+            rows,
+            title=f"mix: {result.mix_label} (faults over the middle third of each run)",
+        )
+    )
+    _print_engine_stats(engine)
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.figures import FigureScale, figure_names, run_figure
 
@@ -241,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("sensitivity", cmd_sensitivity, None),
         ("scalability", cmd_scalability, "scalability"),
         ("overhead", cmd_overhead, None),
+        ("resilience", cmd_resilience, "resilience"),
         ("report", cmd_report, "report"),
         ("figure", cmd_figure, "figure"),
     ):
@@ -251,6 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--all-mixes", action="store_true", help="run every suite mix")
         if extra == "scalability":
             p.add_argument("--degrees", type=int, nargs="+", default=[3, 5, 7])
+        if extra == "resilience":
+            p.add_argument("--intensities", type=float, nargs="+",
+                           default=[0.0, 0.25, 0.5, 1.0],
+                           help="fault intensities in [0, 1] to sweep")
         if extra == "report":
             p.add_argument("--mixes", type=int, default=4, help="mixes to include")
             p.add_argument("--out", default="", help="write markdown to this path")

@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.core.bo import BayesianOptimizer, Suggestion
 from repro.core.initializers import good_initial_set
 from repro.core.objective import GoalRecords
@@ -65,6 +67,21 @@ class SatoriController(PartitioningPolicy):
             optimization: SATORI "is invoked only when the performance
             of a specific job changes significantly"). On by default,
             as in the paper; the pure-BO ablations disable it.
+        hardening: enable the resilience layer — sample validation
+            (reject non-finite, stale, and outlier measurements before
+            they reach the GP), actuation-aware attribution, and the
+            actuation watchdog. Disable to get the naive controller the
+            resilience experiments compare against.
+        watchdog_threshold: consecutive actuation failures before the
+            watchdog stops exploring and holds the installed
+            configuration; BO re-engages as soon as actuation
+            recovers.
+        spike_factor: an isolated per-job speedup drop by more than
+            this factor is rejected once; if it persists the next
+            interval it is accepted as a real level shift (crash).
+        speedup_ceiling: per-job co-located/isolation speedups above
+            this are physically impossible and rejected (upward
+            counter glitches).
         rng: seed or generator.
 
     Additional keyword arguments are forwarded to
@@ -86,12 +103,20 @@ class SatoriController(PartitioningPolicy):
         idle_detection: bool = True,
         idle_patience: int = 4,
         idle_tolerance: float = 0.12,
+        hardening: bool = True,
+        watchdog_threshold: int = 3,
+        spike_factor: float = 4.0,
+        speedup_ceiling: float = 2.0,
         rng: SeedLike = None,
         **bo_kwargs,
     ):
         super().__init__(space, goals)
         if mode not in MODES:
             raise PolicyError(f"unknown mode {mode!r}; choices: {MODES}")
+        if watchdog_threshold < 1:
+            raise PolicyError(f"watchdog_threshold must be >= 1, got {watchdog_threshold}")
+        if spike_factor <= 1 or speedup_ceiling <= 1:
+            raise PolicyError("spike_factor and speedup_ceiling must exceed 1")
         self._mode = mode
         self._rng = make_rng(rng)
         self._interval = interval_s
@@ -118,6 +143,20 @@ class SatoriController(PartitioningPolicy):
         self._idle_ema = 0.0
         self._idle_config: Optional[Configuration] = None
 
+        self._hardening = hardening
+        self._watchdog_threshold = watchdog_threshold
+        self._spike_factor = spike_factor
+        self._speedup_ceiling = speedup_ceiling
+        self._actuation_failures = 0
+        self._watchdog_active = False
+        self._fallback_intervals = 0
+        self._rejected_samples = 0
+        self._spike_pending = False
+        self._noise_seen = False
+        self._last_accepted_ips: Optional[np.ndarray] = None
+        self._last_accepted_config: Optional[Configuration] = None
+        self._last_good_speedups: Optional[np.ndarray] = None
+
         self._last_weights: Optional[WeightState] = None
         self._last_suggestion: Optional[Suggestion] = None
         self._last_objective = 0.0
@@ -130,6 +169,8 @@ class SatoriController(PartitioningPolicy):
             self.name = "Fairness SATORI"
         elif mode == "static":
             self.name = "SATORI (static weights)"
+        if not hardening:
+            self.name = f"{self.name} (unhardened)"
 
     # -- protocol -----------------------------------------------------------
 
@@ -156,6 +197,13 @@ class SatoriController(PartitioningPolicy):
         self._idle_config = None
         self._last_weights = None
         self._last_suggestion = None
+        self._actuation_failures = 0
+        self._watchdog_active = False
+        self._spike_pending = False
+        self._noise_seen = False
+        self._last_accepted_ips = None
+        self._last_accepted_config = None
+        self._last_good_speedups = None
 
     def diagnostics(self) -> Dict[str, float]:
         """Weights, objective, and proxy-change internals for telemetry."""
@@ -174,6 +222,10 @@ class SatoriController(PartitioningPolicy):
         if self._last_suggestion is not None:
             out["proxy_change_percent"] = self._last_suggestion.proxy_change_percent
             out["incumbent"] = self._last_suggestion.incumbent_value
+        if self._hardening:
+            out["watchdog_active"] = float(self._watchdog_active)
+            out["rejected_samples"] = float(self._rejected_samples)
+            out["fallback_intervals"] = float(self._fallback_intervals)
         return out
 
     # -- introspection -------------------------------------------------------
@@ -210,6 +262,26 @@ class SatoriController(PartitioningPolicy):
             return 0.0
         return self._idle_intervals / self._decision_count
 
+    @property
+    def hardening(self) -> bool:
+        """Whether the resilience layer is enabled."""
+        return self._hardening
+
+    @property
+    def watchdog_active(self) -> bool:
+        """Whether the actuation watchdog is currently holding."""
+        return self._watchdog_active
+
+    @property
+    def rejected_samples(self) -> int:
+        """Observations rejected by sample validation so far."""
+        return self._rejected_samples
+
+    @property
+    def fallback_intervals(self) -> int:
+        """Intervals spent on the watchdog's hold-installed fallback."""
+        return self._fallback_intervals
+
     # -- internals -------------------------------------------------------------
 
     def _decide(self, observation: Optional[Observation]) -> Configuration:
@@ -217,6 +289,18 @@ class SatoriController(PartitioningPolicy):
             self._pending = self._initial_set[0]
             self._initial_cursor = 1
             return self._pending
+
+        if self._hardening:
+            fallback = self._watchdog_gate(observation)
+            if fallback is not None:
+                return fallback
+            if not self._validate_observation(observation):
+                # A corrupted measurement must not reach the GP; spend
+                # the interval on the best recorded configuration (not
+                # on whatever exploration point was last emitted) and
+                # wait for a clean sample.
+                self._rejected_samples += 1
+                return self._retreat_configuration()
 
         scores = self._record(observation)
         weight_state = self._scheduler.update(scores.throughput, scores.fairness)
@@ -245,6 +329,12 @@ class SatoriController(PartitioningPolicy):
         """Record the previous interval's per-goal outcome (Alg. 1 line 10-11)."""
         scores = self._scores(observation)
         config = self._pending
+        if self._hardening and not observation.actuation_ok:
+            # The suggested configuration never got installed; the
+            # interval ran under the last-known-good configuration the
+            # observation reports. Attributing the outcome to the
+            # uninstalled suggestion would poison the GP.
+            config = None
         if config is None:
             # The run was started outside decide(); fall back to the
             # observation's installed configuration restricted to the
@@ -254,6 +344,118 @@ class SatoriController(PartitioningPolicy):
             config = observation.config.restrict(self.controlled_resources)
         self._records.add(config, self._space.encode(config), (scores.throughput, scores.fairness))
         return scores
+
+    def _hold_configuration(self) -> Configuration:
+        """Re-emit the last decision (or ``S_init`` if nothing ran yet)."""
+        if self._pending is None:
+            self._pending = self._initial_set[0]
+        return self._pending
+
+    def _retreat_configuration(self) -> Configuration:
+        """The best recorded configuration under the current weights.
+
+        Used while rejecting corrupted samples: if the rejection lands
+        mid-exploration, freezing on the half-evaluated probe point
+        could pin a bad configuration for the whole burst; retreating
+        to the incumbent spends the burst on known-good ground.
+        """
+        if len(self._records) == 0 or self._last_weights is None:
+            return self._hold_configuration()
+        values = self._records.objective_values(self._last_weights.pair)
+        if not np.any(np.isfinite(values)):
+            return self._hold_configuration()
+        best = int(np.nanargmax(values))
+        self._pending = self._records.samples[best].config
+        return self._pending
+
+    def _watchdog_gate(self, observation: Observation) -> Optional[Configuration]:
+        """Track actuation health; stop exploring during an outage.
+
+        After ``watchdog_threshold`` consecutive failed installs the
+        controller stops exploring — every suggestion is bouncing off a
+        dead actuator — and repeatedly requests the configuration that
+        is actually installed (the last-known-good one the observation
+        reports), so nothing moves when the actuator comes back;
+        ``S_init`` is the fallback if no configuration is known. The
+        first successful install clears the watchdog and BO resumes
+        with its records intact (faulted intervals were never
+        recorded).
+        """
+        if observation.actuation_ok:
+            self._actuation_failures = 0
+            self._watchdog_active = False
+            return None
+        self._actuation_failures += 1
+        if self._actuation_failures >= self._watchdog_threshold:
+            self._watchdog_active = True
+        if self._watchdog_active:
+            self._fallback_intervals += 1
+            if observation.config is not None:
+                self._pending = observation.config.restrict(self.controlled_resources)
+            else:
+                self._pending = self._initial_set[0]
+            return self._pending
+        return None
+
+    def _validate_observation(self, observation: Observation) -> bool:
+        """Gate measurements before they reach the records/GP.
+
+        Rejects: non-finite IPS or baselines (dropped samples, NaN
+        glitches); a job repeating its previous accepted IPS
+        bit-for-bit once measurement noise has been observed (with
+        noise present, exact float repeats only come from a stuck
+        counter; on a noise-free deterministic run the check stays
+        dormant); per-job speedups above ``speedup_ceiling``
+        (physically impossible, an upward counter glitch); and
+        isolated speedup drops by more than ``spike_factor`` (rejected
+        once — if the drop persists it is a real level shift and is
+        accepted).
+        """
+        ips = np.asarray(observation.ips, dtype=float)
+        iso = np.asarray(observation.isolation_ips, dtype=float)
+        if not (np.all(np.isfinite(ips)) and np.all(np.isfinite(iso))):
+            return False
+        if not np.any(ips > 0):
+            # A fully-starved interval (mass crash/hang) has no defined
+            # fairness CoV; scoring it would raise mid-decide.
+            return False
+        if self._last_accepted_ips is not None and len(self._last_accepted_ips) == len(ips):
+            if not self._noise_seen and self._same_config(observation):
+                # Small nonzero change under an unchanged configuration
+                # is measurement noise (phase shifts move levels by
+                # much more); from here on exact repeats are stuck.
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    rel = np.abs(ips - self._last_accepted_ips) / np.where(
+                        self._last_accepted_ips > 0, self._last_accepted_ips, 1.0
+                    )
+                if np.any((rel > 0) & (rel < 0.05)):
+                    self._noise_seen = True
+            if self._noise_seen:
+                stale = (ips == self._last_accepted_ips) & (ips > 0)
+                if np.any(stale):
+                    return False
+        safe_iso = np.where(iso > 0, iso, 1.0)
+        speedup = np.where(iso > 0, ips / safe_iso, 0.0)
+        if np.any(speedup > self._speedup_ceiling):
+            return False
+        if self._last_good_speedups is not None and len(self._last_good_speedups) == len(speedup):
+            ref = self._last_good_speedups
+            suspect = (ref > 0) & (speedup < ref / self._spike_factor)
+            if np.any(suspect) and not self._spike_pending:
+                self._spike_pending = True
+                return False
+        self._spike_pending = False
+        self._last_accepted_ips = ips
+        self._last_accepted_config = observation.config
+        self._last_good_speedups = speedup
+        return True
+
+    def _same_config(self, observation: Observation) -> bool:
+        return (
+            observation.config is not None
+            and self._last_accepted_config is not None
+            and observation.config == self._last_accepted_config
+        )
 
     def _track_stability(self) -> None:
         """Count how long the optimizer's belief about the best config holds.

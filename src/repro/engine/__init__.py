@@ -19,7 +19,7 @@ layout contracts.
 """
 
 from repro.engine.cache import CACHE_SCHEMA_VERSION, RunCache, default_cache_salt
-from repro.engine.engine import EngineStats, ExecutionEngine, execute_run
+from repro.engine.engine import EngineStats, ExecutionEngine, RunError, execute_run
 from repro.engine.spec import RunSpec, derive_seed
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "EngineStats",
     "ExecutionEngine",
     "RunCache",
+    "RunError",
     "RunSpec",
     "default_cache_salt",
     "derive_seed",

@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import shutil
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
@@ -32,7 +33,8 @@ from repro.experiments.runner import RunResult
 
 #: Bump to invalidate every cached artifact after a semantic change to
 #: the runner, the workload models, or the serialization format.
-CACHE_SCHEMA_VERSION = 1
+#: v2: RunSpec digests cover the fault plan ("faults" key).
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_salt() -> str:
@@ -47,6 +49,11 @@ def default_cache_salt() -> str:
 class RunCache:
     """Content-addressed JSON store of :class:`RunResult` artifacts.
 
+    An unwritable cache root (read-only volume, bad path, quota) does
+    not fail the run: the first failed write emits one warning, flips
+    :attr:`disabled`, and every subsequent operation becomes a no-op —
+    the batch computes everything it needs, just without persistence.
+
     Args:
         root: cache directory (created lazily on first write).
         salt: code-version tag mixed into every key; defaults to
@@ -58,6 +65,7 @@ class RunCache:
         self._salt = salt or default_cache_salt()
         self._hits = 0
         self._misses = 0
+        self._disabled = False
 
     @property
     def root(self) -> Path:
@@ -77,6 +85,11 @@ class RunCache:
         """Number of ``get`` calls that found no usable artifact."""
         return self._misses
 
+    @property
+    def disabled(self) -> bool:
+        """Whether caching shut itself off after a failed write."""
+        return self._disabled
+
     def path_for(self, spec: RunSpec) -> Path:
         """The artifact path a spec's result lives at (existing or not)."""
         key = hashlib.sha256(f"{spec.digest}|{self._salt}".encode()).hexdigest()
@@ -84,6 +97,9 @@ class RunCache:
 
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         """The cached result for ``spec``, or ``None`` (counted as a miss)."""
+        if self._disabled:
+            self._misses += 1
+            return None
         path = self.path_for(spec)
         try:
             with open(path) as handle:
@@ -97,10 +113,16 @@ class RunCache:
         self._hits += 1
         return result
 
-    def put(self, spec: RunSpec, result: RunResult) -> Path:
-        """Store ``result`` under ``spec``'s key (atomic replace)."""
+    def put(self, spec: RunSpec, result: RunResult) -> Optional[Path]:
+        """Store ``result`` under ``spec``'s key (atomic replace).
+
+        Returns the artifact path, or ``None`` if the cache root is
+        unwritable — in which case caching is disabled for the rest of
+        this cache's lifetime and a single warning is emitted.
+        """
+        if self._disabled:
+            return None
         path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         artifact = {
             "digest": spec.digest,
             "salt": self._salt,
@@ -108,9 +130,24 @@ class RunCache:
             "result": result.to_dict(),
         }
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "w") as handle:
-            json.dump(artifact, handle, separators=(",", ":"))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as handle:
+                json.dump(artifact, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError as error:
+            self._disabled = True
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            warnings.warn(
+                f"run cache at {self._root} is unwritable ({error}); "
+                f"caching disabled, results will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         return path
 
     def invalidate(self, spec: RunSpec) -> bool:
@@ -131,4 +168,9 @@ class RunCache:
 
     def stats(self) -> dict:
         """Hit/miss counters as a JSON-compatible dict."""
-        return {"hits": self._hits, "misses": self._misses, "salt": self._salt}
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "salt": self._salt,
+            "disabled": self._disabled,
+        }

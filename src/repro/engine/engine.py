@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.cache import RunCache
-from repro.engine.spec import RunSpec
+from repro.engine.spec import RunSpec, derive_seed
 from repro.errors import EngineError
 from repro.experiments.runner import RunResult, run_policy
 from repro.policies.registry import make_policy
@@ -49,13 +49,40 @@ def execute_run(spec: RunSpec) -> RunResult:
         **spec.kwargs_dict(),
     )
     return run_policy(
-        policy, spec.mix, spec.catalog, spec.run_config, goals, seed=spec.seed_for("noise")
+        policy,
+        spec.mix,
+        spec.catalog,
+        spec.run_config,
+        goals,
+        seed=spec.seed_for("noise"),
+        faults=spec.fault_plan,
+        fault_seed=derive_seed(spec.environment_digest, "faults"),
     )
 
 
 def _execute_run_payload(spec: RunSpec) -> dict:
     """Worker entry point: run a spec, ship the result as plain data."""
     return execute_run(spec).to_dict()
+
+
+@dataclass(frozen=True)
+class RunError:
+    """A spec that could not be executed (partial-batch bookkeeping).
+
+    Produced by :meth:`ExecutionEngine.run` with ``on_error="record"``
+    in place of the failed spec's :class:`RunResult`, so one crashed or
+    hung run does not discard the rest of the batch.
+
+    Attributes:
+        spec: the failed spec.
+        error: ``"ExceptionType: message"`` of the last failure, or the
+            straggler-timeout description.
+        attempts: how many times the spec was tried (1 + retries used).
+    """
+
+    spec: RunSpec
+    error: str
+    attempts: int
 
 
 @dataclass
@@ -69,6 +96,10 @@ class EngineStats:
         cache_hits / cache_misses: disk-cache lookups (zero without a
             cache attached).
         batches: number of ``run`` calls.
+        retried: failed executions that were re-attempted.
+        failed: specs that still had no result after all retries.
+        cache_errors: cache writes that failed (the cache disables
+            itself after the first, so this is at most 1 per cache).
     """
 
     submitted: int = 0
@@ -77,6 +108,9 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     batches: int = 0
+    retried: int = 0
+    failed: int = 0
+    cache_errors: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -86,15 +120,27 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "batches": self.batches,
+            "retried": self.retried,
+            "failed": self.failed,
+            "cache_errors": self.cache_errors,
         }
 
     def summary(self) -> str:
         """One-line human-readable form for CLI/report output."""
-        return (
+        text = (
             f"{self.submitted} submitted, {self.executed} executed, "
             f"{self.deduplicated} deduplicated, "
             f"{self.cache_hits} cache hits, {self.cache_misses} cache misses"
         )
+        if self.retried or self.failed:
+            text += f", {self.retried} retried, {self.failed} failed"
+        if self.cache_errors:
+            text += f", {self.cache_errors} cache errors"
+        return text
+
+
+#: One spec's execution outcome: (payload, error). Exactly one is set.
+_Outcome = Tuple[Optional[dict], Optional[str]]
 
 
 class ExecutionEngine:
@@ -106,13 +152,32 @@ class ExecutionEngine:
             deterministic fallback on single-core machines.
         cache: optional :class:`RunCache`; hits skip execution
             entirely and misses are stored after execution.
+        retries: extra execution rounds for specs that failed — a
+            worker crash or transient exception is re-attempted up to
+            this many times before the spec counts as failed.
+        timeout_s: batch deadline in seconds for the worker-pool path;
+            specs still running when it expires are recorded as
+            straggler failures (and retried if ``retries`` allows).
+            ``None`` waits indefinitely; the serial path ignores it.
     """
 
-    def __init__(self, workers: int = 1, cache: Optional[RunCache] = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[RunCache] = None,
+        retries: int = 0,
+        timeout_s: Optional[float] = None,
+    ):
         if workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise EngineError(f"retries must be >= 0, got {retries}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise EngineError(f"timeout_s must be positive, got {timeout_s}")
         self._workers = int(workers)
         self._cache = cache
+        self._retries = int(retries)
+        self._timeout_s = timeout_s
         self._stats = EngineStats()
 
     @property
@@ -124,6 +189,14 @@ class ExecutionEngine:
         return self._cache
 
     @property
+    def retries(self) -> int:
+        return self._retries
+
+    @property
+    def timeout_s(self) -> Optional[float]:
+        return self._timeout_s
+
+    @property
     def stats(self) -> EngineStats:
         return self._stats
 
@@ -131,19 +204,31 @@ class ExecutionEngine:
         """Convenience wrapper: run a single spec."""
         return self.run([spec])[0]
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+    def run(
+        self, specs: Sequence[RunSpec], on_error: str = "raise"
+    ) -> List[Union[RunResult, RunError]]:
         """Execute a batch; results align with ``specs`` by position.
 
         Identical specs (equal content, hence equal digest) execute at
         most once per batch; with a cache attached, at most once ever
         per code version.
+
+        Args:
+            specs: the batch.
+            on_error: ``"raise"`` (default) raises
+                :class:`~repro.errors.EngineError` on the first spec
+                that still fails after all retries; ``"record"``
+                returns a :class:`RunError` in that spec's position and
+                keeps the rest of the batch (partial results).
         """
+        if on_error not in ("raise", "record"):
+            raise EngineError(f"on_error must be 'raise' or 'record', got {on_error!r}")
         specs = list(specs)
         self._stats.batches += 1
         self._stats.submitted += len(specs)
 
         # First-seen order of unique specs keeps scheduling deterministic.
-        unique: Dict[RunSpec, Optional[RunResult]] = {}
+        unique: Dict[RunSpec, Optional[Union[RunResult, RunError]]] = {}
         for spec in specs:
             if spec in unique:
                 self._stats.deduplicated += 1
@@ -161,35 +246,101 @@ class ExecutionEngine:
                     self._stats.cache_misses += 1
                 pending.append(spec)
 
-        for spec, payload in zip(pending, self._execute_batch(pending)):
-            result = RunResult.from_dict(payload)
-            self._stats.executed += 1
-            if self._cache is not None:
-                self._cache.put(spec, result)
-            unique[spec] = result
+        for spec, (payload, error, attempts) in self._execute_with_retries(pending).items():
+            if payload is not None:
+                result = RunResult.from_dict(payload)
+                self._stats.executed += 1
+                self._store(spec, result)
+                unique[spec] = result
+            else:
+                self._stats.failed += 1
+                if on_error == "raise":
+                    raise EngineError(
+                        f"{spec!r} failed after {attempts} attempt(s): {error}"
+                    )
+                unique[spec] = RunError(spec=spec, error=str(error), attempts=attempts)
 
         return [unique[spec] for spec in specs]
 
     # -- internals -------------------------------------------------------
 
-    def _execute_batch(self, pending: Sequence[RunSpec]) -> List[dict]:
-        """Run ``pending`` specs, returning payload dicts in order.
+    def _store(self, spec: RunSpec, result: RunResult) -> None:
+        """Cache a fresh result; count the write that disables the cache."""
+        if self._cache is None:
+            return
+        was_disabled = self._cache.disabled
+        self._cache.put(spec, result)
+        if self._cache.disabled and not was_disabled:
+            self._stats.cache_errors += 1
+
+    def _execute_with_retries(
+        self, pending: Sequence[RunSpec]
+    ) -> Dict[RunSpec, Tuple[Optional[dict], Optional[str], int]]:
+        """Run ``pending``, re-running failures up to ``retries`` times.
+
+        Returns ``spec -> (payload, error, attempts)`` preserving the
+        first-seen order of ``pending``.
+        """
+        outcomes: Dict[RunSpec, Tuple[Optional[dict], Optional[str], int]] = {
+            spec: (None, "not executed", 0) for spec in pending
+        }
+        todo = list(pending)
+        for round_number in range(1 + self._retries):
+            if not todo:
+                break
+            if round_number:
+                self._stats.retried += len(todo)
+            failed: List[RunSpec] = []
+            for spec, (payload, error) in zip(todo, self._execute_batch(todo)):
+                outcomes[spec] = (payload, error, round_number + 1)
+                if payload is None:
+                    failed.append(spec)
+            todo = failed
+        return outcomes
+
+    def _execute_batch(self, pending: Sequence[RunSpec]) -> List[_Outcome]:
+        """Run ``pending`` specs, returning per-spec outcomes in order.
 
         Results are collected by index, so out-of-order completion in
-        the pool cannot reorder or cross-wire them.
+        the pool cannot reorder or cross-wire them. Failures are
+        captured per spec instead of aborting the batch.
         """
         if not pending:
             return []
         if self._workers == 1 or len(pending) == 1:
-            return [_execute_run_payload(spec) for spec in pending]
+            outcomes: List[_Outcome] = []
+            for spec in pending:
+                try:
+                    outcomes.append((_execute_run_payload(spec), None))
+                except Exception as error:  # noqa: BLE001 - reported per spec
+                    outcomes.append((None, f"{type(error).__name__}: {error}"))
+            return outcomes
 
-        payloads: List[Optional[dict]] = [None] * len(pending)
+        outcomes = [(None, "not executed")] * len(pending)
         max_workers = min(self._workers, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
+        not_done: set = set()
+        try:
             futures = {
                 pool.submit(_execute_run_payload, spec): index
                 for index, spec in enumerate(pending)
             }
-            for future in concurrent.futures.as_completed(futures):
-                payloads[futures[future]] = future.result()
-        return payloads  # type: ignore[return-value]
+            done, not_done = concurrent.futures.wait(futures, timeout=self._timeout_s)
+            for future in done:
+                index = futures[future]
+                try:
+                    outcomes[index] = (future.result(), None)
+                except Exception as error:  # noqa: BLE001 - reported per spec
+                    outcomes[index] = (None, f"{type(error).__name__}: {error}")
+            for future in not_done:
+                future.cancel()
+                outcomes[futures[future]] = (
+                    None,
+                    f"straggler: no result within the {self._timeout_s}s batch deadline",
+                )
+        finally:
+            # With stragglers outstanding, don't block the whole batch
+            # on them: abandon the pool without waiting (its processes
+            # exit once their current task finishes or is killed).
+            pool.shutdown(wait=not not_done, cancel_futures=True)
+        return outcomes

@@ -23,8 +23,11 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, Dict, Mapping, Tuple
 
+from typing import Optional
+
 from repro.errors import EngineError
 from repro.experiments.runner import RunConfig
+from repro.faults.plan import FaultPlan
 from repro.metrics.goals import GoalSet
 from repro.resources.types import Resource, ResourceCatalog, ResourceKind
 from repro.workloads.mixes import JobMix
@@ -101,6 +104,13 @@ class RunSpec:
         goals: ``(throughput_metric, fairness_metric)`` names.
         seed: base seed; all RNG streams derive from the digest, which
             includes this value.
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan` to
+            inject during the run. The plan is part of the digest (a
+            faulted run is a different experiment than a clean one) and
+            its realization draws from the *environment* digest — which
+            excludes the policy — so variants compared under the same
+            plan, mix, and seed face the identical fault timeline
+            (hardware does not care which controller is running).
     """
 
     mix: JobMix
@@ -110,6 +120,7 @@ class RunSpec:
     run_config: RunConfig = RunConfig()
     goals: Tuple[str, str] = ("sum_ips", "jain")
     seed: int = 0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy_kwargs", _freeze(dict(self.policy_kwargs)
@@ -117,6 +128,8 @@ class RunSpec:
                            else dict(tuple(self.policy_kwargs))))
         object.__setattr__(self, "goals", (str(self.goals[0]), str(self.goals[1])))
         object.__setattr__(self, "seed", int(self.seed))
+        if isinstance(self.fault_plan, Mapping):
+            object.__setattr__(self, "fault_plan", FaultPlan.from_dict(dict(self.fault_plan)))
 
     # -- identity --------------------------------------------------------
 
@@ -141,12 +154,30 @@ class RunSpec:
             "run_config": self.run_config.to_dict(),
             "goals": list(self.goals),
             "seed": self.seed,
+            "faults": self.fault_plan.to_dict() if self.fault_plan is not None else None,
         }
 
     @cached_property
     def digest(self) -> str:
         """SHA-256 hex digest of the canonical representation."""
         payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @cached_property
+    def environment_digest(self) -> str:
+        """Digest of the run's *environment*: everything but the policy.
+
+        Seeds for physical events the policy cannot influence — fault
+        realizations — derive from this digest, so two specs differing
+        only in policy (or policy kwargs, or scoring metrics) face
+        bit-identical environments. That is what makes A/B policy
+        comparisons under faults *paired* rather than merely
+        statistically equivalent.
+        """
+        content = self.to_dict()
+        for key in ("policy", "policy_kwargs", "goals"):
+            del content[key]
+        payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def seed_for(self, stream: str) -> int:

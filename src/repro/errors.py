@@ -35,6 +35,18 @@ class HardwareError(ReproError):
     """
 
 
+class ActuationError(HardwareError):
+    """Installing a configuration failed even after bounded retry.
+
+    Raised by the simulated server when every write attempt of a
+    configuration install fails (e.g. during an injected persistent
+    MSR outage). The previously installed configuration — the
+    last-known-good one — remains in effect; controllers see the
+    failure through ``Observation.actuation_ok`` and are expected to
+    fall back rather than crash.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload model or registry lookup failed."""
 

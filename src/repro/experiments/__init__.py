@@ -51,6 +51,16 @@ from repro.experiments.internals import (
 from repro.experiments.overhead import OverheadResult, controller_overhead
 from repro.experiments.proximity import ProximityResult, distance_to_oracle
 from repro.experiments.reporting import format_series, format_table
+from repro.experiments.resilience import (
+    DEFAULT_INTENSITIES,
+    RESILIENCE_VARIANTS,
+    ResilienceResult,
+    VariantOutcome,
+    moderate_fault_plan,
+    recovery_time_s,
+    resilience_specs,
+    resilience_sweep,
+)
 from repro.experiments.runner import (
     RunConfig,
     RunResult,
@@ -98,10 +108,14 @@ __all__ = [
     "OverheadResult",
     "PolicyScore",
     "ProximityResult",
+    "DEFAULT_INTENSITIES",
+    "RESILIENCE_VARIANTS",
     "RebalancingExample",
+    "ResilienceResult",
     "RunConfig",
     "RunResult",
     "STANDARD_POLICY_ORDER",
+    "VariantOutcome",
     "ScalabilityResult",
     "SensitivityResult",
     "SubsetAblationResult",
@@ -126,8 +140,12 @@ __all__ = [
     "objective_trace",
     "optimal_configuration_drift",
     "performance_variation",
+    "moderate_fault_plan",
     "period_sensitivity",
     "rebalancing_opportunity",
+    "recovery_time_s",
+    "resilience_specs",
+    "resilience_sweep",
     "resource_subset_ablation",
     "run_policy",
     "seed_to_int",

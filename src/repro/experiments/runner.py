@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ExperimentError
+from repro.faults.plan import FaultPlan
+from repro.faults.schedule import FaultSchedule
 from repro.metrics.goals import GoalSet
 from repro.policies.base import PartitioningPolicy
 from repro.resources.types import ResourceCatalog, default_catalog
@@ -53,7 +55,13 @@ def experiment_catalog(units: int = 8) -> ResourceCatalog:
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Methodology knobs for one policy run."""
+    """Methodology knobs for one policy run.
+
+    ``actuation_retries`` is the simulator's bounded-retry budget for
+    installs that fail under fault injection; it lives here (rather
+    than as a loose runner argument) so a :class:`~repro.engine.RunSpec`
+    digest covers it.
+    """
 
     duration_s: float = 20.0
     interval_s: float = DEFAULT_CONTROL_INTERVAL_S
@@ -61,12 +69,17 @@ class RunConfig:
     noise_sigma: float = 0.03
     phase_offset_s: float = 0.0
     warmup_fraction: float = 0.25
+    actuation_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.duration_s < self.interval_s:
             raise ExperimentError("duration must cover at least one interval")
         if not 0 <= self.warmup_fraction < 1:
             raise ExperimentError(f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}")
+        if self.actuation_retries < 0:
+            raise ExperimentError(
+                f"actuation_retries must be >= 0, got {self.actuation_retries}"
+            )
 
     @property
     def n_steps(self) -> int:
@@ -142,6 +155,8 @@ def run_policy(
     run_config: Optional[RunConfig] = None,
     goals: Optional[GoalSet] = None,
     seed: SeedLike = None,
+    faults: Optional[FaultPlan] = None,
+    fault_seed: int = 0,
 ) -> RunResult:
     """Run ``policy`` on ``mix`` for one experiment and score it.
 
@@ -153,10 +168,24 @@ def run_policy(
         goals: metric choices for telemetry scoring.
         seed: controls measurement noise (give different seeds to
             repeated runs to vary the noise realization).
+        faults: optional fault plan; realized deterministically from
+            ``fault_seed`` into a schedule the simulator injects.
+        fault_seed: seed for the fault realization (independent of the
+            measurement-noise seed).
     """
     catalog = catalog or experiment_catalog()
     run_config = run_config or RunConfig()
     goals = goals or GoalSet()
+
+    schedule = None
+    if faults is not None and not faults.is_empty:
+        schedule = FaultSchedule.generate(
+            faults,
+            n_jobs=len(mix),
+            duration_s=run_config.duration_s,
+            interval_s=run_config.interval_s,
+            seed=fault_seed,
+        )
 
     simulator = CoLocationSimulator(
         mix,
@@ -165,6 +194,8 @@ def run_policy(
         noise_sigma=run_config.noise_sigma,
         seed=seed,
         phase_offset_s=run_config.phase_offset_s,
+        fault_schedule=schedule,
+        actuation_retries=run_config.actuation_retries,
     )
     telemetry = TelemetryLog(goals)
 
@@ -180,13 +211,23 @@ def run_policy(
         # periodically); telemetry scores against the true current one.
         policy_view = dataclasses.replace(raw, isolation_ips=tuple(float(b) for b in baseline))
         diag = policy.diagnostics()
+        scored_ips = raw.ips
+        if schedule is not None:
+            # Fault/recovery trail: which intervals ran under injected
+            # faults and whether the interval's actuation landed. The
+            # policy sees the corrupted measurements; the evaluator
+            # scores what a fault-free monitor would have reported.
+            scored_ips = simulator.last_true_ips
+            diag = dict(diag)
+            diag["actuation_ok"] = float(raw.actuation_ok)
+            diag["faults_active"] = float(simulator.active_fault_count)
         weights = None
         if "weight_throughput" in diag and "weight_fairness" in diag:
             weights = (diag["weight_throughput"], diag["weight_fairness"])
         telemetry.record(
             time_s=raw.time_s,
             config=raw.config,
-            ips=raw.ips,
+            ips=scored_ips,
             isolation_ips=raw.isolation_ips,
             weights=weights,
             extra=diag,

@@ -1,0 +1,53 @@
+"""An MSR file whose writes can be armed to fail.
+
+Injected actuation faults surface at the same layer they would on real
+hardware: the register write. While armed, every :meth:`write` raises
+:class:`~repro.errors.HardwareError` *without mutating the register*,
+so a failed configuration install leaves the previously programmed
+partition intact — exactly the situation the simulator's bounded
+retry and the controller's watchdog have to handle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hardware.msr import MsrFile
+
+
+class FaultyMsrFile(MsrFile):
+    """Drop-in :class:`MsrFile` with switchable write-fault injection."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._armed = False
+        self._injected_failures = 0
+
+    @property
+    def armed(self) -> bool:
+        """Whether the next write will fail."""
+        return self._armed
+
+    @property
+    def injected_failures(self) -> int:
+        """Writes failed by injection over this file's lifetime."""
+        return self._injected_failures
+
+    def arm(self, active: bool = True) -> None:
+        """Enable (or disable) write-fault injection."""
+        self._armed = bool(active)
+
+    def write(self, register: int, value: int, sub_index: int = 0) -> None:
+        """Write a register, or raise if fault injection is armed.
+
+        Raises:
+            HardwareError: when armed (injected fault; the register is
+                left unmodified), or for the usual invalid-address /
+                out-of-range-value cases.
+        """
+        if self._armed:
+            self._injected_failures += 1
+            raise HardwareError(
+                f"MSR {register:#x}[{sub_index}]: injected write fault "
+                f"(value {value:#x} not committed)"
+            )
+        super().write(register, value, sub_index)

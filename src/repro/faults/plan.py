@@ -1,0 +1,146 @@
+"""Fault plans: frozen, hashable descriptions of fault *rates*.
+
+A :class:`FaultPlan` is the experiment-level knob: per-interval
+probabilities and durations for the three fault families the testbed
+injects (actuation, monitoring, workload), plus the wall-time window
+the faults are confined to. It deliberately carries no randomness —
+the concrete timeline is realized by
+:meth:`repro.faults.schedule.FaultSchedule.generate` from a plan plus
+an explicit seed — so a plan can ride inside a
+:class:`~repro.engine.RunSpec` and participate in content-addressed
+digests, deduplication, and the on-disk run cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ExperimentError
+
+#: Fields that are per-interval probabilities (validated to [0, 1)).
+_RATE_FIELDS = (
+    "actuation_fail_rate",
+    "actuation_outage_rate",
+    "sample_drop_rate",
+    "sample_nan_rate",
+    "sample_stuck_rate",
+    "sample_outlier_rate",
+    "crash_rate",
+    "hang_rate",
+)
+
+#: Fields that are durations in seconds (validated to > 0).
+_DURATION_FIELDS = (
+    "actuation_outage_duration_s",
+    "sample_stuck_duration_s",
+    "crash_restart_s",
+    "hang_duration_s",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seedless description of what faults to inject and how often.
+
+    All rates are per control interval (and per job for the
+    monitoring/workload families); all faults are confined to the
+    ``[start_s, end_s)`` wall-time window (``end_s=None`` means the
+    whole run).
+
+    Attributes:
+        start_s / end_s: fault window bounds.
+        actuation_fail_rate: probability an interval's configuration
+            install suffers a *transient* MSR write fault — the first
+            ``actuation_fail_attempts`` write attempts fail, so bounded
+            retry rescues it.
+        actuation_fail_attempts: failed attempts per transient fault.
+        actuation_outage_rate: probability an interval *starts* a
+            persistent actuation outage (every write fails) lasting
+            ``actuation_outage_duration_s`` — retry cannot rescue it;
+            the watchdog/fallback path has to.
+        sample_drop_rate: probability a job's monitoring sample is
+            dropped (reported as NaN, like a missing ``pqos`` line).
+        sample_nan_rate: probability a job's IPS counter reads NaN
+            (counter corruption).
+        sample_stuck_rate: probability a job's counter *sticks* —
+            repeats its previous reported value for
+            ``sample_stuck_duration_s``.
+        sample_outlier_rate: probability of a gross counter glitch; the
+            reported IPS is scaled by a factor drawn log-uniformly from
+            ``[scale**0.5, scale]`` (randomly inverted), with
+            ``scale = sample_outlier_scale``.
+        crash_rate: probability a job crashes this interval — its IPS
+            drops to zero for ``crash_restart_s`` and its in-flight
+            fixed-work progress is lost.
+        hang_rate: probability a job hangs (zero IPS, no progress lost)
+            for ``hang_duration_s``.
+    """
+
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    # -- actuation faults --------------------------------------------------
+    actuation_fail_rate: float = 0.0
+    actuation_fail_attempts: int = 1
+    actuation_outage_rate: float = 0.0
+    actuation_outage_duration_s: float = 1.0
+    # -- monitoring faults -------------------------------------------------
+    sample_drop_rate: float = 0.0
+    sample_nan_rate: float = 0.0
+    sample_stuck_rate: float = 0.0
+    sample_stuck_duration_s: float = 0.5
+    sample_outlier_rate: float = 0.0
+    sample_outlier_scale: float = 8.0
+    # -- workload faults ---------------------------------------------------
+    crash_rate: float = 0.0
+    crash_restart_s: float = 1.0
+    hang_rate: float = 0.0
+    hang_duration_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ExperimentError(f"fault window start must be >= 0, got {self.start_s}")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ExperimentError(
+                f"fault window end {self.end_s} must exceed start {self.start_s}"
+            )
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ExperimentError(f"{name} must be in [0, 1), got {value}")
+        for name in _DURATION_FIELDS:
+            value = getattr(self, name)
+            if value <= 0:
+                raise ExperimentError(f"{name} must be positive, got {value}")
+        if self.actuation_fail_attempts < 1:
+            raise ExperimentError(
+                f"actuation_fail_attempts must be >= 1, got {self.actuation_fail_attempts}"
+            )
+        if self.sample_outlier_scale <= 1.0:
+            raise ExperimentError(
+                f"sample_outlier_scale must exceed 1, got {self.sample_outlier_scale}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing (all rates zero)."""
+        return all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+
+    def window(self, duration_s: float) -> tuple:
+        """The concrete ``(start, end)`` fault window for a run length."""
+        end = duration_s if self.end_s is None else min(self.end_s, duration_s)
+        return (self.start_s, end)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (digest input, lossless)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ExperimentError(f"unknown FaultPlan fields {sorted(unknown)}")
+        return cls(**data)

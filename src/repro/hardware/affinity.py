@@ -35,10 +35,12 @@ class CoreAffinityController:
         """
         core_set = set(int(c) for c in cores)
         if not core_set:
-            raise HardwareError(f"job {job} needs at least one core")
-        bad = [c for c in core_set if not 0 <= c < self._n_cores]
+            raise HardwareError(f"taskset: job {job} needs at least one core")
+        bad = sorted(c for c in core_set if not 0 <= c < self._n_cores)
         if bad:
-            raise HardwareError(f"cores {bad} out of range [0, {self._n_cores})")
+            raise HardwareError(
+                f"taskset: cores {bad} out of range [0, {self._n_cores})"
+            )
         self._affinities[job] = core_set
 
     def affinity_of(self, job: int) -> Set[int]:
@@ -46,7 +48,7 @@ class CoreAffinityController:
         try:
             return set(self._affinities[job])
         except KeyError:
-            raise HardwareError(f"job {job} has no affinity set") from None
+            raise HardwareError(f"taskset: job {job} has no affinity set") from None
 
     def core_count_of(self, job: int) -> int:
         """Number of cores ``job`` is pinned to."""
@@ -63,10 +65,13 @@ class CoreAffinityController:
                 is below 1.
         """
         if any(count < 1 for count in core_counts):
-            raise HardwareError(f"every job needs >= 1 core, got {list(core_counts)}")
+            raise HardwareError(
+                f"taskset: every job needs >= 1 core, got {list(core_counts)}"
+            )
         if sum(core_counts) > self._n_cores:
             raise HardwareError(
-                f"core counts {list(core_counts)} exceed the {self._n_cores} available cores"
+                f"taskset: core counts {list(core_counts)} exceed "
+                f"the {self._n_cores} available cores"
             )
         assignments = []
         next_core = 0

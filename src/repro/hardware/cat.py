@@ -66,10 +66,14 @@ class CacheAllocationTechnology:
         self._check_cos(cos)
         if mask >> self._n_ways:
             raise HardwareError(
-                f"mask {mask:#x} has bits beyond the {self._n_ways} available ways"
+                f"IA32_L3_QOS_MASK[{cos}]: mask {mask:#x} has bits beyond "
+                f"the {self._n_ways} available ways"
             )
         if not is_contiguous_mask(mask):
-            raise HardwareError(f"CAT requires a non-empty contiguous mask, got {mask:#x}")
+            raise HardwareError(
+                f"IA32_L3_QOS_MASK[{cos}]: CAT requires a non-empty contiguous "
+                f"way mask, got {mask:#x}"
+            )
         self._msr.write(IA32_L3_QOS_MASK_BASE + cos, mask)
 
     def mask_of(self, cos: int) -> int:
@@ -96,13 +100,17 @@ class CacheAllocationTechnology:
         """
         if len(way_counts) > self._n_cos:
             raise HardwareError(
-                f"{len(way_counts)} jobs exceed the {self._n_cos} classes of service"
+                f"IA32_L3_QOS_MASK: {len(way_counts)} jobs exceed "
+                f"the {self._n_cos} classes of service"
             )
         if any(count < 1 for count in way_counts):
-            raise HardwareError(f"every COS needs >= 1 way, got {list(way_counts)}")
+            raise HardwareError(
+                f"IA32_L3_QOS_MASK: every COS needs >= 1 way, got {list(way_counts)}"
+            )
         if sum(way_counts) > self._n_ways:
             raise HardwareError(
-                f"way counts {list(way_counts)} exceed the {self._n_ways} available ways"
+                f"IA32_L3_QOS_MASK: way counts {list(way_counts)} exceed "
+                f"the {self._n_ways} available ways"
             )
         masks = []
         offset = 0
@@ -115,4 +123,6 @@ class CacheAllocationTechnology:
 
     def _check_cos(self, cos: int) -> None:
         if not 0 <= cos < self._n_cos:
-            raise HardwareError(f"COS {cos} out of range [0, {self._n_cos})")
+            raise HardwareError(
+                f"IA32_L3_QOS_MASK: COS {cos} out of range [0, {self._n_cos})"
+            )

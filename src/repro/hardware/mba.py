@@ -57,10 +57,14 @@ class MemoryBandwidthAllocator:
         """
         self._check_cos(cos)
         if not 0 <= throttle_percent <= 100 - THROTTLE_STEP:
-            raise HardwareError(f"throttle {throttle_percent}% out of [0, 90]")
+            raise HardwareError(
+                f"IA32_L2_QOS_EXT_BW_THRTL[{cos}]: throttle {throttle_percent}% "
+                f"out of [0, {100 - THROTTLE_STEP}]"
+            )
         if throttle_percent % THROTTLE_STEP:
             raise HardwareError(
-                f"throttle must be a multiple of {THROTTLE_STEP}%, got {throttle_percent}%"
+                f"IA32_L2_QOS_EXT_BW_THRTL[{cos}]: throttle must be a multiple "
+                f"of {THROTTLE_STEP}%, got {throttle_percent}%"
             )
         self._msr.write(IA32_L2_QOS_EXT_BW_THRTL_BASE + cos, throttle_percent)
 
@@ -88,13 +92,18 @@ class MemoryBandwidthAllocator:
         """
         if len(unit_counts) > self._n_cos:
             raise HardwareError(
-                f"{len(unit_counts)} jobs exceed the {self._n_cos} classes of service"
+                f"IA32_L2_QOS_EXT_BW_THRTL: {len(unit_counts)} jobs exceed "
+                f"the {self._n_cos} classes of service"
             )
         if any(count < 1 for count in unit_counts):
-            raise HardwareError(f"every COS needs >= 1 bandwidth unit, got {list(unit_counts)}")
+            raise HardwareError(
+                f"IA32_L2_QOS_EXT_BW_THRTL: every COS needs >= 1 bandwidth unit, "
+                f"got {list(unit_counts)}"
+            )
         if sum(unit_counts) > self._total_units:
             raise HardwareError(
-                f"unit counts {list(unit_counts)} exceed the {self._total_units} available units"
+                f"IA32_L2_QOS_EXT_BW_THRTL: unit counts {list(unit_counts)} exceed "
+                f"the {self._total_units} available units"
             )
         throttles = []
         for cos, count in enumerate(unit_counts):
@@ -108,4 +117,6 @@ class MemoryBandwidthAllocator:
 
     def _check_cos(self, cos: int) -> None:
         if not 0 <= cos < self._n_cos:
-            raise HardwareError(f"COS {cos} out of range [0, {self._n_cos})")
+            raise HardwareError(
+                f"IA32_L2_QOS_EXT_BW_THRTL: COS {cos} out of range [0, {self._n_cos})"
+            )

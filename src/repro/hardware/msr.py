@@ -50,9 +50,12 @@ class MsrFile:
                 values (MSRs are unsigned 64-bit).
         """
         if register < 0 or sub_index < 0:
-            raise HardwareError(f"invalid MSR address {register:#x}/{sub_index}")
+            raise HardwareError(f"MSR {register:#x}[{sub_index}]: invalid address")
         if not 0 <= value < 2**64:
-            raise HardwareError(f"MSR value out of 64-bit range: {value}")
+            raise HardwareError(
+                f"MSR {register:#x}[{sub_index}]: value {value} outside the "
+                f"unsigned 64-bit range"
+            )
         self._registers[(register, sub_index)] = value
 
     def read(self, register: int, sub_index: int = 0) -> int:

@@ -45,7 +45,10 @@ class PowerCapController:
             HardwareError: if the cap is non-positive or above TDP.
         """
         if not 0 < watts <= self._tdp_watts:
-            raise HardwareError(f"package limit {watts} W outside (0, {self._tdp_watts}] W")
+            raise HardwareError(
+                f"MSR_PKG_POWER_LIMIT: package limit {watts} W outside "
+                f"(0, {self._tdp_watts}] W"
+            )
         self._msr.write(MSR_PKG_POWER_LIMIT, int(round(watts / POWER_UNIT_WATTS)))
 
     def package_limit(self) -> float:
@@ -62,7 +65,10 @@ class PowerCapController:
             HardwareError: if any count is below 1.
         """
         if any(count < 1 for count in unit_counts):
-            raise HardwareError(f"every job needs >= 1 power unit, got {list(unit_counts)}")
+            raise HardwareError(
+                f"MSR_PKG_POWER_LIMIT: every job needs >= 1 power unit, "
+                f"got {list(unit_counts)}"
+            )
         self._job_units = {job: int(count) for job, count in enumerate(unit_counts)}
         return list(self._job_units.values())
 
@@ -71,4 +77,6 @@ class PowerCapController:
         try:
             return self._job_units[job]
         except KeyError:
-            raise HardwareError(f"job {job} has no power budget set") from None
+            raise HardwareError(
+                f"MSR_PKG_POWER_LIMIT: job {job} has no power budget set"
+            ) from None

@@ -72,7 +72,14 @@ class PartitioningPolicy(abc.ABC):
         return {}
 
     def _scores(self, observation: Observation):
-        """Goal scores of an observation under this policy's metrics."""
+        """Goal scores of an observation under this policy's metrics.
+
+        Degenerate measurements (e.g. every job at zero IPS after a
+        mass crash under fault injection) make the fairness CoV raise
+        :class:`~repro.errors.ExperimentError` — a naive controller
+        *should* fall over on them; surviving such intervals is what
+        the hardened SATORI validation gate is for.
+        """
         if observation is None:
             raise PolicyError("no observation to score")
         return self._goals.scores(observation.ips, observation.isolation_ips)

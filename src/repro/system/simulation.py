@@ -15,11 +15,13 @@ user-space service gets from hardware counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ExperimentError
+from repro.errors import ActuationError, ConfigurationError, ExperimentError, HardwareError
+from repro.faults.msr import FaultyMsrFile
+from repro.faults.schedule import CRASH, DROP, NAN, OUTLIER, STUCK, FaultSchedule
 from repro.hardware.affinity import CoreAffinityController
 from repro.hardware.cat import CacheAllocationTechnology
 from repro.hardware.mba import MemoryBandwidthAllocator
@@ -52,6 +54,13 @@ DEFAULT_CONTROL_INTERVAL_S = 0.1
 #: and per-interval random thrashing pays full price.)
 RECONFIGURATION_PENALTY = 0.2
 
+#: Cost of one failed actuation attempt: each retry burns a slice of
+#: the control interval on the write + backoff before trying again, so
+#: every job loses this fraction of the interval's work per failure
+#: (capped at half the interval). This is what makes retry *bounded*
+#: rather than free — hammering a dead register has a price.
+ACTUATION_RETRY_PENALTY = 0.05
+
 
 @dataclass(frozen=True)
 class Observation:
@@ -69,6 +78,10 @@ class Observation:
             (Intel MBM counters via pqos); miss-driven policies such
             as dCAT key off this.
         llc_occupancy_bytes: measured per-job LLC occupancy (CMT).
+        actuation_ok: ``False`` when the interval's requested
+            configuration could not be installed (every write attempt
+            failed); the previous configuration stayed active, so
+            ``config`` reports what actually ran, not what was asked.
     """
 
     time_s: float
@@ -79,6 +92,7 @@ class Observation:
     completed_runs: Tuple[int, ...]
     memory_bandwidth_bytes_s: Tuple[float, ...] = ()
     llc_occupancy_bytes: Tuple[float, ...] = ()
+    actuation_ok: bool = True
 
     @property
     def n_jobs(self) -> int:
@@ -100,6 +114,15 @@ class CoLocationSimulator:
         phase_offset_s: initial offset added to every workload's phase
             clock (staggered per job), so repeated experiments on the
             same mix can start from different phase alignments.
+        fault_schedule: deterministic fault realization to inject
+            (``repro.faults``); ``None`` runs the server clean. With a
+            schedule present the register file is a
+            :class:`~repro.faults.msr.FaultyMsrFile` so actuation
+            faults surface as failed MSR writes.
+        actuation_retries: extra write attempts :meth:`apply` makes
+            after a failed actuation before giving up for the interval
+            (bounded retry with backoff; each failure costs
+            :data:`ACTUATION_RETRY_PENALTY` of the interval).
     """
 
     def __init__(
@@ -111,9 +134,13 @@ class CoLocationSimulator:
         outlier_rate: float = 0.0,
         seed: SeedLike = None,
         phase_offset_s: float = 0.0,
+        fault_schedule: Optional[FaultSchedule] = None,
+        actuation_retries: int = 2,
     ):
         if control_interval_s <= 0:
             raise ExperimentError(f"control interval must be positive, got {control_interval_s}")
+        if actuation_retries < 0:
+            raise ExperimentError(f"actuation_retries must be >= 0, got {actuation_retries}")
         catalog = catalog or default_catalog()
         for required in (CORES, LLC_WAYS, MEMORY_BANDWIDTH):
             if required not in catalog:
@@ -132,8 +159,12 @@ class CoLocationSimulator:
             noise_sigma=noise_sigma, outlier_rate=outlier_rate, rng=spawn_rng(self._rng)
         )
 
-        # Hardware actuators over a shared register file.
-        self._msr = MsrFile()
+        # Hardware actuators over a shared register file. With fault
+        # injection enabled the register file can refuse writes; the
+        # actuators themselves are unchanged.
+        self._fault_schedule = fault_schedule
+        self._actuation_retries = actuation_retries
+        self._msr: MsrFile = FaultyMsrFile() if fault_schedule is not None else MsrFile()
         self._cat = CacheAllocationTechnology(self._msr, n_ways=catalog.get(LLC_WAYS).units)
         self._mba = MemoryBandwidthAllocator(
             self._msr, total_units=catalog.get(MEMORY_BANDWIDTH).units
@@ -146,6 +177,26 @@ class CoLocationSimulator:
         self._instructions = np.zeros(len(mix), dtype=float)
         self._completed_runs = np.zeros(len(mix), dtype=np.int64)
         self._prev_allocations: Optional[dict] = None
+
+        # Fault bookkeeping: failed write attempts pending their IPS
+        # penalty, once-per-event triggers (crash progress loss fires a
+        # single time however many intervals the event spans), the last
+        # *reported* per-job IPS (what a stuck counter repeats), and
+        # observable injection counters.
+        self._pending_failed_attempts = 0
+        self._triggered_events: set = set()
+        self._last_reported_ips = np.full(len(mix), np.nan)
+        self._last_true_ips: Tuple[float, ...] = ()
+        self._fault_counters: Dict[str, int] = {
+            "actuation_failures": 0,
+            "actuation_exhausted": 0,
+            "samples_dropped": 0,
+            "samples_nan": 0,
+            "samples_stuck": 0,
+            "samples_outlier": 0,
+            "crashes": 0,
+            "hangs": 0,
+        }
 
     # -- introspection ------------------------------------------------------
 
@@ -178,6 +229,35 @@ class CoLocationSimulator:
         """The simulated register file (inspectable by tests)."""
         return self._msr
 
+    @property
+    def fault_schedule(self) -> Optional[FaultSchedule]:
+        """The injected fault realization, or ``None`` when clean."""
+        return self._fault_schedule
+
+    @property
+    def fault_counters(self) -> Dict[str, int]:
+        """Counts of faults injected so far, by kind (a copy)."""
+        return dict(self._fault_counters)
+
+    @property
+    def active_fault_count(self) -> int:
+        """Number of fault events active at the current wall time."""
+        if self._fault_schedule is None:
+            return 0
+        return self._fault_schedule.active_count(self._time_s)
+
+    @property
+    def last_true_ips(self) -> Tuple[float, ...]:
+        """The last interval's noisy-but-uncorrupted IPS measurements.
+
+        What a fault-free monitor would have reported: measurement
+        noise included, injected monitoring corruption excluded.
+        Evaluators score these; controllers only ever see the
+        :class:`Observation`'s possibly-corrupted ``ips``. Empty before
+        the first :meth:`step`.
+        """
+        return self._last_true_ips
+
     def equal_partition(self) -> Configuration:
         """The ``S_init`` configuration for this server and mix."""
         return equal_partition(self._catalog, self.n_jobs)
@@ -191,9 +271,18 @@ class CoLocationSimulator:
         corresponding actuator; resources it omits revert to shared.
         ``None`` removes all partitions (unmanaged baseline).
 
+        Under fault injection a write can fail; the install is retried
+        up to ``actuation_retries`` extra times (each failure costs a
+        slice of the interval, see :data:`ACTUATION_RETRY_PENALTY`).
+        If every attempt fails the last-known-good configuration stays
+        in force — ``self._config`` is only updated on success — and
+        :class:`~repro.errors.ActuationError` is raised.
+
         Raises:
             ConfigurationError: if the configuration is invalid for
                 this server/mix.
+            ActuationError: if every write attempt failed; the
+                previously installed configuration remains active.
         """
         if config is not None:
             if config.n_jobs != self.n_jobs:
@@ -201,15 +290,54 @@ class CoLocationSimulator:
                     f"configuration covers {config.n_jobs} jobs, mix has {self.n_jobs}"
                 )
             config.validate(self._catalog.subset(config.resource_names))
-            if config.partitions(LLC_WAYS):
-                self._cat.apply_partition(config.units(LLC_WAYS))
-            if config.partitions(MEMORY_BANDWIDTH):
-                self._mba.apply_partition(config.units(MEMORY_BANDWIDTH))
-            if config.partitions(CORES):
-                self._affinity.apply_partition(config.units(CORES))
-            if config.partitions(POWER):
-                self._rapl.apply_partition(config.units(POWER))
+            self._install(config)
         self._config = config
+
+    def _install(self, config: Configuration) -> None:
+        """Program a validated configuration, retrying injected failures."""
+        fail_attempts = 0
+        if self._fault_schedule is not None:
+            fail_attempts = self._fault_schedule.actuation_fail_attempts(self._time_s)
+        faulty = self._msr if isinstance(self._msr, FaultyMsrFile) else None
+        last_error: Optional[HardwareError] = None
+        total_attempts = 1 + self._actuation_retries
+        for attempt in range(total_attempts):
+            armed = attempt < fail_attempts
+            if faulty is not None:
+                faulty.arm(armed)
+            try:
+                self._program(config)
+            except HardwareError as error:
+                if faulty is not None:
+                    faulty.arm(False)
+                if not armed:
+                    # A genuine actuator rejection, not an injected
+                    # fault: retrying the same write cannot help.
+                    raise
+                self._pending_failed_attempts += 1
+                self._fault_counters["actuation_failures"] += 1
+                last_error = error
+                continue
+            if faulty is not None:
+                faulty.arm(False)
+            return
+        self._fault_counters["actuation_exhausted"] += 1
+        raise ActuationError(
+            f"configuration install failed after {total_attempts} attempts "
+            f"at t={self._time_s:.3f}s; keeping last-known-good configuration "
+            f"({last_error})"
+        )
+
+    def _program(self, config: Configuration) -> None:
+        """One programming pass over the actuators (no retry logic)."""
+        if config.partitions(LLC_WAYS):
+            self._cat.apply_partition(config.units(LLC_WAYS))
+        if config.partitions(MEMORY_BANDWIDTH):
+            self._mba.apply_partition(config.units(MEMORY_BANDWIDTH))
+        if config.partitions(CORES):
+            self._affinity.apply_partition(config.units(CORES))
+        if config.partitions(POWER):
+            self._rapl.apply_partition(config.units(POWER))
 
     # -- execution ----------------------------------------------------------
 
@@ -223,11 +351,25 @@ class CoLocationSimulator:
                 previous resource allocation configuration until
                 SATORI generates a new decision", Sec. V).
         """
+        actuation_ok = True
         if config is not None:
-            self.apply(config)
+            try:
+                self.apply(config)
+            except ActuationError:
+                # Last-known-good configuration stays installed; the
+                # interval runs under it and the policy learns of the
+                # failure through ``actuation_ok`` rather than an
+                # exception tearing down the control loop.
+                actuation_ok = False
 
-        state = evaluate_system(self._mix, self._catalog, self._config, self._time_s)
+        interval_start = self._time_s
+        state = evaluate_system(self._mix, self._catalog, self._config, interval_start)
         ips = state.ips * self._reconfiguration_factors()
+        ips = ips * self._workload_fault_factors(interval_start)
+        if self._pending_failed_attempts:
+            penalty = min(0.5, ACTUATION_RETRY_PENALTY * self._pending_failed_attempts)
+            ips = ips * (1.0 - penalty)
+            self._pending_failed_attempts = 0
         self._instructions += ips * self._interval
         self._account_completions()
         self._time_s += self._interval
@@ -238,15 +380,21 @@ class CoLocationSimulator:
             llc_occupancy_bytes=state.llc_occupancy_bytes,
             memory_bandwidth_bytes_s=state.memory_bandwidth_bytes_s,
         )
+        true_sampled = [s.ips for s in samples]
+        reported_ips = self._apply_monitor_faults(list(true_sampled), interval_start)
+        # Evaluators score the pre-corruption measurements (controllers
+        # only ever see the reported, possibly corrupted, Observation).
+        self._last_true_ips = tuple(float(v) for v in true_sampled)
         return Observation(
             time_s=self._time_s,
             interval_s=self._interval,
-            ips=tuple(s.ips for s in samples),
+            ips=tuple(reported_ips),
             isolation_ips=tuple(self.measure_isolation()),
             config=self._config,
             completed_runs=tuple(int(c) for c in self._completed_runs),
             memory_bandwidth_bytes_s=tuple(s.memory_bandwidth_bytes_s for s in samples),
             llc_occupancy_bytes=tuple(s.llc_occupancy_bytes for s in samples),
+            actuation_ok=actuation_ok,
         )
 
     def run(self, config: Optional[Configuration], n_steps: int) -> List[Observation]:
@@ -318,6 +466,59 @@ class CoLocationSimulator:
         """The tuple of active phase indices (Oracle cache key)."""
         t = self._time_s if at_time is None else at_time
         return tuple(w.phase_index_at(t) for w in self._mix)
+
+    def _workload_fault_factors(self, t: float) -> np.ndarray:
+        """Per-job IPS multipliers from crash / hang events at time ``t``.
+
+        A crashed job makes no progress until its restart completes and
+        loses the current run's partial work (once per event, however
+        many intervals the event spans). A hung job makes no progress
+        but keeps its state.
+        """
+        factors = np.ones(self.n_jobs)
+        if self._fault_schedule is None:
+            return factors
+        for job in range(self.n_jobs):
+            for index, event in self._fault_schedule.workload_events(job, t):
+                if index not in self._triggered_events:
+                    self._triggered_events.add(index)
+                    if event.kind == CRASH:
+                        self._instructions[job] = 0.0
+                        self._fault_counters["crashes"] += 1
+                    else:
+                        self._fault_counters["hangs"] += 1
+                factors[job] = 0.0
+        return factors
+
+    def _apply_monitor_faults(self, reported: List[float], t: float) -> List[float]:
+        """Corrupt the per-job reported IPS per the fault schedule.
+
+        Drops and NaN glitches report NaN (a dropped pqos sample has no
+        value); a stuck counter repeats the last *reported* value; an
+        outlier scales the true measurement by the event magnitude.
+        Only the report is corrupted — true progress accounting already
+        happened.
+        """
+        if self._fault_schedule is not None:
+            for job in range(self.n_jobs):
+                for event in self._fault_schedule.monitor_events(job, t):
+                    if event.kind == DROP:
+                        reported[job] = float("nan")
+                        self._fault_counters["samples_dropped"] += 1
+                    elif event.kind == NAN:
+                        reported[job] = float("nan")
+                        self._fault_counters["samples_nan"] += 1
+                    elif event.kind == STUCK:
+                        if np.isfinite(self._last_reported_ips[job]):
+                            reported[job] = float(self._last_reported_ips[job])
+                        self._fault_counters["samples_stuck"] += 1
+                    elif event.kind == OUTLIER:
+                        reported[job] = reported[job] * event.magnitude
+                        self._fault_counters["samples_outlier"] += 1
+        for job, value in enumerate(reported):
+            if np.isfinite(value):
+                self._last_reported_ips[job] = value
+        return reported
 
     def _reconfiguration_factors(self) -> np.ndarray:
         """Per-job IPS multipliers for this interval's allocation change.

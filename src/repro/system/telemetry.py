@@ -109,8 +109,32 @@ class TelemetryLog:
         weights: Optional[Tuple[float, float]] = None,
         extra: Optional[Dict[str, float]] = None,
     ) -> TelemetryRecord:
-        """Score one interval's measurements and append the record."""
-        scores = self._goals.scores(ips, isolation_ips)
+        """Score one interval's measurements and append the record.
+
+        Non-finite IPS entries (dropped/corrupted monitoring samples
+        under fault injection) are imputed with the job's last recorded
+        value — a NaN would otherwise propagate through every mean the
+        log reports — and the number of imputed samples is noted in the
+        record's ``extra`` under ``"imputed_samples"``.
+        """
+        ips = list(ips)
+        imputed = 0
+        for j, value in enumerate(ips):
+            if not np.isfinite(value):
+                ips[j] = self._last_finite_ips(j)
+                imputed += 1
+        if imputed:
+            extra = dict(extra or {})
+            extra["imputed_samples"] = float(imputed)
+        try:
+            scores = self._goals.scores(ips, isolation_ips)
+        except ExperimentError:
+            # A fully-starved interval (every job crashed/hung to zero
+            # IPS) has no defined CoV; score it worst-case instead of
+            # aborting the run.
+            scores = GoalScores(0.0, 0.0)
+            extra = dict(extra or {})
+            extra["degenerate_interval"] = 1.0
         # Coerce to plain Python floats: diagnostics frequently hand us
         # numpy scalars, which json.dumps rejects (np.bool_) or which
         # break strict round-trip equality checks.
@@ -126,6 +150,13 @@ class TelemetryLog:
         )
         self._records.append(rec)
         return rec
+
+    def _last_finite_ips(self, job: int) -> float:
+        """Most recent finite IPS recorded for ``job`` (0.0 if none)."""
+        for rec in reversed(self._records):
+            if job < len(rec.ips) and np.isfinite(rec.ips[job]):
+                return float(rec.ips[job])
+        return 0.0
 
     # -- aggregations ---------------------------------------------------
 

@@ -121,6 +121,67 @@ class TestReconfigurationDisturbance:
         assert 0.0 <= RECONFIGURATION_PENALTY <= 1.0
 
 
+class TestReapplySameConfig:
+    def test_no_reconfiguration_penalty(self, catalog6, parsec_mix3):
+        sim = CoLocationSimulator(parsec_mix3, catalog6, noise_sigma=0.0, seed=1)
+        config = sim.equal_partition()
+        sim.step(config)
+        # Explicitly re-installing the identical configuration moves no
+        # allocations, so the interval must be penalty-free.
+        obs = sim.step(config)
+        truth = sim.true_ips(config, at_time=0.1)
+        assert np.allclose(obs.ips, truth, rtol=1e-9)
+
+    def test_registers_unchanged(self, make_simulator):
+        sim = make_simulator()
+        config = sim.equal_partition()
+        sim.apply(config)
+        before = sim.msr.read(IA32_L3_QOS_MASK_BASE)
+        sim.apply(config)
+        assert sim.msr.read(IA32_L3_QOS_MASK_BASE) == before
+        assert sim.current_config == config
+
+
+class TestChurnMidRun:
+    def test_swap_keeps_installed_config(self, make_simulator):
+        from repro.workloads.registry import get_workload
+
+        sim = make_simulator()
+        config = sim.equal_partition()
+        for _ in range(7):
+            sim.step(config)
+        sim.replace_workload(1, get_workload("vips"))
+        # The co-location degree is unchanged, so the installed
+        # partitioning stays valid and in force.
+        assert sim.current_config == config
+        obs = sim.step()
+        assert obs.config == config
+        assert all(v > 0 for v in obs.ips)
+
+    def test_swap_at_unaligned_time_starts_phase_zero(self, make_simulator):
+        from repro.workloads.registry import get_workload
+
+        sim = make_simulator()
+        # 0.7 s is not a multiple of any catalog workload's phase
+        # period, so the offset shift must realign the newcomer.
+        for _ in range(7):
+            sim.step(sim.equal_partition())
+        sim.replace_workload(2, get_workload("streamcluster"))
+        assert sim.mix[2].phase_index_at(sim.time_s) == 0
+
+    def test_swap_preserves_other_jobs_progress(self, make_simulator):
+        from repro.workloads.registry import get_workload
+
+        sim = make_simulator()
+        for _ in range(5):
+            obs = sim.step(sim.equal_partition())
+        completed_before = obs.completed_runs
+        sim.replace_workload(0, get_workload("vips"))
+        obs = sim.step()
+        assert obs.completed_runs[1:] >= completed_before[1:]
+        assert obs.completed_runs[0] == 0
+
+
 class TestFixedWork:
     def test_completions_accumulate(self, catalog6):
         mix = mix_from_names(["amg", "hypre"])
