@@ -1,0 +1,77 @@
+"""Cluster scale-out: placement x partitioning-policy sweep.
+
+Fleet-level extension of the paper's evaluation: N SATORI nodes share
+one Poisson job stream, and placement policies compete over the same
+paired environment (shared trace, node-keyed fault plans, node/epoch
+seeds). Reports cluster-wide throughput/fairness per cell — the
+"what happens when 32 SATORI nodes share a job stream?" experiment at
+benchmark scale.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.cluster import cluster_sweep, default_trace
+from repro.experiments.runner import RunConfig, experiment_catalog
+
+from common import run_once
+
+N_NODES = 4
+N_EPOCHS = 6
+EPOCH_SECONDS = 8.0
+
+
+@pytest.mark.slow
+def test_cluster_placement_sweep(benchmark):
+    catalog = experiment_catalog()
+    trace = default_trace(
+        n_epochs=N_EPOCHS, n_nodes=N_NODES, arrival_rate=2.0, seed=0, catalog=catalog
+    )
+    sweep = run_once(
+        benchmark,
+        lambda: cluster_sweep(
+            trace,
+            n_nodes=N_NODES,
+            placements=("round_robin", "least_loaded", "contention_aware"),
+            policies=("SATORI", "EqualPartition"),
+            catalog=catalog,
+            epoch_config=RunConfig(duration_s=EPOCH_SECONDS),
+            seed=0,
+            fault_intensity=0.5,
+        ),
+    )
+
+    rows = [
+        [
+            cell.placement,
+            cell.policy,
+            cell.result.mean_speedup,
+            cell.result.fairness,
+            cell.result.p10_speedup,
+        ]
+        for cell in sweep.cells
+    ]
+    print(
+        f"\nCluster sweep — {N_NODES} nodes, {sweep.n_jobs} jobs over "
+        f"{N_EPOCHS} epochs (faults on even nodes)"
+    )
+    print(
+        format_table(
+            ["placement", "policy", "mean speedup", "fairness", "p10"],
+            rows,
+            precision=3,
+        )
+    )
+
+    for cell in sweep.cells:
+        assert 0.0 < cell.result.fairness <= 1.0
+        assert cell.result.mean_speedup > 0.0
+    # SATORI should beat static partitioning on throughput under at
+    # least one placement (the single-server result, surviving scale-out).
+    satori = max(
+        c.result.mean_speedup for c in sweep.cells if c.policy == "SATORI"
+    )
+    static = max(
+        c.result.mean_speedup for c in sweep.cells if c.policy == "EqualPartition"
+    )
+    assert satori > 0.8 * static

@@ -13,6 +13,7 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``scalability``  — SATORI vs PARTIES across co-location degrees.
 * ``overhead``     — controller decision-time measurement.
 * ``resilience``   — fault-intensity sweep: hardened vs unhardened SATORI.
+* ``cluster``      — multi-node placement x partitioning-policy sweep.
 * ``workloads``    — list the benchmark workload models (Tables I-III).
 """
 
@@ -229,6 +230,78 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.simulator import MigrationConfig
+    from repro.experiments.cluster import cluster_sweep, default_trace
+
+    catalog = experiment_catalog(args.units)
+    epoch_config = RunConfig(duration_s=args.duration)
+    trace = default_trace(
+        n_epochs=args.epochs,
+        n_nodes=args.nodes,
+        arrival_rate=args.arrival_rate,
+        mean_residency=args.residency,
+        suite=args.suite,
+        seed=args.seed,
+        catalog=catalog,
+    )
+    engine = _engine(args)
+    sweep = cluster_sweep(
+        trace,
+        n_nodes=args.nodes,
+        placements=tuple(args.placements),
+        policies=tuple(args.policies),
+        catalog=catalog,
+        epoch_config=epoch_config,
+        seed=args.seed,
+        fault_intensity=args.fault_intensity,
+        migration=MigrationConfig() if args.migrate else None,
+        engine=engine,
+    )
+    print(
+        f"trace: {sweep.n_jobs} jobs over {sweep.n_epochs} epochs "
+        f"({args.duration:g}s each), peak {sweep.peak_jobs} resident, "
+        f"{args.nodes} nodes"
+    )
+    rows = []
+    for cell in sweep.cells:
+        r = cell.result
+        rows.append([
+            cell.placement,
+            cell.policy,
+            f"{r.throughput:.3f}",
+            f"{r.mean_speedup:.3f}",
+            f"{r.fairness:.3f}",
+            f"{r.worst_job_speedup:.3f}",
+            f"{r.p10_speedup:.3f}",
+            len(r.rejected_jobs),
+            r.migrations,
+        ])
+    print(
+        format_table(
+            ["placement", "policy", "throughput", "mean speedup", "fairness (jain)",
+             "worst job", "p10 job", "rejected", "migrations"],
+            rows,
+            title="cluster-wide (per-job speedups averaged over resident epochs):",
+        )
+    )
+    for cell in sweep.cells:
+        node_rows = [
+            [node_id, f"{throughput:.3f}", f"{fairness:.3f}", f"{occupancy:.1f}"]
+            for node_id, throughput, fairness, occupancy in cell.result.node_summary()
+        ]
+        print()
+        print(
+            format_table(
+                ["node", "throughput", "fairness", "mean jobs"],
+                node_rows,
+                title=f"per-node [{cell.placement} / {cell.policy}]:",
+            )
+        )
+    _print_engine_stats(engine)
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.figures import FigureScale, figure_names, run_figure
 
@@ -283,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("scalability", cmd_scalability, "scalability"),
         ("overhead", cmd_overhead, None),
         ("resilience", cmd_resilience, "resilience"),
+        ("cluster", cmd_cluster, "cluster"),
         ("report", cmd_report, "report"),
         ("figure", cmd_figure, "figure"),
     ):
@@ -297,6 +371,25 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--intensities", type=float, nargs="+",
                            default=[0.0, 0.25, 0.5, 1.0],
                            help="fault intensities in [0, 1] to sweep")
+        if extra == "cluster":
+            p.add_argument("--nodes", type=int, default=4, help="fleet size")
+            p.add_argument("--epochs", type=int, default=4, help="placement epochs")
+            p.add_argument("--arrival-rate", type=float, default=1.5,
+                           help="mean job arrivals per epoch (Poisson)")
+            p.add_argument("--residency", type=float, default=3.0,
+                           help="mean resident epochs per job (geometric)")
+            p.add_argument("--placements", nargs="+",
+                           default=["round_robin", "contention_aware"],
+                           help="placement policies to compare")
+            p.add_argument("--policies", nargs="+",
+                           default=["SATORI", "EqualPartition"],
+                           help="partitioning policies to compare")
+            p.add_argument("--fault-intensity", type=float, default=0.0,
+                           help="fault intensity on even-numbered nodes")
+            p.add_argument("--migrate", action="store_true",
+                           help="migrate jobs off persistently unfair nodes")
+            # for cluster, --duration is the per-epoch length
+            p.set_defaults(duration=4.0)
         if extra == "report":
             p.add_argument("--mixes", type=int, default=4, help="mixes to include")
             p.add_argument("--out", default="", help="write markdown to this path")

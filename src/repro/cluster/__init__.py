@@ -1,0 +1,44 @@
+"""Multi-node cluster layer: nodes, placement, and the fleet simulator.
+
+Turns the single-server reproduction into a simulated fleet: a
+:class:`ClusterSimulator` replays a job
+:class:`~repro.workloads.arrivals.ArrivalTrace` across N
+:class:`ServerNode`\\ s, routing arrivals with a pluggable
+:class:`PlacementPolicy` and executing each node's placement epoch as
+an independent :class:`~repro.engine.RunSpec` through the execution
+engine. See DESIGN.md ("Cluster architecture").
+"""
+
+from repro.cluster.node import ServerNode, instance_name, node_capacity
+from repro.cluster.placement import (
+    ContentionAwarePlacement,
+    LeastLoadedPlacement,
+    NodeView,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    make_placement,
+    placement_names,
+)
+from repro.cluster.simulator import (
+    ClusterResult,
+    ClusterSimulator,
+    MigrationConfig,
+    NodeEpochRecord,
+)
+
+__all__ = [
+    "ClusterResult",
+    "ClusterSimulator",
+    "ContentionAwarePlacement",
+    "LeastLoadedPlacement",
+    "MigrationConfig",
+    "NodeEpochRecord",
+    "NodeView",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "ServerNode",
+    "instance_name",
+    "make_placement",
+    "node_capacity",
+    "placement_names",
+]

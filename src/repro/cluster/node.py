@@ -1,0 +1,164 @@
+"""One server in the cluster: resident jobs plus spec construction.
+
+A :class:`ServerNode` owns its resource catalog and the set of job
+instances currently placed on it, and knows how to describe one
+placement epoch of partitioned execution as a
+:class:`~repro.engine.RunSpec`. The node itself never executes
+anything — the cluster simulator batches every node's epoch spec
+through the :class:`~repro.engine.ExecutionEngine`, which is what
+makes nodes run in parallel worker processes and lets the run cache
+deduplicate identical node-epochs across sweep cells.
+
+Job instances get *instance-unique* workload names (``canneal#7`` for
+job id 7) because :class:`~repro.workloads.mixes.JobMix` forbids
+duplicate names — two copies of the same benchmark are distinct jobs
+with distinct speedups and must stay distinguishable in telemetry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ClusterError
+from repro.engine.spec import RunSpec
+from repro.experiments.runner import RunConfig
+from repro.faults.plan import FaultPlan
+from repro.workloads.arrivals import JobArrival
+from repro.workloads.mixes import JobMix
+from repro.workloads.model import Workload
+from repro.resources.types import ResourceCatalog
+
+
+def instance_name(workload_name: str, job_id: int) -> str:
+    """The instance-unique name a job runs under on a node."""
+    return f"{workload_name}#{job_id}"
+
+
+def node_capacity(catalog: ResourceCatalog) -> int:
+    """Most jobs a catalog can host: every job needs its per-resource minimum."""
+    return min(resource.units // resource.min_units for resource in catalog)
+
+
+class ServerNode:
+    """A single server's placement state within the cluster.
+
+    Args:
+        node_id: stable index of this node.
+        catalog: the node's resource catalog (nodes may be
+            heterogeneous — each carries its own).
+        capacity: maximum resident jobs; defaults to what the catalog
+            can physically partition (:func:`node_capacity`).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        catalog: ResourceCatalog,
+        capacity: Optional[int] = None,
+    ):
+        if node_id < 0:
+            raise ClusterError(f"node_id must be >= 0, got {node_id}")
+        limit = node_capacity(catalog)
+        if capacity is None:
+            capacity = limit
+        if capacity < 1:
+            raise ClusterError(f"node capacity must be >= 1, got {capacity}")
+        if capacity > limit:
+            raise ClusterError(
+                f"node {node_id}: capacity {capacity} exceeds what the catalog "
+                f"can partition ({limit} jobs)"
+            )
+        self.node_id = int(node_id)
+        self.catalog = catalog
+        self.capacity = int(capacity)
+        self._jobs: Dict[int, Workload] = {}
+
+    # -- occupancy --------------------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def has_capacity(self) -> bool:
+        return self.n_jobs < self.capacity
+
+    @property
+    def job_ids(self) -> Tuple[int, ...]:
+        """Resident job ids in ascending order (the mix's job order)."""
+        return tuple(sorted(self._jobs))
+
+    def add_job(self, arrival: JobArrival) -> None:
+        """Place a job instance on this node."""
+        if not self.has_capacity:
+            raise ClusterError(
+                f"node {self.node_id} is full ({self.n_jobs}/{self.capacity} jobs)"
+            )
+        if arrival.job_id in self._jobs:
+            raise ClusterError(f"job {arrival.job_id} is already on node {self.node_id}")
+        self._jobs[arrival.job_id] = dataclasses.replace(
+            arrival.workload,
+            name=instance_name(arrival.workload.name, arrival.job_id),
+        )
+
+    def remove_job(self, job_id: int) -> None:
+        """Remove a departed (or migrating) job instance."""
+        try:
+            del self._jobs[job_id]
+        except KeyError:
+            raise ClusterError(f"job {job_id} is not on node {self.node_id}") from None
+
+    def has_job(self, job_id: int) -> bool:
+        return job_id in self._jobs
+
+    def workload_of(self, job_id: int) -> Workload:
+        """The (instance-renamed) workload a resident job runs."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ClusterError(f"job {job_id} is not on node {self.node_id}") from None
+
+    # -- epoch spec -------------------------------------------------------
+
+    def mix(self) -> JobMix:
+        """The node's current co-location mix, in job-id order.
+
+        Only meaningful with >= 2 resident jobs (partitioning a single
+        job is trivial — the cluster simulator synthesizes those
+        epochs instead of running them).
+        """
+        if self.n_jobs < 2:
+            raise ClusterError(
+                f"node {self.node_id} has {self.n_jobs} job(s); a mix needs >= 2"
+            )
+        return JobMix(tuple(self._jobs[job_id] for job_id in self.job_ids))
+
+    def epoch_spec(
+        self,
+        policy: str,
+        run_config: RunConfig,
+        seed: int,
+        policy_kwargs: Optional[dict] = None,
+        goals: Tuple[str, str] = ("sum_ips", "jain"),
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> RunSpec:
+        """One placement epoch of this node as an engine spec.
+
+        The caller supplies the epoch seed (derived from cluster seed,
+        node id, and epoch — never from the resident jobs, so fault
+        and noise environments stay paired across placement policies
+        that route different jobs here) and a ``run_config`` whose
+        ``phase_offset_s`` encodes the epoch's position in wall time,
+        keeping workload phase behavior continuous across epochs.
+        """
+        return RunSpec(
+            mix=self.mix(),
+            policy=policy,
+            catalog=self.catalog,
+            policy_kwargs=tuple(sorted((policy_kwargs or {}).items())),
+            run_config=run_config,
+            goals=goals,
+            seed=seed,
+            fault_plan=fault_plan,
+        )

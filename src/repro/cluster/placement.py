@@ -1,0 +1,154 @@
+"""Job placement policies for the cluster layer.
+
+Placement answers one question per arriving job: *which node takes
+it?* Policies see only :class:`NodeView` summaries — occupancy plus
+the partitioning telemetry each node observed during the previous
+epoch — never the workload models themselves, mirroring a real cluster
+scheduler that knows what nodes report, not what jobs will do.
+
+Three stock policies cover the classic spectrum:
+
+* ``round_robin``   — placement ignores state entirely (the paired
+  baseline every placement study needs);
+* ``least_loaded``  — balance occupancy (a capacity scheduler);
+* ``contention_aware`` — balance *observed interference*: prefer the
+  node whose resident jobs currently retain the most of their
+  isolation performance (mean per-job speedup), i.e. the node whose
+  partitioner is coping best. This is the cluster-level analogue of
+  the paper's observation that IPS degradation is the universal
+  contention signal — no per-workload profiling required.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """What a placement policy may know about one node.
+
+    Attributes:
+        node_id: stable node index.
+        n_jobs: jobs currently resident (after departures, including
+            placements already made this epoch).
+        capacity: maximum resident jobs the node's catalog supports.
+        mean_speedup: mean per-job speedup the node observed last
+            epoch (1.0 until the node has telemetry — an empty or
+            fresh node looks uncontended).
+        fairness: fairness score the node observed last epoch (1.0
+            until telemetry exists).
+    """
+
+    node_id: int
+    n_jobs: int
+    capacity: int
+    mean_speedup: float = 1.0
+    fairness: float = 1.0
+
+    @property
+    def has_capacity(self) -> bool:
+        return self.n_jobs < self.capacity
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses a node for each arriving job."""
+
+    #: Registry id; subclasses override.
+    name: str = "placement"
+
+    @abc.abstractmethod
+    def place(self, nodes: Sequence[NodeView]) -> int:
+        """The node id that takes the next arriving job.
+
+        Args:
+            nodes: one view per node, in node-id order, reflecting
+                placements already made this epoch.
+
+        Raises:
+            ClusterError: if no node has free capacity.
+        """
+
+    @staticmethod
+    def _open_nodes(nodes: Sequence[NodeView]) -> Sequence[NodeView]:
+        open_nodes = [view for view in nodes if view.has_capacity]
+        if not open_nodes:
+            raise ClusterError(
+                f"no free capacity on any of {len(nodes)} node(s); "
+                "admission control must cap the trace below cluster capacity"
+            )
+        return open_nodes
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through nodes, skipping full ones."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, nodes: Sequence[NodeView]) -> int:
+        self._open_nodes(nodes)  # raise early if the cluster is full
+        n = len(nodes)
+        for offset in range(n):
+            view = nodes[(self._next + offset) % n]
+            if view.has_capacity:
+                self._next = (view.node_id + 1) % n
+                return view.node_id
+        raise ClusterError("unreachable: capacity check passed but no open node found")
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Fewest resident jobs wins; ties break toward the lowest id."""
+
+    name = "least_loaded"
+
+    def place(self, nodes: Sequence[NodeView]) -> int:
+        open_nodes = self._open_nodes(nodes)
+        return min(open_nodes, key=lambda view: (view.n_jobs, view.node_id)).node_id
+
+
+class ContentionAwarePlacement(PlacementPolicy):
+    """Highest observed mean speedup wins (least contended node).
+
+    Falls back to least-loaded among nodes whose observed speedups tie
+    (fresh clusters, identical telemetry), so it never behaves worse
+    than load balancing for lack of signal.
+    """
+
+    name = "contention_aware"
+
+    def place(self, nodes: Sequence[NodeView]) -> int:
+        open_nodes = self._open_nodes(nodes)
+        return min(
+            open_nodes,
+            key=lambda view: (-round(view.mean_speedup, 6), view.n_jobs, view.node_id),
+        ).node_id
+
+
+_PLACEMENTS: Dict[str, Callable[[], PlacementPolicy]] = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+    ContentionAwarePlacement.name: ContentionAwarePlacement,
+}
+
+
+def placement_names() -> Tuple[str, ...]:
+    """Registered placement ids, sorted."""
+    return tuple(sorted(_PLACEMENTS))
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """A fresh placement policy instance from its registry id."""
+    try:
+        factory = _PLACEMENTS[name]
+    except KeyError:
+        raise ClusterError(
+            f"unknown placement policy {name!r}; registered: {', '.join(placement_names())}"
+        ) from None
+    return factory()

@@ -1,0 +1,488 @@
+"""The multi-node cluster simulator: placement epochs over a job trace.
+
+:class:`ClusterSimulator` turns N single-server partitioning problems
+plus a job arrival trace into one fleet-level experiment. Time is
+discretized into *placement epochs*: within an epoch node membership
+is fixed, so each node's epoch is exactly one single-server run —
+described as a :class:`~repro.engine.RunSpec` and executed through the
+:class:`~repro.engine.ExecutionEngine`. Node epochs are independent,
+which is what lets them fan out across worker processes and hit the
+content-addressed run cache like any other spec (two sweep cells that
+route the same jobs to the same node at the same epoch share one run).
+
+Epoch loop (in order):
+
+1. **departures** — jobs whose trace residency ends leave their node;
+2. **migration** (optional) — a node whose observed fairness stayed
+   below the threshold for ``patience`` consecutive epochs evicts its
+   worst-treated job to another node chosen by the placement policy;
+3. **arrivals** — the placement policy routes each arriving job using
+   :class:`~repro.cluster.placement.NodeView` summaries of the
+   *previous* epoch's telemetry (jobs with no free node anywhere are
+   rejected and counted — an admission-controlled cluster);
+4. **execution** — every node with >= 2 resident jobs becomes one
+   engine spec; nodes with 0 or 1 jobs are *synthesized* (an
+   uncontended job retains its isolation performance: speedup,
+   throughput and fairness scores of 1.0) rather than simulated;
+5. **scoring** — per-node records feed the next epoch's node views and
+   accumulate into cluster-wide metrics.
+
+Pairing across sweep cells: a node-epoch's seed is
+``derive_seed(seed, "node", node_id, "epoch", epoch)`` — a function of
+*where and when*, never of *which jobs landed there* — and fault plans
+are keyed by node id. Two cells differing only in placement or
+partitioning policy therefore present the same per-node noise/fault
+environment. (Caveat: fault *realizations* draw from each spec's
+environment digest, which includes the mix, so a placement that routes
+different jobs to a node sees a different realization of the same
+plan; the plan's windows and rates — the experiment design — stay
+paired. DESIGN.md discusses this.)
+
+Controller state is epoch-scoped: each node's policy instance is
+reconstructed per spec inside the engine worker, so a node's
+controller re-learns after every membership change. That is the
+honest-by-construction choice — membership changes are exactly when a
+controller's model is stale — and it is what keeps node epochs
+cacheable and order-independent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.node import ServerNode
+from repro.cluster.placement import NodeView, PlacementPolicy, make_placement
+from repro.engine import ExecutionEngine, RunSpec
+from repro.engine.spec import derive_seed
+from repro.errors import ClusterError
+from repro.experiments.runner import RunConfig, RunResult, experiment_catalog
+from repro.faults.plan import FaultPlan
+from repro.metrics.fairness import jain_index
+from repro.resources.types import ResourceCatalog
+from repro.workloads.arrivals import ArrivalTrace, JobArrival
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """When and how jobs migrate between nodes.
+
+    A node triggers migration after its *observed* fairness (previous
+    epoch's telemetry) stays below ``fairness_threshold`` for
+    ``patience`` consecutive epochs; it then evicts the resident job
+    with the lowest observed speedup to whichever other node the
+    placement policy picks. This is deliberately conservative —
+    sustained unfairness, not one bad epoch — because a migration
+    resets the destination controller's learning.
+    """
+
+    fairness_threshold: float = 0.85
+    patience: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fairness_threshold <= 1.0:
+            raise ClusterError(
+                f"fairness_threshold must be in (0, 1], got {self.fairness_threshold}"
+            )
+        if self.patience < 1:
+            raise ClusterError(f"patience must be >= 1, got {self.patience}")
+
+
+@dataclass(frozen=True)
+class NodeEpochRecord:
+    """One node's outcome for one placement epoch.
+
+    Attributes:
+        epoch: placement epoch index.
+        node_id: which node.
+        job_ids: resident jobs during the epoch (id order).
+        synthesized: ``True`` for 0/1-job epochs, which are not
+            simulated — an uncontended job runs at its isolation
+            performance by definition.
+        throughput / fairness: the node's scored means for the epoch.
+        job_speedups: per-job mean speedup over the epoch, keyed by
+            job id.
+    """
+
+    epoch: int
+    node_id: int
+    job_ids: Tuple[int, ...]
+    synthesized: bool
+    throughput: float
+    fairness: float
+    job_speedups: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_ids)
+
+    @property
+    def mean_speedup(self) -> float:
+        if not self.job_speedups:
+            return 1.0
+        return float(np.mean(list(self.job_speedups.values())))
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """A full cluster run: every node-epoch record plus event counts.
+
+    Cluster-wide metrics aggregate *per-job mean speedups* — each
+    job's speedup averaged over its resident epochs — because SATORI's
+    fairness story is long-term: a job briefly squeezed during one
+    epoch but compensated later should not drag the fleet's fairness
+    the way a persistently starved job does.
+    """
+
+    n_nodes: int
+    policy: str
+    placement: str
+    n_epochs: int
+    records: Tuple[NodeEpochRecord, ...]
+    rejected_jobs: Tuple[int, ...] = ()
+    migrations: int = 0
+
+    def node_records(self, node_id: int) -> List[NodeEpochRecord]:
+        """One node's records in epoch order."""
+        return sorted(
+            (r for r in self.records if r.node_id == node_id), key=lambda r: r.epoch
+        )
+
+    def job_mean_speedups(self) -> Dict[int, float]:
+        """Each job's speedup averaged over its resident epochs."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            for job_id, speedup in record.job_speedups.items():
+                sums[job_id] = sums.get(job_id, 0.0) + speedup
+                counts[job_id] = counts.get(job_id, 0) + 1
+        return {job_id: sums[job_id] / counts[job_id] for job_id in sums}
+
+    @property
+    def mean_speedup(self) -> float:
+        """Mean of per-job mean speedups (cluster throughput proxy)."""
+        per_job = self.job_mean_speedups()
+        return float(np.mean(list(per_job.values()))) if per_job else float("nan")
+
+    @property
+    def fairness(self) -> float:
+        """Jain index over per-job mean speedups (long-term fairness)."""
+        per_job = self.job_mean_speedups()
+        return jain_index(list(per_job.values())) if per_job else float("nan")
+
+    @property
+    def worst_job_speedup(self) -> float:
+        per_job = self.job_mean_speedups()
+        return float(min(per_job.values())) if per_job else float("nan")
+
+    @property
+    def p10_speedup(self) -> float:
+        """10th-percentile per-job speedup (tail-of-fleet metric)."""
+        per_job = self.job_mean_speedups()
+        if not per_job:
+            return float("nan")
+        return float(np.percentile(list(per_job.values()), 10))
+
+    @property
+    def throughput(self) -> float:
+        """Epoch-and-node mean of simulated throughput scores."""
+        simulated = [r.throughput for r in self.records if not r.synthesized]
+        if not simulated:
+            return float("nan")
+        return float(np.mean(simulated))
+
+    def node_summary(self) -> List[Tuple[int, float, float, float]]:
+        """Per-node ``(node_id, mean throughput, mean fairness, mean occupancy)``."""
+        rows = []
+        for node_id in sorted({r.node_id for r in self.records}):
+            records = self.node_records(node_id)
+            rows.append(
+                (
+                    node_id,
+                    float(np.mean([r.throughput for r in records])),
+                    float(np.mean([r.fairness for r in records])),
+                    float(np.mean([r.n_jobs for r in records])),
+                )
+            )
+        return rows
+
+
+class ClusterSimulator:
+    """N partitioned servers sharing one job arrival trace.
+
+    Args:
+        trace: the job arrival/departure trace (shared verbatim across
+            sweep cells — arrivals are environment, not treatment).
+        n_nodes: fleet size.
+        placement: a placement policy instance or registry id
+            (``"round_robin"``, ``"least_loaded"``,
+            ``"contention_aware"``).
+        policy: partitioning-policy factory id each node runs
+            (``"SATORI"``, ``"EqualPartition"``, ...).
+        catalog: per-node resource catalog (homogeneous fleet); pass
+            ``catalogs`` for a heterogeneous one.
+        catalogs: explicit per-node catalogs (overrides ``catalog``).
+        epoch_config: methodology knobs for one node-epoch;
+            ``duration_s`` is the epoch length. ``phase_offset_s`` is
+            overwritten per epoch to keep workload phases continuous
+            across epoch boundaries.
+        policy_kwargs: kwargs for the partitioning-policy factory.
+        goals: ``(throughput_metric, fairness_metric)`` for node runs.
+        seed: cluster base seed; node-epoch seeds derive from it and
+            the (node, epoch) coordinates only.
+        node_fault_plans: optional ``node_id -> FaultPlan`` mapping
+            (node-keyed so plans pair across placement cells).
+        migration: optional :class:`MigrationConfig`; ``None`` disables
+            job migration.
+        node_capacity: cap on resident jobs per node; defaults to what
+            each catalog can physically partition.
+        engine: execution engine for node-epoch batches; defaults to a
+            fresh serial engine.
+    """
+
+    def __init__(
+        self,
+        trace: ArrivalTrace,
+        n_nodes: int,
+        placement: Union[str, PlacementPolicy] = "round_robin",
+        policy: str = "SATORI",
+        catalog: Optional[ResourceCatalog] = None,
+        catalogs: Optional[Sequence[ResourceCatalog]] = None,
+        epoch_config: Optional[RunConfig] = None,
+        policy_kwargs: Optional[dict] = None,
+        goals: Tuple[str, str] = ("sum_ips", "jain"),
+        seed: int = 0,
+        node_fault_plans: Optional[Mapping[int, FaultPlan]] = None,
+        migration: Optional[MigrationConfig] = None,
+        node_capacity: Optional[int] = None,
+        engine: Optional[ExecutionEngine] = None,
+    ):
+        if n_nodes < 1:
+            raise ClusterError(f"a cluster needs at least one node, got {n_nodes}")
+        if catalogs is not None and len(catalogs) != n_nodes:
+            raise ClusterError(
+                f"got {len(catalogs)} catalogs for {n_nodes} nodes"
+            )
+        if catalogs is None:
+            catalogs = [catalog or experiment_catalog()] * n_nodes
+        self._trace = trace
+        self._placement = (
+            make_placement(placement) if isinstance(placement, str) else placement
+        )
+        self._policy = policy
+        self._policy_kwargs = dict(policy_kwargs or {})
+        self._epoch_config = epoch_config or RunConfig(duration_s=5.0)
+        self._goals = goals
+        self._seed = int(seed)
+        self._fault_plans = dict(node_fault_plans or {})
+        unknown = set(self._fault_plans) - set(range(n_nodes))
+        if unknown:
+            raise ClusterError(
+                f"fault plans reference unknown node ids {sorted(unknown)}"
+            )
+        self._migration = migration
+        self._engine = engine or ExecutionEngine()
+        self._nodes = [
+            ServerNode(node_id, catalogs[node_id], capacity=node_capacity)
+            for node_id in range(n_nodes)
+        ]
+        # Previous-epoch observations per node (the placement policy's
+        # information set) and consecutive-unfair counters for migration.
+        self._observed: Dict[int, Tuple[float, float]] = {}
+        self._unfair_streak: Dict[int, int] = {node.node_id: 0 for node in self._nodes}
+
+    @property
+    def nodes(self) -> List[ServerNode]:
+        return self._nodes
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        return self._engine
+
+    # -- views ------------------------------------------------------------
+
+    def _views(self, exclude: Optional[int] = None) -> List[NodeView]:
+        """Current node views (previous-epoch telemetry), in id order.
+
+        ``exclude`` presents one node as full — used to force a
+        migrating job *off* its source node.
+        """
+        views = []
+        for node in self._nodes:
+            mean_speedup, fairness = self._observed.get(node.node_id, (1.0, 1.0))
+            n_jobs = node.n_jobs
+            if node.node_id == exclude:
+                n_jobs = node.capacity
+            views.append(
+                NodeView(
+                    node_id=node.node_id,
+                    n_jobs=n_jobs,
+                    capacity=node.capacity,
+                    mean_speedup=mean_speedup,
+                    fairness=fairness,
+                )
+            )
+        return views
+
+    # -- epoch phases ------------------------------------------------------
+
+    def _apply_departures(self, epoch: int) -> None:
+        for arrival in self._trace.departures_at(epoch):
+            for node in self._nodes:
+                if node.has_job(arrival.job_id):
+                    node.remove_job(arrival.job_id)
+                    break
+
+    def _maybe_migrate(self, records_by_node: Dict[int, NodeEpochRecord]) -> int:
+        """Evict the worst-treated job from persistently unfair nodes."""
+        if self._migration is None:
+            return 0
+        moved = 0
+        for node in self._nodes:
+            record = records_by_node.get(node.node_id)
+            if record is None or record.synthesized:
+                self._unfair_streak[node.node_id] = 0
+                continue
+            if record.fairness < self._migration.fairness_threshold:
+                self._unfair_streak[node.node_id] += 1
+            else:
+                self._unfair_streak[node.node_id] = 0
+                continue
+            if self._unfair_streak[node.node_id] < self._migration.patience:
+                continue
+            if node.n_jobs < 2:
+                continue
+            victim = min(record.job_speedups, key=record.job_speedups.get)
+            if not node.has_job(victim):  # departed in the meantime
+                continue
+            try:
+                target = self._placement.place(self._views(exclude=node.node_id))
+            except ClusterError:
+                continue  # nowhere to go; stay put
+            if target == node.node_id or not self._nodes[target].has_capacity:
+                continue
+            workload = node.workload_of(victim)
+            node.remove_job(victim)
+            # Re-add under the original (pre-instance-rename) name; the
+            # destination node re-renames it identically since the job
+            # id is stable.
+            base_name = workload.name.rsplit("#", 1)[0]
+            self._nodes[target].add_job(
+                JobArrival(
+                    job_id=victim,
+                    workload=dataclasses.replace(workload, name=base_name),
+                    arrival_epoch=0,
+                )
+            )
+            self._unfair_streak[node.node_id] = 0
+            moved += 1
+        return moved
+
+    def _place_arrivals(self, epoch: int) -> List[int]:
+        rejected = []
+        for arrival in self._trace.arrivals_at(epoch):
+            try:
+                node_id = self._placement.place(self._views())
+            except ClusterError:
+                rejected.append(arrival.job_id)
+                continue
+            self._nodes[node_id].add_job(arrival)
+        return rejected
+
+    def _epoch_records(self, epoch: int) -> List[NodeEpochRecord]:
+        """Run (or synthesize) every node's epoch and score it."""
+        config = RunConfig(
+            duration_s=self._epoch_config.duration_s,
+            interval_s=self._epoch_config.interval_s,
+            baseline_reset_s=self._epoch_config.baseline_reset_s,
+            noise_sigma=self._epoch_config.noise_sigma,
+            phase_offset_s=epoch * self._epoch_config.duration_s,
+            warmup_fraction=self._epoch_config.warmup_fraction,
+            actuation_retries=self._epoch_config.actuation_retries,
+        )
+        specs: List[RunSpec] = []
+        spec_nodes: List[ServerNode] = []
+        for node in self._nodes:
+            if node.n_jobs < 2:
+                continue
+            specs.append(
+                node.epoch_spec(
+                    policy=self._policy,
+                    run_config=config,
+                    seed=derive_seed(self._seed, "node", node.node_id, "epoch", epoch),
+                    policy_kwargs=self._policy_kwargs,
+                    goals=self._goals,
+                    fault_plan=self._fault_plans.get(node.node_id),
+                )
+            )
+            spec_nodes.append(node)
+
+        results = self._engine.run(specs) if specs else []
+
+        records: List[NodeEpochRecord] = []
+        simulated = {node.node_id for node in spec_nodes}
+        for node, result in zip(spec_nodes, results):
+            assert isinstance(result, RunResult)
+            speedups = result.scored.mean_job_speedups()
+            records.append(
+                NodeEpochRecord(
+                    epoch=epoch,
+                    node_id=node.node_id,
+                    job_ids=node.job_ids,
+                    synthesized=False,
+                    throughput=result.throughput,
+                    fairness=result.fairness,
+                    job_speedups={
+                        job_id: float(speedup)
+                        for job_id, speedup in zip(node.job_ids, speedups)
+                    },
+                )
+            )
+        for node in self._nodes:
+            if node.node_id in simulated:
+                continue
+            # 0/1-job nodes: an uncontended job retains its isolation
+            # performance by construction — nothing to simulate.
+            records.append(
+                NodeEpochRecord(
+                    epoch=epoch,
+                    node_id=node.node_id,
+                    job_ids=node.job_ids,
+                    synthesized=True,
+                    throughput=1.0,
+                    fairness=1.0,
+                    job_speedups={job_id: 1.0 for job_id in node.job_ids},
+                )
+            )
+        records.sort(key=lambda r: r.node_id)
+        return records
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> ClusterResult:
+        """Replay the whole trace and return the cluster-level result."""
+        all_records: List[NodeEpochRecord] = []
+        rejected: List[int] = []
+        migrations = 0
+        previous: Dict[int, NodeEpochRecord] = {}
+        for epoch in range(self._trace.n_epochs):
+            self._apply_departures(epoch)
+            migrations += self._maybe_migrate(previous)
+            rejected.extend(self._place_arrivals(epoch))
+            records = self._epoch_records(epoch)
+            for record in records:
+                self._observed[record.node_id] = (record.mean_speedup, record.fairness)
+            previous = {record.node_id: record for record in records}
+            all_records.extend(records)
+        return ClusterResult(
+            n_nodes=len(self._nodes),
+            policy=self._policy,
+            placement=self._placement.name,
+            n_epochs=self._trace.n_epochs,
+            records=tuple(all_records),
+            rejected_jobs=tuple(rejected),
+            migrations=migrations,
+        )

@@ -40,18 +40,41 @@ class GaussianProcess:
             sampling noise, which is a large fraction of the
             objective's dynamic range, so the default is substantial —
             an interpolating GP would chase measurement noise.
+        lengthscale_refit_every: when ``fit(optimize_lengthscale=True)``
+            is called repeatedly, actually re-run the length-scale grid
+            search only every this-many optimize calls (in the
+            controller's steady state, one call per new sample); in
+            between the incumbent length scale is reused. The grid
+            search costs
+            ``len(_LENGTHSCALE_GRID)`` Cholesky factorizations, which
+            dominates the 100 ms control interval's budget, while the
+            marginal-likelihood winner almost never changes from one
+            sample to the next. The default of 1 preserves
+            search-every-call semantics; the BO engine passes 10.
     """
 
-    def __init__(self, kernel: Optional[Kernel] = None, noise: float = 5e-2):
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise: float = 5e-2,
+        lengthscale_refit_every: int = 1,
+    ):
         if noise < 0:
             raise ModelError(f"noise must be >= 0, got {noise}")
+        if lengthscale_refit_every < 1:
+            raise ModelError(
+                f"lengthscale_refit_every must be >= 1, got {lengthscale_refit_every}"
+            )
         self.kernel = kernel or Matern52()
         self.noise = float(noise)
+        self._refit_every = int(lengthscale_refit_every)
         self._x: Optional[np.ndarray] = None
         self._alpha: Optional[np.ndarray] = None
         self._chol: Optional[np.ndarray] = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        self._fits_since_search: Optional[int] = None
+        self._fit_key: Optional[tuple] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -84,6 +107,7 @@ class GaussianProcess:
             raise ModelError(f"{x.shape[0]} inputs but {y.shape[0]} targets")
         if x.shape[0] == 0:
             raise ModelError("cannot fit a GP on zero samples")
+        n = x.shape[0]
 
         self._y_mean = float(np.mean(y))
         self._y_std = float(np.std(y))
@@ -91,20 +115,76 @@ class GaussianProcess:
             self._y_std = 1.0
         z = (y - self._y_mean) / self._y_std
 
-        if optimize_lengthscale and x.shape[0] >= 4:
-            self.kernel = self._best_kernel(x, z)
+        chol = None
+        if optimize_lengthscale and n >= 4:
+            # Gate by optimize-requested fit calls, not by n: the
+            # controller appends one sample per call, but GoalRecords'
+            # sliding window pins n at max_samples once full — a
+            # growth-based gate would then never refit again.
+            if self._fits_since_search is None:
+                due = True  # the first optimize call always searches
+            else:
+                self._fits_since_search += 1
+                due = self._fits_since_search >= self._refit_every
+            if due:
+                self.kernel, chol = self._best_kernel(x, z)
+                self._fits_since_search = 0
 
-        k = self.kernel(x, x)
-        k[np.diag_indices_from(k)] += self.noise + _JITTER
-        try:
-            chol = np.linalg.cholesky(k)
-        except np.linalg.LinAlgError as exc:
-            raise ModelError(f"kernel matrix not positive definite: {exc}") from exc
+        if chol is None:
+            chol = self._factorize(x)
 
         self._x = x
         self._chol = chol
         self._alpha = _cho_solve(chol, z)
+        self._fit_key = self._kernel_key()
         return self
+
+    def _kernel_key(self) -> tuple:
+        """Hashable hyperparameter state, for factorization reuse."""
+        return (type(self.kernel), self.kernel.lengthscale, self.kernel.variance, self.noise)
+
+    def _factorize(self, x: np.ndarray) -> np.ndarray:
+        """Cholesky factor of the (noise-augmented) kernel matrix.
+
+        When ``x`` extends the previously fitted inputs as a prefix and
+        the hyperparameters are unchanged — the steady state of the
+        controller, which appends one observation per 100 ms interval —
+        the existing factor is extended by a block update:
+        ``L21 = L11⁻¹ K12`` and ``L22 = chol(K22 − L21ᵀL21)``, costing
+        O(n²·m) instead of the O(n³) full refactorization.
+        """
+        old_n = 0 if self._x is None else self._x.shape[0]
+        if (
+            self._chol is not None
+            and self._fit_key == self._kernel_key()
+            and 0 < old_n < x.shape[0]
+            and x.shape[1] == self._x.shape[1]
+            and np.array_equal(x[:old_n], self._x)
+        ):
+            new = x[old_n:]
+            k12 = self.kernel(self._x, new)
+            k22 = self.kernel(new, new)
+            k22[np.diag_indices_from(k22)] += self.noise + _JITTER
+            l21t = np.linalg.solve(self._chol, k12)  # L11 @ l21t = K12
+            schur = k22 - l21t.T @ l21t
+            try:
+                l22 = np.linalg.cholesky(schur)
+            except np.linalg.LinAlgError:
+                pass  # ill-conditioned extension: fall through to full
+            else:
+                n = x.shape[0]
+                chol = np.zeros((n, n))
+                chol[:old_n, :old_n] = self._chol
+                chol[old_n:, :old_n] = l21t.T
+                chol[old_n:, old_n:] = l22
+                return chol
+
+        k = self.kernel(x, x)
+        k[np.diag_indices_from(k)] += self.noise + _JITTER
+        try:
+            return np.linalg.cholesky(k)
+        except np.linalg.LinAlgError as exc:
+            raise ModelError(f"kernel matrix not positive definite: {exc}") from exc
 
     def predict(self, x_query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior mean and standard deviation at query points.
@@ -137,9 +217,15 @@ class GaussianProcess:
             - 0.5 * n * np.log(2.0 * np.pi)
         )
 
-    def _best_kernel(self, x: np.ndarray, z: np.ndarray) -> Kernel:
-        """Grid-search the length scale by marginal likelihood."""
+    def _best_kernel(self, x: np.ndarray, z: np.ndarray) -> Tuple[Kernel, Optional[np.ndarray]]:
+        """Grid-search the length scale by marginal likelihood.
+
+        Returns the winning kernel together with its Cholesky factor so
+        the caller can reuse it instead of refactorizing (``None`` only
+        when every grid point failed to factorize).
+        """
         best_kernel = self.kernel
+        best_chol: Optional[np.ndarray] = None
         best_evidence = -np.inf
         for lengthscale in _LENGTHSCALE_GRID:
             kernel = self.kernel.with_params(lengthscale=lengthscale)
@@ -158,7 +244,8 @@ class GaussianProcess:
             if evidence > best_evidence:
                 best_evidence = evidence
                 best_kernel = kernel
-        return best_kernel
+                best_chol = chol
+        return best_kernel, best_chol
 
 
 def _cho_solve(chol: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -34,7 +34,12 @@ from repro.experiments.runner import RunResult
 #: Bump to invalidate every cached artifact after a semantic change to
 #: the runner, the workload models, or the serialization format.
 #: v2: RunSpec digests cover the fault plan ("faults" key).
-CACHE_SCHEMA_VERSION = 2
+#: v3: BO proxy-model update changed (length-scale refits gated by
+#: sample count instead of every call, default every 10 samples, with
+#: incremental Cholesky extension in between), so SATORI/Oracle-
+#: adjacent run results differ from v2 at the trajectory level; v2
+#: artifacts must not be served.
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_salt() -> str:

@@ -69,3 +69,11 @@ class EngineError(ReproError):
     Raised for non-serializable policy kwargs, unknown policy-factory
     ids, invalid worker counts, and malformed cache artifacts.
     """
+
+
+class ClusterError(ReproError):
+    """The cluster layer was misconfigured or placement is impossible.
+
+    Raised for invalid node counts, unknown placement-policy ids,
+    malformed arrival traces, and jobs that no node has capacity for.
+    """

@@ -21,6 +21,7 @@ from repro.metrics.goals import GoalSet
 from repro.policies.oracle import OracleSearch
 from repro.resources.types import ResourceCatalog
 from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.system.session import ControlSession
 from repro.system.simulation import CoLocationSimulator
 from repro.system.telemetry import TelemetryLog
 from repro.experiments.comparison import full_space
@@ -85,39 +86,28 @@ def workload_churn(
     rng = make_rng(seed)
     simulator = CoLocationSimulator(mix, catalog, seed=spawn_rng(rng))
     controller = SatoriController(full_space(catalog, len(mix)), goals, rng=spawn_rng(rng))
-    telemetry = TelemetryLog(goals)
+    # The churn driver manages baselines itself (re-measured on the
+    # swap, never periodically), and historically recorded the SATORI
+    # weights only in telemetry ``extra`` — both preserved here.
+    session = ControlSession(controller, simulator, goals=goals, record_weights=False)
+    telemetry = session.telemetry
 
     searches = {
         "before": OracleSearch(mix, catalog, goals),
         "after": None,  # built lazily after the swap
     }
 
-    import dataclasses
-
-    baseline = simulator.measure_isolation(noisy=True)
-    observation = None
     swapped = False
     n_steps = round(duration_s / simulator.control_interval_s)
     oracle_ratio = []
 
     for step in range(n_steps):
-        config = controller.decide(observation)
-        raw = simulator.step(config)
+        raw = session.step()
         if not swapped and raw.time_s >= swap_time_s:
             simulator.replace_workload(swap_index, newcomer)
             searches["after"] = OracleSearch(simulator.mix, catalog, goals)
-            baseline = simulator.measure_isolation(noisy=True)
+            session.refresh_baseline()
             swapped = True
-        observation = dataclasses.replace(
-            raw, isolation_ips=tuple(float(b) for b in baseline)
-        )
-        telemetry.record(
-            time_s=raw.time_s,
-            config=raw.config,
-            ips=raw.ips,
-            isolation_ips=raw.isolation_ips,
-            extra=controller.diagnostics(),
-        )
         search = searches["after"] if swapped else searches["before"]
         best = search.best(raw.time_s, 0.5, 0.5)
         achieved = telemetry[-1].scores.weighted(0.5, 0.5)

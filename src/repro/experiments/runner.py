@@ -1,6 +1,7 @@
 """Experiment runner: one policy controlling one job mix.
 
-Implements the measurement methodology of Sec. IV:
+Implements the measurement methodology of Sec. IV via
+:class:`~repro.system.session.ControlSession`:
 
 * 0.1 s control/sampling intervals;
 * isolation baselines measured online at the start and re-measured
@@ -13,10 +14,10 @@ Implements the measurement methodology of Sec. IV:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import serialize
 from repro.errors import ExperimentError
 from repro.faults.plan import FaultPlan
 from repro.faults.schedule import FaultSchedule
@@ -24,6 +25,7 @@ from repro.metrics.goals import GoalSet
 from repro.policies.base import PartitioningPolicy
 from repro.resources.types import ResourceCatalog, default_catalog
 from repro.rng import SeedLike
+from repro.system.session import ControlSession
 from repro.system.simulation import DEFAULT_CONTROL_INTERVAL_S, CoLocationSimulator
 from repro.system.telemetry import TelemetryLog
 from repro.workloads.mixes import JobMix
@@ -87,12 +89,13 @@ class RunConfig:
 
     def to_dict(self) -> dict:
         """JSON-compatible representation."""
-        return dataclasses.asdict(self)
+        return serialize.dataclass_to_dict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunConfig":
-        """Rebuild from :meth:`to_dict` output."""
-        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls) if f.name in data})
+        """Rebuild from :meth:`to_dict` output (lenient: unknown keys
+        are ignored so old artifacts stay readable as fields grow)."""
+        return serialize.dataclass_from_dict(cls, data)
 
 
 @dataclass(frozen=True)
@@ -122,6 +125,13 @@ class RunResult:
     def worst_job_speedup(self) -> float:
         return self.scored.worst_job_speedup()
 
+    _CODECS = {
+        "telemetry": serialize.object_codec(TelemetryLog),
+        "run_config": serialize.FieldCodec(
+            encode=lambda value: value.to_dict(), decode=lambda data: RunConfig.from_dict(data)
+        ),
+    }
+
     def to_dict(self) -> dict:
         """JSON-compatible representation of the full run (lossless).
 
@@ -130,22 +140,12 @@ class RunResult:
         ``to_dict`` outputs is the engine's definition of
         "bit-identical results".
         """
-        return {
-            "policy_name": self.policy_name,
-            "mix_label": self.mix_label,
-            "telemetry": self.telemetry.to_dict(),
-            "run_config": self.run_config.to_dict(),
-        }
+        return serialize.dataclass_to_dict(self, codecs=self._CODECS)
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
         """Rebuild a run result from :meth:`to_dict` output."""
-        return cls(
-            policy_name=data["policy_name"],
-            mix_label=data["mix_label"],
-            telemetry=TelemetryLog.from_dict(data["telemetry"]),
-            run_config=RunConfig.from_dict(data["run_config"]),
-        )
+        return serialize.dataclass_from_dict(cls, data, codecs=cls._CODECS)
 
 
 def run_policy(
@@ -197,49 +197,17 @@ def run_policy(
         fault_schedule=schedule,
         actuation_retries=run_config.actuation_retries,
     )
-    telemetry = TelemetryLog(goals)
-
-    baseline = simulator.measure_isolation(noisy=True)
-    next_reset = run_config.baseline_reset_s
-    policy_view = None
-
-    for _ in range(run_config.n_steps):
-        config = policy.decide(policy_view)
-        raw = simulator.step(config)
-
-        # Policies act on the held baseline (Algorithm 1 resets it only
-        # periodically); telemetry scores against the true current one.
-        policy_view = dataclasses.replace(raw, isolation_ips=tuple(float(b) for b in baseline))
-        diag = policy.diagnostics()
-        scored_ips = raw.ips
-        if schedule is not None:
-            # Fault/recovery trail: which intervals ran under injected
-            # faults and whether the interval's actuation landed. The
-            # policy sees the corrupted measurements; the evaluator
-            # scores what a fault-free monitor would have reported.
-            scored_ips = simulator.last_true_ips
-            diag = dict(diag)
-            diag["actuation_ok"] = float(raw.actuation_ok)
-            diag["faults_active"] = float(simulator.active_fault_count)
-        weights = None
-        if "weight_throughput" in diag and "weight_fairness" in diag:
-            weights = (diag["weight_throughput"], diag["weight_fairness"])
-        telemetry.record(
-            time_s=raw.time_s,
-            config=raw.config,
-            ips=scored_ips,
-            isolation_ips=raw.isolation_ips,
-            weights=weights,
-            extra=diag,
-        )
-
-        if raw.time_s + 1e-9 >= next_reset:
-            baseline = simulator.measure_isolation(noisy=True)
-            next_reset += run_config.baseline_reset_s
+    session = ControlSession(
+        policy,
+        simulator,
+        goals=goals,
+        baseline_reset_s=run_config.baseline_reset_s,
+    )
+    session.run(run_config.n_steps)
 
     return RunResult(
         policy_name=policy.name,
         mix_label=mix.label,
-        telemetry=telemetry,
+        telemetry=session.telemetry,
         run_config=run_config,
     )

@@ -13,7 +13,6 @@ digests, deduplication, and the on-disk run cache.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -134,13 +133,17 @@ class FaultPlan:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation (digest input, lossless)."""
-        return dataclasses.asdict(self)
+        from repro.serialize import dataclass_to_dict
+
+        return dataclass_to_dict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
-        """Rebuild a plan from :meth:`to_dict` output."""
-        fields = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(data) - fields
-        if unknown:
-            raise ExperimentError(f"unknown FaultPlan fields {sorted(unknown)}")
-        return cls(**data)
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        Strict: unknown keys raise (a typo'd rate silently injecting
+        nothing would invalidate a resilience sweep).
+        """
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data, strict=True)

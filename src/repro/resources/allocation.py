@@ -108,7 +108,9 @@ class Configuration:
 
     def to_dict(self) -> Dict[str, List[int]]:
         """JSON-compatible mapping of resource name to per-job units."""
-        return {name: list(units) for name, units in self._allocations.items()}
+        from repro.serialize import mapping_to_dict
+
+        return mapping_to_dict(self._allocations)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Sequence[int]]) -> "Configuration":

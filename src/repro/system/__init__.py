@@ -1,4 +1,5 @@
-"""Co-location simulation: contention, server simulator, telemetry."""
+"""Co-location system: contention model, server simulator, control
+session, telemetry."""
 
 from repro.system.contention import (
     INTERFERENCE_WEIGHT,
@@ -9,6 +10,7 @@ from repro.system.contention import (
     interference_factors,
     isolation_ips,
 )
+from repro.system.session import ControlSession, ServerLike
 from repro.system.simulation import (
     DEFAULT_CONTROL_INTERVAL_S,
     CoLocationSimulator,
@@ -18,10 +20,12 @@ from repro.system.telemetry import TelemetryLog, TelemetryRecord
 
 __all__ = [
     "CoLocationSimulator",
+    "ControlSession",
     "DEFAULT_CONTROL_INTERVAL_S",
     "INTERFERENCE_WEIGHT",
     "MIN_INTERFERENCE_FACTOR",
     "Observation",
+    "ServerLike",
     "SystemState",
     "TelemetryLog",
     "TelemetryRecord",

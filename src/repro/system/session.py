@@ -1,0 +1,239 @@
+"""The policy ↔ server control session.
+
+Every experiment in the repo used to hand-roll the same stepping loop:
+decide on a configuration, step the server one control interval,
+rebuild the policy's (held-baseline) view of the world, record scored
+telemetry, and periodically re-measure isolation baselines. This
+module extracts that loop once, as :class:`ControlSession`, driving
+any :class:`~repro.policies.base.PartitioningPolicy` against anything
+satisfying the :class:`ServerLike` protocol.
+
+The session reproduces the paper's measurement methodology exactly
+(Sec. IV / Algorithm 1):
+
+* policies act on a *held* isolation baseline that is re-measured only
+  every equalization period (``baseline_reset_s``) — they see the
+  possibly-stale belief, like the real system;
+* telemetry is scored against the server's *true* per-interval
+  measurements (``last_true_ips`` under fault injection), so reported
+  throughput/fairness reflect reality rather than the controller's
+  corrupted monitor feed;
+* under an injected fault schedule, the per-interval fault trail
+  (``actuation_ok``, ``faults_active``) is folded into telemetry
+  ``extra`` so recovery analyses can locate fault windows.
+
+:class:`~repro.system.simulation.CoLocationSimulator` is the
+reference ``ServerLike`` implementation; the cluster layer's
+:class:`~repro.cluster.node.ServerNode` wraps one session per node.
+
+RNG-discipline note: the session draws server randomness in the exact
+order the pre-extraction loops did (initial isolation measurement,
+then ``step``, then any baseline re-measurement *after* the telemetry
+record), so engine cache digests and "bit-identical across
+serial/parallel/cache" guarantees carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.metrics.goals import GoalSet
+from repro.resources.allocation import Configuration
+from repro.resources.types import ResourceCatalog
+from repro.system.simulation import Observation
+from repro.system.telemetry import TelemetryLog
+from repro.workloads.mixes import JobMix
+
+if TYPE_CHECKING:  # policies import Observation from repro.system —
+    # a runtime import here would be circular.
+    from repro.policies.base import PartitioningPolicy
+
+
+@runtime_checkable
+class ServerLike(Protocol):
+    """What a control session needs from a server.
+
+    The protocol is the *control-plane* surface: one interval of
+    execution, isolation measurement, mix management, and the fault
+    trail. :class:`~repro.system.simulation.CoLocationSimulator`
+    satisfies it natively; a hardware harness driving real MSRs and
+    ``perf`` counters would too.
+    """
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def mix(self) -> JobMix: ...
+
+    @property
+    def catalog(self) -> ResourceCatalog: ...
+
+    @property
+    def n_jobs(self) -> int: ...
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float: ...
+
+    @property
+    def control_interval_s(self) -> float: ...
+
+    # -- control plane -----------------------------------------------------
+
+    @property
+    def current_config(self) -> Optional[Configuration]: ...
+
+    def step(self, config: Optional[Configuration] = None) -> Observation: ...
+
+    def measure_isolation(self, noisy: bool = False) -> np.ndarray: ...
+
+    def replace_workload(self, job_index: int, workload) -> None: ...
+
+    # -- fault trail --------------------------------------------------------
+
+    @property
+    def fault_schedule(self): ...
+
+    @property
+    def active_fault_count(self) -> int: ...
+
+    @property
+    def last_true_ips(self) -> Tuple[float, ...]: ...
+
+
+class ControlSession:
+    """One policy driving one server, interval by interval.
+
+    Args:
+        policy: a fresh (or reset) partitioning policy.
+        server: the server under control.
+        goals: metric choices for telemetry scoring (ignored when an
+            existing ``telemetry`` log is supplied).
+        baseline_reset_s: equalization period after which the held
+            isolation baseline is re-measured (Algorithm 1, line 13).
+            ``math.inf`` disables periodic resets — drivers that
+            manage baselines themselves (e.g. the churn experiment
+            re-measuring on a workload swap) use this together with
+            :meth:`refresh_baseline`.
+        record_weights: extract the SATORI throughput/fairness weights
+            from policy diagnostics into each telemetry record's
+            ``weights`` slot (the comparison drivers rely on this; the
+            churn driver historically recorded them only in ``extra``).
+        telemetry: optionally continue an existing log instead of
+            starting a fresh one.
+    """
+
+    def __init__(
+        self,
+        policy: PartitioningPolicy,
+        server: ServerLike,
+        goals: Optional[GoalSet] = None,
+        baseline_reset_s: float = math.inf,
+        record_weights: bool = True,
+        telemetry: Optional[TelemetryLog] = None,
+    ):
+        self._policy = policy
+        self._server = server
+        self._telemetry = telemetry if telemetry is not None else TelemetryLog(goals or GoalSet())
+        self._baseline_reset_s = baseline_reset_s
+        self._record_weights = record_weights
+        self._baseline: Optional[np.ndarray] = None
+        self._next_reset = baseline_reset_s
+        self._policy_view: Optional[Observation] = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def policy(self) -> PartitioningPolicy:
+        return self._policy
+
+    @property
+    def server(self) -> ServerLike:
+        return self._server
+
+    @property
+    def telemetry(self) -> TelemetryLog:
+        return self._telemetry
+
+    @property
+    def baseline(self) -> Optional[np.ndarray]:
+        """The held isolation baseline the policy currently acts on."""
+        return self._baseline
+
+    # -- baseline management -------------------------------------------------
+
+    def refresh_baseline(self) -> np.ndarray:
+        """Re-measure the isolation baseline and update the held view.
+
+        Also patches the pending policy observation (if any) so the
+        next ``decide`` sees the fresh baseline — this is what the
+        churn driver needs right after a workload swap.
+        """
+        self._baseline = self._server.measure_isolation(noisy=True)
+        if self._policy_view is not None:
+            self._policy_view = dataclasses.replace(
+                self._policy_view,
+                isolation_ips=tuple(float(b) for b in self._baseline),
+            )
+        return self._baseline
+
+    # -- the loop ------------------------------------------------------------
+
+    def step(self) -> Observation:
+        """Run one control interval: observe → decide → actuate → tick.
+
+        Returns the server's raw observation for the interval (the
+        policy itself sees the held-baseline view, not this).
+        """
+        if self._baseline is None:
+            # First interval: measure the initial baseline lazily so
+            # construction stays side-effect-free but the server RNG
+            # draw order matches the historical pre-loop measurement.
+            self.refresh_baseline()
+
+        config = self._policy.decide(self._policy_view)
+        raw = self._server.step(config)
+
+        # Policies act on the held baseline (Algorithm 1 resets it only
+        # periodically); telemetry scores against the true current one.
+        self._policy_view = dataclasses.replace(
+            raw, isolation_ips=tuple(float(b) for b in self._baseline)
+        )
+        diag = self._policy.diagnostics()
+        scored_ips = raw.ips
+        if self._server.fault_schedule is not None:
+            # Fault/recovery trail: which intervals ran under injected
+            # faults and whether the interval's actuation landed. The
+            # policy sees the corrupted measurements; the evaluator
+            # scores what a fault-free monitor would have reported.
+            scored_ips = self._server.last_true_ips
+            diag = dict(diag)
+            diag["actuation_ok"] = float(raw.actuation_ok)
+            diag["faults_active"] = float(self._server.active_fault_count)
+        weights = None
+        if self._record_weights and "weight_throughput" in diag and "weight_fairness" in diag:
+            weights = (diag["weight_throughput"], diag["weight_fairness"])
+        self._telemetry.record(
+            time_s=raw.time_s,
+            config=raw.config,
+            ips=scored_ips,
+            isolation_ips=raw.isolation_ips,
+            weights=weights,
+            extra=diag,
+        )
+
+        if raw.time_s + 1e-9 >= self._next_reset:
+            self._baseline = self._server.measure_isolation(noisy=True)
+            self._next_reset += self._baseline_reset_s
+        return raw
+
+    def run(self, n_steps: int) -> TelemetryLog:
+        """Step ``n_steps`` control intervals and return the telemetry."""
+        for _ in range(n_steps):
+            self.step()
+        return self._telemetry

@@ -1,8 +1,46 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Every subcommand gets two smoke tests: ``--help`` must parse, and a
+tiny-budget invocation must run to completion (exit code 0). This is
+the cheap guard against a driver refactor breaking the CLI wiring.
+"""
 
 import pytest
 
 from repro.cli import build_parser, main
+
+#: Every registered subcommand.
+COMMANDS = (
+    "workloads",
+    "quickstart",
+    "compare",
+    "weights",
+    "sensitivity",
+    "scalability",
+    "overhead",
+    "resilience",
+    "cluster",
+    "report",
+    "figure",
+)
+
+#: Tiny-budget invocation per subcommand (fast enough for tier-1).
+TINY_INVOCATIONS = {
+    "workloads": ["workloads"],
+    "quickstart": ["quickstart", "--duration", "2", "--units", "4", "--suite", "ecp"],
+    "compare": ["compare", "--duration", "2", "--units", "4", "--suite", "ecp", "--mix", "1"],
+    "weights": ["weights", "--duration", "3", "--units", "4", "--suite", "ecp"],
+    "sensitivity": ["sensitivity", "--duration", "2", "--units", "4", "--suite", "ecp"],
+    "scalability": ["scalability", "--duration", "2", "--units", "4", "--degrees", "3"],
+    "overhead": ["overhead", "--duration", "2", "--units", "4", "--suite", "ecp"],
+    "resilience": ["resilience", "--duration", "3", "--units", "4", "--suite", "ecp",
+                   "--intensities", "0.5"],
+    "cluster": ["cluster", "--nodes", "2", "--epochs", "2", "--duration", "1",
+                "--units", "4", "--suite", "ecp",
+                "--policies", "EqualPartition", "--placements", "round_robin"],
+    "report": ["report", "--duration", "2", "--units", "4", "--suite", "ecp", "--mixes", "1"],
+    "figure": ["figure", "--list"],
+}
 
 
 class TestParser:
@@ -10,46 +48,68 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_known_commands(self):
+    def test_every_command_is_covered(self):
+        # Keep COMMANDS/TINY_INVOCATIONS in sync with the parser: a new
+        # subcommand must add its tiny invocation here.
         parser = build_parser()
-        for command in (
-            "workloads",
-            "quickstart",
-            "compare",
-            "weights",
-            "sensitivity",
-            "scalability",
-            "overhead",
-        ):
-            args = parser.parse_args([command] if command == "workloads" else [command, "--duration", "2"])
+        registered = set(parser._subparsers._group_actions[0].choices)
+        assert registered == set(COMMANDS) == set(TINY_INVOCATIONS)
+
+    @pytest.mark.parametrize("command", COMMANDS)
+    def test_help_parses(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_known_commands_accept_common_options(self):
+        parser = build_parser()
+        for command in COMMANDS:
+            if command in ("workloads", "figure"):
+                continue
+            args = parser.parse_args([command, "--duration", "2"])
             assert args.command == command
 
 
-class TestCommands:
-    def test_workloads(self, capsys):
+class TestTinyInvocations:
+    @pytest.mark.parametrize("command", COMMANDS)
+    def test_runs_clean(self, command, capsys):
+        assert main(TINY_INVOCATIONS[command]) == 0
+        capsys.readouterr()  # drain
+
+    def test_workloads_output(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
         assert "canneal" in out and "xsbench" in out
 
-    def test_quickstart_small(self, capsys):
-        assert main(["quickstart", "--duration", "2", "--units", "4", "--suite", "ecp"]) == 0
+    def test_quickstart_output(self, capsys):
+        assert main(TINY_INVOCATIONS["quickstart"]) == 0
         out = capsys.readouterr().out
         assert "SATORI" in out and "Balanced Oracle" in out
 
-    def test_compare_single_mix(self, capsys):
-        assert (
-            main(["compare", "--duration", "2", "--units", "4", "--suite", "ecp", "--mix", "1"])
-            == 0
-        )
-        out = capsys.readouterr().out
-        assert "PARTIES" in out
+    def test_compare_output(self, capsys):
+        assert main(TINY_INVOCATIONS["compare"]) == 0
+        assert "PARTIES" in capsys.readouterr().out
 
-    def test_weights(self, capsys):
-        assert main(["weights", "--duration", "3", "--units", "4", "--suite", "ecp"]) == 0
-        out = capsys.readouterr().out
-        assert "W_T" in out
+    def test_weights_output(self, capsys):
+        assert main(TINY_INVOCATIONS["weights"]) == 0
+        assert "W_T" in capsys.readouterr().out
 
-    def test_overhead(self, capsys):
-        assert main(["overhead", "--duration", "2", "--units", "4", "--suite", "ecp"]) == 0
+    def test_overhead_output(self, capsys):
+        assert main(TINY_INVOCATIONS["overhead"]) == 0
+        assert "decision time" in capsys.readouterr().out
+
+    def test_cluster_output(self, capsys):
+        assert main(TINY_INVOCATIONS["cluster"]) == 0
         out = capsys.readouterr().out
-        assert "decision time" in out
+        assert "cluster-wide" in out
+        assert "per-node [round_robin / EqualPartition]" in out
+        assert "fairness" in out
+
+    def test_cluster_rejects_unknown_placement(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError, match="unknown placement"):
+            main(["cluster", "--nodes", "2", "--epochs", "1", "--duration", "1",
+                  "--units", "4", "--policies", "EqualPartition",
+                  "--placements", "nope"])

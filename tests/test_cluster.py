@@ -1,0 +1,367 @@
+"""Tests for the multi-node cluster layer (arrivals, placement, nodes,
+the cluster simulator, and the sweep driver)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    LeastLoadedPlacement,
+    MigrationConfig,
+    NodeView,
+    RoundRobinPlacement,
+    ServerNode,
+    instance_name,
+    make_placement,
+    node_capacity,
+    placement_names,
+)
+from repro.cluster.placement import ContentionAwarePlacement
+from repro.engine import ExecutionEngine
+from repro.engine.spec import derive_seed
+from repro.errors import ClusterError
+from repro.experiments.cluster import (
+    cluster_sweep,
+    default_trace,
+    node_fault_plans,
+)
+from repro.experiments.runner import RunConfig, experiment_catalog
+from repro.workloads.arrivals import (
+    ArrivalTrace,
+    JobArrival,
+    poisson_trace,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.registry import default_registry
+
+#: Tiny methodology for fast simulator tests.
+TINY = RunConfig(duration_s=1.0, baseline_reset_s=0.5)
+
+
+def tiny_trace(n_epochs=2, seed=7, initial_jobs=4, rate=1.5):
+    return poisson_trace(
+        n_epochs=n_epochs,
+        arrival_rate=rate,
+        mean_residency=2.0,
+        suites=("ecp",),
+        seed=seed,
+        initial_jobs=initial_jobs,
+    )
+
+
+class TestWorkloadSerialization:
+    def test_round_trip(self, registry):
+        workload = registry.get("canneal")
+        data = json.loads(json.dumps(workload_to_dict(workload)))
+        assert workload_from_dict(data) == workload
+
+
+class TestJobArrival:
+    def test_residency_interval_is_half_open(self, registry):
+        job = JobArrival(0, registry.get("canneal"), arrival_epoch=2, departure_epoch=4)
+        assert not job.resident_at(1)
+        assert job.resident_at(2) and job.resident_at(3)
+        assert not job.resident_at(4)
+
+    def test_open_departure_means_forever(self, registry):
+        job = JobArrival(0, registry.get("canneal"), arrival_epoch=0)
+        assert job.resident_at(10**6)
+
+    def test_validation(self, registry):
+        workload = registry.get("canneal")
+        with pytest.raises(ClusterError):
+            JobArrival(-1, workload, 0)
+        with pytest.raises(ClusterError):
+            JobArrival(0, workload, arrival_epoch=3, departure_epoch=3)
+
+
+class TestArrivalTrace:
+    def test_events_are_consistent(self):
+        trace = tiny_trace(n_epochs=6, rate=2.0)
+        for epoch in range(trace.n_epochs):
+            active = {job.job_id for job in trace.active_at(epoch)}
+            for job in trace.arrivals_at(epoch):
+                assert job.job_id in active
+            for job in trace.departures_at(epoch):
+                assert job.job_id not in active
+
+    def test_deterministic_from_seed(self):
+        assert tiny_trace(seed=3).to_dict() == tiny_trace(seed=3).to_dict()
+        assert tiny_trace(seed=3).to_dict() != tiny_trace(seed=4).to_dict()
+
+    def test_round_trip(self):
+        trace = tiny_trace(n_epochs=4, rate=1.5)
+        data = json.loads(json.dumps(trace.to_dict()))
+        assert ArrivalTrace.from_dict(data) == trace
+
+    def test_max_jobs_is_respected(self):
+        trace = poisson_trace(
+            n_epochs=8, arrival_rate=5.0, mean_residency=8.0, max_jobs=3, seed=0
+        )
+        assert trace.peak_jobs <= 3
+
+    def test_duplicate_ids_rejected(self, registry):
+        workload = registry.get("canneal")
+        jobs = (JobArrival(0, workload, 0), JobArrival(0, workload, 1))
+        with pytest.raises(ClusterError, match="duplicate job ids"):
+            ArrivalTrace(n_epochs=3, jobs=jobs)
+
+    def test_arrival_beyond_trace_rejected(self, registry):
+        job = JobArrival(0, registry.get("canneal"), arrival_epoch=5)
+        with pytest.raises(ClusterError, match="beyond the trace"):
+            ArrivalTrace(n_epochs=3, jobs=(job,))
+
+
+def view(node_id, n_jobs, capacity=4, mean_speedup=1.0, fairness=1.0):
+    return NodeView(node_id, n_jobs, capacity, mean_speedup, fairness)
+
+
+class TestPlacementPolicies:
+    def test_registry(self):
+        assert set(placement_names()) == {
+            "round_robin",
+            "least_loaded",
+            "contention_aware",
+        }
+        with pytest.raises(ClusterError, match="unknown placement"):
+            make_placement("nope")
+
+    def test_round_robin_cycles_and_skips_full(self):
+        policy = RoundRobinPlacement()
+        nodes = [view(0, 0), view(1, 4), view(2, 0)]  # node 1 full
+        assert [policy.place(nodes) for _ in range(4)] == [0, 2, 0, 2]
+
+    def test_least_loaded_prefers_emptiest(self):
+        policy = LeastLoadedPlacement()
+        assert policy.place([view(0, 3), view(1, 1), view(2, 2)]) == 1
+
+    def test_contention_aware_prefers_uncontended(self):
+        policy = ContentionAwarePlacement()
+        nodes = [view(0, 1, mean_speedup=0.6), view(1, 2, mean_speedup=0.9)]
+        assert policy.place(nodes) == 1
+
+    def test_contention_aware_tie_breaks_by_load(self):
+        policy = ContentionAwarePlacement()
+        nodes = [view(0, 3, mean_speedup=0.8), view(1, 1, mean_speedup=0.8)]
+        assert policy.place(nodes) == 1
+
+    def test_full_cluster_raises(self):
+        for name in placement_names():
+            with pytest.raises(ClusterError, match="no free capacity"):
+                make_placement(name).place([view(0, 4), view(1, 4)])
+
+
+class TestServerNode:
+    def test_capacity_from_catalog(self, catalog4):
+        node = ServerNode(0, catalog4)
+        assert node.capacity == node_capacity(catalog4) >= 2
+
+    def test_add_remove_and_instance_names(self, catalog4, registry):
+        node = ServerNode(0, catalog4, capacity=3)
+        node.add_job(JobArrival(7, registry.get("canneal"), 0))
+        assert node.has_job(7)
+        assert node.workload_of(7).name == instance_name("canneal", 7) == "canneal#7"
+        node.remove_job(7)
+        assert not node.has_job(7)
+        with pytest.raises(ClusterError):
+            node.remove_job(7)
+
+    def test_duplicate_copies_of_a_benchmark_coexist(self, catalog4, registry):
+        node = ServerNode(0, catalog4, capacity=3)
+        node.add_job(JobArrival(0, registry.get("canneal"), 0))
+        node.add_job(JobArrival(1, registry.get("canneal"), 0))
+        mix = node.mix()
+        assert mix.names == ("canneal#0", "canneal#1")
+
+    def test_full_node_rejects(self, catalog4, registry):
+        node = ServerNode(0, catalog4, capacity=1)
+        node.add_job(JobArrival(0, registry.get("canneal"), 0))
+        with pytest.raises(ClusterError, match="full"):
+            node.add_job(JobArrival(1, registry.get("vips"), 0))
+
+    def test_mix_needs_two_jobs(self, catalog4, registry):
+        node = ServerNode(0, catalog4)
+        with pytest.raises(ClusterError, match=">= 2"):
+            node.mix()
+
+    def test_capacity_cannot_exceed_catalog(self, catalog4):
+        with pytest.raises(ClusterError, match="exceeds"):
+            ServerNode(0, catalog4, capacity=node_capacity(catalog4) + 1)
+
+    def test_epoch_spec_carries_environment(self, catalog4, registry):
+        node = ServerNode(0, catalog4, capacity=3)
+        node.add_job(JobArrival(0, registry.get("canneal"), 0))
+        node.add_job(JobArrival(1, registry.get("vips"), 0))
+        spec = node.epoch_spec("EqualPartition", TINY, seed=42)
+        assert spec.seed == 42
+        assert spec.mix.names == ("canneal#0", "vips#1")
+        assert spec.catalog == catalog4
+
+
+class TestClusterSimulator:
+    def run_tiny(self, **kwargs):
+        defaults = dict(
+            trace=tiny_trace(),
+            n_nodes=2,
+            placement="round_robin",
+            policy="EqualPartition",
+            catalog=experiment_catalog(4),
+            epoch_config=TINY,
+            seed=1,
+        )
+        defaults.update(kwargs)
+        return ClusterSimulator(**defaults).run()
+
+    def test_covers_every_node_and_epoch(self):
+        result = self.run_tiny()
+        coords = {(r.epoch, r.node_id) for r in result.records}
+        assert coords == {(e, n) for e in range(2) for n in range(2)}
+
+    def test_synthesized_epochs_score_isolation(self):
+        # A 1-node cluster with a single resident job: nothing to
+        # partition, so every epoch is synthesized at speedup 1.0.
+        registry = default_registry()
+        trace = ArrivalTrace(
+            n_epochs=2, jobs=(JobArrival(0, registry.get("canneal"), 0),)
+        )
+        result = self.run_tiny(trace=trace, n_nodes=1)
+        assert all(r.synthesized for r in result.records)
+        assert result.job_mean_speedups() == {0: 1.0}
+        assert result.fairness == 1.0
+
+    def test_deterministic(self):
+        first = self.run_tiny()
+        second = self.run_tiny()
+        assert first.job_mean_speedups() == second.job_mean_speedups()
+        assert first.records == second.records
+
+    def test_node_epoch_seeds_are_placement_independent(self):
+        # The seed is a function of (cluster seed, node, epoch) only —
+        # the pairing guarantee across placement cells.
+        assert derive_seed(1, "node", 0, "epoch", 2) == derive_seed(1, "node", 0, "epoch", 2)
+        assert derive_seed(1, "node", 0, "epoch", 2) != derive_seed(1, "node", 1, "epoch", 2)
+
+    def test_identical_placements_give_identical_results(self):
+        by_rr = self.run_tiny(placement="round_robin")
+        by_ll = self.run_tiny(placement="least_loaded")
+        # With a fresh 2-node fleet and alternating arrivals these two
+        # policies route identically, so paired seeding must make the
+        # results bit-identical.
+        if {r.job_ids for r in by_rr.records} == {r.job_ids for r in by_ll.records}:
+            assert by_rr.job_mean_speedups() == by_ll.job_mean_speedups()
+
+    def test_rejection_when_cluster_full(self):
+        registry = default_registry()
+        jobs = tuple(
+            JobArrival(i, registry.get(name), 0)
+            for i, name in enumerate(["canneal", "vips", "streamcluster"])
+        )
+        result = self.run_tiny(
+            trace=ArrivalTrace(n_epochs=1, jobs=jobs), n_nodes=1, node_capacity=2
+        )
+        assert len(result.rejected_jobs) == 1
+
+    def test_migration_moves_job_off_unfair_node(self):
+        registry = default_registry()
+        # Both initial jobs land on node 0 (arrival order + round robin
+        # alternates, so pin them by capacity: node 0 takes 2, node 1
+        # idle at first epoch); with threshold 1.0 and patience 1 any
+        # simulated fairness < 1.0 triggers a migration at epoch 1.
+        jobs = (
+            JobArrival(0, registry.get("canneal"), 0, departure_epoch=None),
+            JobArrival(1, registry.get("vips"), 0, departure_epoch=None),
+            JobArrival(2, registry.get("streamcluster"), 0, departure_epoch=None),
+        )
+        trace = ArrivalTrace(n_epochs=3, jobs=jobs)
+        result = self.run_tiny(
+            trace=trace,
+            n_nodes=2,
+            migration=MigrationConfig(fairness_threshold=1.0, patience=1),
+        )
+        assert result.migrations >= 1
+
+    def test_fault_plan_node_ids_validated(self):
+        plans = node_fault_plans(4, intensity=0.5, epoch_duration_s=1.0)
+        assert set(plans) == {0, 2}
+        with pytest.raises(ClusterError, match="unknown node ids"):
+            ClusterSimulator(
+                tiny_trace(), n_nodes=2, node_fault_plans={5: plans[0]}
+            )
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ClusterError, match="at least one node"):
+            ClusterSimulator(tiny_trace(), n_nodes=0)
+        with pytest.raises(ClusterError, match="catalogs for"):
+            ClusterSimulator(
+                tiny_trace(), n_nodes=2, catalogs=[experiment_catalog(4)]
+            )
+        with pytest.raises(ClusterError):
+            MigrationConfig(fairness_threshold=0.0)
+        with pytest.raises(ClusterError):
+            MigrationConfig(patience=0)
+
+
+class TestClusterSweep:
+    def test_cells_and_lookup(self):
+        trace = tiny_trace()
+        engine = ExecutionEngine()
+        sweep = cluster_sweep(
+            trace,
+            n_nodes=2,
+            placements=("round_robin", "least_loaded"),
+            policies=("EqualPartition",),
+            catalog=experiment_catalog(4),
+            epoch_config=TINY,
+            seed=1,
+            engine=engine,
+        )
+        assert sweep.placements() == ("round_robin", "least_loaded")
+        assert sweep.policies() == ("EqualPartition",)
+        cell = sweep.cell("round_robin", "EqualPartition")
+        assert np.isfinite(cell.result.mean_speedup)
+        assert 0.0 < cell.result.fairness <= 1.0
+        with pytest.raises(ClusterError, match="no cell"):
+            sweep.cell("round_robin", "SATORI")
+        # Node-epoch runs flowed through the shared engine.
+        assert engine.stats.submitted > 0
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ClusterError):
+            cluster_sweep(tiny_trace(), n_nodes=2, placements=())
+        with pytest.raises(ClusterError):
+            cluster_sweep(tiny_trace(), n_nodes=2, policies=())
+
+    def test_default_trace_admission_controlled(self):
+        catalog = experiment_catalog(4)
+        trace = default_trace(
+            n_epochs=3, n_nodes=2, arrival_rate=10.0, catalog=catalog, suite="ecp"
+        )
+        capacity = node_capacity(catalog)
+        assert trace.peak_jobs <= 2 * capacity
+        assert len(trace.active_at(0)) >= 2  # warm start
+
+    @pytest.mark.slow
+    def test_satori_vs_static_under_faults(self):
+        # The acceptance-criteria configuration at reduced scale:
+        # satori vs static, two placements, paired node fault plans.
+        trace = default_trace(
+            n_epochs=2, n_nodes=2, arrival_rate=1.0, seed=5,
+            catalog=experiment_catalog(4), suite="ecp",
+        )
+        sweep = cluster_sweep(
+            trace,
+            n_nodes=2,
+            placements=("round_robin", "least_loaded"),
+            policies=("SATORI", "EqualPartition"),
+            catalog=experiment_catalog(4),
+            epoch_config=RunConfig(duration_s=2.0),
+            seed=5,
+            fault_intensity=0.5,
+        )
+        assert len(sweep.cells) == 4
+        for cell in sweep.cells:
+            assert np.isfinite(cell.result.mean_speedup)
+            assert np.isfinite(cell.result.fairness)

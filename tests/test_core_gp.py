@@ -162,3 +162,83 @@ class TestAcquisitions:
             ExpectedImprovement(xi=-1.0)
         with pytest.raises(ModelError):
             UpperConfidenceBound(kappa=-1.0)
+
+
+class TestIncrementalFit:
+    """Gated length-scale refits and incremental Cholesky extension."""
+
+    def _trace(self, n, d=3, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.random((n, d))
+        y = np.sin(3 * x[:, 0]) + 0.4 * x[:, 1] + rng.normal(scale=0.02, size=n)
+        return x, y
+
+    def test_incremental_matches_full_refit(self):
+        """Extending the factor one sample at a time must agree with a
+        from-scratch fit at every size (numerically, not bitwise)."""
+        x, y = self._trace(20)
+        incremental = GaussianProcess(noise=5e-2)
+        query = np.random.default_rng(9).random((5, 3))
+        for n in range(4, 21):
+            incremental.fit(x[:n], y[:n])
+            fresh = GaussianProcess(noise=5e-2).fit(x[:n], y[:n])
+            mean_inc, std_inc = incremental.predict(query)
+            mean_new, std_new = fresh.predict(query)
+            np.testing.assert_allclose(mean_inc, mean_new, rtol=1e-8, atol=1e-10)
+            np.testing.assert_allclose(std_inc, std_new, rtol=1e-8, atol=1e-10)
+
+    def test_incremental_handles_multi_row_extension(self):
+        x, y = self._trace(16)
+        gp = GaussianProcess(noise=5e-2).fit(x[:6], y[:6])
+        gp.fit(x, y)  # extend by 10 rows at once
+        fresh = GaussianProcess(noise=5e-2).fit(x, y)
+        query = np.random.default_rng(1).random((4, 3))
+        np.testing.assert_allclose(gp.predict(query)[0], fresh.predict(query)[0], rtol=1e-8)
+
+    def test_non_prefix_refit_falls_back(self):
+        """A sliding window (GoalRecords max_samples) breaks the prefix;
+        the GP must silently fall back to a full factorization."""
+        x, y = self._trace(12)
+        gp = GaussianProcess(noise=5e-2).fit(x[:8], y[:8])
+        gp.fit(x[2:10], y[2:10])  # shifted window, same size growth pattern
+        fresh = GaussianProcess(noise=5e-2).fit(x[2:10], y[2:10])
+        query = np.random.default_rng(2).random((4, 3))
+        np.testing.assert_allclose(gp.predict(query)[0], fresh.predict(query)[0], rtol=1e-8)
+
+    def test_kernel_change_invalidates_incremental_path(self):
+        x, y = self._trace(10)
+        gp = GaussianProcess(kernel=Matern52(lengthscale=0.8), noise=5e-2).fit(x[:8], y[:8])
+        gp.kernel = Matern52(lengthscale=2.0)
+        gp.fit(x, y)
+        fresh = GaussianProcess(kernel=Matern52(lengthscale=2.0), noise=5e-2).fit(x, y)
+        query = np.random.default_rng(3).random((4, 3))
+        np.testing.assert_allclose(gp.predict(query)[0], fresh.predict(query)[0], rtol=1e-8)
+
+    def test_refit_gating_skips_grid_between_periods(self, monkeypatch):
+        x, y = self._trace(20)
+        gp = GaussianProcess(noise=5e-2, lengthscale_refit_every=5)
+        searches = []
+        original = GaussianProcess._best_kernel
+
+        def counting(self, xx, zz):
+            searches.append(xx.shape[0])
+            return original(self, xx, zz)
+
+        monkeypatch.setattr(GaussianProcess, "_best_kernel", counting)
+        for n in range(4, 21):
+            gp.fit(x[:n], y[:n], optimize_lengthscale=True)
+        # First optimize call searches immediately; afterwards only
+        # every 5 new samples (at n=9, 14, 19).
+        assert searches == [4, 9, 14, 19]
+
+    def test_first_optimize_call_always_searches(self):
+        x, y = self._trace(8)
+        gp = GaussianProcess(
+            kernel=Matern52(lengthscale=5.0), noise=1e-4, lengthscale_refit_every=50
+        )
+        gp.fit(x, y, optimize_lengthscale=True)
+        assert gp.kernel.lengthscale != 5.0
+
+    def test_refit_every_validated(self):
+        with pytest.raises(ModelError):
+            GaussianProcess(lengthscale_refit_every=0)
