@@ -9,18 +9,22 @@ from repro.analysis.export import (
     telemetry_to_csv,
 )
 from repro.analysis.stats import (
+    PairedDelta,
     ReplicatedRun,
     ReplicatedScore,
     confidence_interval,
     convergence_time_s,
+    paired_deltas,
     replicate_policy,
 )
 
 __all__ = [
+    "PairedDelta",
     "ReplicatedRun",
     "ReplicatedScore",
     "confidence_interval",
     "convergence_time_s",
+    "paired_deltas",
     "engine_summary",
     "engine_summary_json",
     "replicate_policy",

@@ -10,7 +10,7 @@ examples and extension benches report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -93,6 +93,53 @@ def replicate_policy(
         throughput=confidence_interval([r.throughput for r in results], confidence),
         fairness=confidence_interval([r.fairness for r in results], confidence),
         results=tuple(results),
+    )
+
+
+@dataclass(frozen=True)
+class PairedDelta:
+    """Per-key paired comparison ``b - a`` over common keys.
+
+    Attributes:
+        delta: summary statistics of the per-key differences.
+        n_common: keys present on both sides (the paired sample size).
+        n_only_a / n_only_b: keys dropped because they appear on one
+            side only (e.g. a job admitted under one placement but
+            rejected under the other) — reported rather than silently
+            discarded, since heavy attrition undermines the pairing.
+    """
+
+    delta: ReplicatedScore
+    n_common: int
+    n_only_a: int
+    n_only_b: int
+
+
+def paired_deltas(
+    a: Mapping[Any, float],
+    b: Mapping[Any, float],
+    confidence: float = 0.95,
+) -> PairedDelta:
+    """Confidence interval on the mean per-key difference ``b - a``.
+
+    For cluster sweeps the natural inputs are per-job mean speedups
+    (:meth:`~repro.cluster.simulator.ClusterResult.job_mean_speedups`)
+    from two cells sharing one trace: because job ids are stable across
+    cells, each job is its own control, and the paired differences
+    cancel the job-identity variance that makes unpaired comparisons of
+    small fleets inconclusive.
+    """
+    common = sorted(set(a) & set(b), key=str)
+    if len(common) < 2:
+        raise ExperimentError(
+            f"paired comparison needs >= 2 common keys, got {len(common)}"
+        )
+    deltas = [float(b[key]) - float(a[key]) for key in common]
+    return PairedDelta(
+        delta=confidence_interval(deltas, confidence),
+        n_common=len(common),
+        n_only_a=len(set(a) - set(b)),
+        n_only_b=len(set(b) - set(a)),
     )
 
 

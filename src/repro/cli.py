@@ -14,6 +14,7 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``overhead``     — controller decision-time measurement.
 * ``resilience``   — fault-intensity sweep: hardened vs unhardened SATORI.
 * ``cluster``      — multi-node placement x partitioning-policy sweep.
+* ``warmstart``    — warm-vs-cold controller continuation (policy-state value).
 * ``workloads``    — list the benchmark workload models (Tables I-III).
 """
 
@@ -40,6 +41,8 @@ from repro.experiments.resilience import resilience_sweep
 from repro.experiments.runner import RunConfig, experiment_catalog, run_policy
 from repro.experiments.scalability import colocation_scalability
 from repro.experiments.sensitivity import period_sensitivity
+from repro.analysis.stats import paired_deltas
+from repro.errors import ExperimentError
 from repro.policies.oracle import OraclePolicy, OracleSearch
 from repro.policies.static import EqualPartitionPolicy
 from repro.workloads.mixes import suite_mixes
@@ -255,8 +258,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         epoch_config=epoch_config,
         seed=args.seed,
         fault_intensity=args.fault_intensity,
-        migration=MigrationConfig() if args.migrate else None,
+        migration=(
+            MigrationConfig(warmup_penalty_intervals=args.migration_penalty)
+            if args.migrate
+            else None
+        ),
         engine=engine,
+        warm_start=args.warm_start,
     )
     print(
         f"trace: {sweep.n_jobs} jobs over {sweep.n_epochs} epochs "
@@ -298,6 +306,112 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 title=f"per-node [{cell.placement} / {cell.policy}]:",
             )
         )
+
+    # Placement-vs-placement paired deltas: each job is its own control,
+    # so even a small fleet yields a meaningful CI on the speedup gain.
+    delta_rows = []
+    for policy in args.policies:
+        cells = [c for c in sweep.cells if c.policy == policy]
+        for i, base in enumerate(cells):
+            for other in cells[i + 1:]:
+                try:
+                    pd = paired_deltas(
+                        base.result.job_mean_speedups(),
+                        other.result.job_mean_speedups(),
+                    )
+                except ExperimentError:
+                    continue
+                delta_rows.append([
+                    policy,
+                    f"{other.placement} - {base.placement}",
+                    f"{pd.delta.mean:+.3f}",
+                    f"[{pd.delta.ci_low:+.3f}, {pd.delta.ci_high:+.3f}]",
+                    pd.n_common,
+                    pd.n_only_a + pd.n_only_b,
+                ])
+    if delta_rows:
+        print()
+        print(
+            format_table(
+                ["policy", "placement delta", "mean Δspeedup", "95% CI",
+                 "paired jobs", "unpaired"],
+                delta_rows,
+                title="paired per-job speedup deltas (same trace, same jobs):",
+            )
+        )
+    _print_engine_stats(engine)
+    return 0
+
+
+def cmd_warmstart(args: argparse.Namespace) -> int:
+    from repro.experiments.warmstart import warmstart_experiment
+
+    catalog = experiment_catalog(args.units)
+    mixes = suite_mixes(args.suite, mix_size=3)[: args.mixes]
+    engine = _engine(args)
+    report = warmstart_experiment(
+        mixes,
+        catalog=catalog,
+        run_config=RunConfig(duration_s=args.duration,
+                             baseline_reset_s=args.duration / 2),
+        n_nodes=args.nodes,
+        n_epochs=args.epochs,
+        seed=args.seed,
+        engine=engine,
+    )
+
+    rows = []
+    for cell in report.adaptation:
+        rows.append([
+            cell.mix_label,
+            cell.cold_recovery_intervals,
+            cell.warm_recovery_intervals,
+            f"{cell.recovery_gain_intervals:+d}",
+            f"{cell.plateau_delta:+.3f}",
+            f"{cell.early_fairness_delta:+.3f}",
+            f"{cell.early_throughput_delta:+.3f}",
+        ])
+    print(
+        format_table(
+            ["mix", "cold recovery", "warm recovery", "gain (intervals)",
+             "plateau Δ", "early ΔF", "early ΔT"],
+            rows,
+            title="continuation epoch, cold vs warm (paired noise):",
+        )
+    )
+    gain = report.recovery_gain_summary()
+    print(f"\nrecovery gain: {gain} intervals saved by warm start")
+
+    cluster = report.cluster
+    fairness = cluster.node_epoch_fairness_delta()
+    speedup = cluster.job_speedup_delta
+    print(f"\ncluster replay ({args.nodes} nodes, round-robin, no migration):")
+    print(f"  warm-started node-epochs: {cluster.warm_started_epochs}")
+    print(f"  per-job Δspeedup (warm - cold): {speedup.delta.mean:+.3f} "
+          f"[{speedup.delta.ci_low:+.3f}, {speedup.delta.ci_high:+.3f}] "
+          f"(n={speedup.n_common})")
+    print(f"  per-node-epoch Δfairness: {fairness.delta.mean:+.3f} "
+          f"[{fairness.delta.ci_low:+.3f}, {fairness.delta.ci_high:+.3f}] "
+          f"(n={fairness.n_common})")
+    try:
+        recovery = cluster.fairness_recovery_delta()
+    except ExperimentError:
+        print("  fairness recovery: too few warm-started epochs to pair")
+    else:
+        outcomes = cluster.fairness_recovery_outcomes()
+        print(f"  fairness recovery, intervals saved by warm start (cold - warm): "
+              f"{recovery.delta.mean:+.1f} "
+              f"[{recovery.delta.ci_low:+.1f}, {recovery.delta.ci_high:+.1f}] "
+              f"(n={recovery.n_common})")
+        print(f"  recovery outcomes: warm faster {outcomes['wins']}, "
+              f"tied {outcomes['ties']}, slower {outcomes['losses']}")
+
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nJSON summary written to {args.json}")
     _print_engine_stats(engine)
     return 0
 
@@ -357,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("overhead", cmd_overhead, None),
         ("resilience", cmd_resilience, "resilience"),
         ("cluster", cmd_cluster, "cluster"),
+        ("warmstart", cmd_warmstart, "warmstart"),
         ("report", cmd_report, "report"),
         ("figure", cmd_figure, "figure"),
     ):
@@ -388,8 +503,25 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fault intensity on even-numbered nodes")
             p.add_argument("--migrate", action="store_true",
                            help="migrate jobs off persistently unfair nodes")
+            p.add_argument("--migration-penalty", type=int, default=0,
+                           help="intervals of degraded speedup after a migration")
+            p.add_argument("--warm-start", action="store_true",
+                           help="carry controller state across epochs when a "
+                                "node's job membership is unchanged")
             # for cluster, --duration is the per-epoch length
             p.set_defaults(duration=4.0)
+        if extra == "warmstart":
+            p.add_argument("--mixes", type=int, default=4,
+                           help="number of suite mixes for the adaptation sweep")
+            p.add_argument("--nodes", type=int, default=2,
+                           help="fleet size for the cluster replay")
+            p.add_argument("--epochs", type=int, default=12,
+                           help="trace length for the cluster replay "
+                                "(warm starts need membership-stable boundaries)")
+            p.add_argument("--json", default="",
+                           help="write the JSON report to this path")
+            # warm-start value shows up over multi-epoch horizons
+            p.set_defaults(duration=8.0)
         if extra == "report":
             p.add_argument("--mixes", type=int, default=4, help="mixes to include")
             p.add_argument("--out", default="", help="write markdown to this path")

@@ -24,6 +24,7 @@ from repro.errors import ClusterError
 from repro.engine.spec import RunSpec
 from repro.experiments.runner import RunConfig
 from repro.faults.plan import FaultPlan
+from repro.state import PolicyState
 from repro.workloads.arrivals import JobArrival
 from repro.workloads.mixes import JobMix
 from repro.workloads.model import Workload
@@ -142,6 +143,7 @@ class ServerNode:
         policy_kwargs: Optional[dict] = None,
         goals: Tuple[str, str] = ("sum_ips", "jain"),
         fault_plan: Optional[FaultPlan] = None,
+        initial_state: Optional[PolicyState] = None,
     ) -> RunSpec:
         """One placement epoch of this node as an engine spec.
 
@@ -151,6 +153,10 @@ class ServerNode:
         that route different jobs here) and a ``run_config`` whose
         ``phase_offset_s`` encodes the epoch's position in wall time,
         keeping workload phase behavior continuous across epochs.
+        ``initial_state`` warm-starts the node's controller from the
+        previous epoch's final snapshot (the cluster simulator passes
+        it only when job membership did not change across the epoch
+        boundary).
         """
         return RunSpec(
             mix=self.mix(),
@@ -161,4 +167,5 @@ class ServerNode:
             goals=goals,
             seed=seed,
             fault_plan=fault_plan,
+            initial_state=initial_state,
         )

@@ -38,12 +38,15 @@ different jobs to a node sees a different realization of the same
 plan; the plan's windows and rates — the experiment design — stay
 paired. DESIGN.md discusses this.)
 
-Controller state is epoch-scoped: each node's policy instance is
-reconstructed per spec inside the engine worker, so a node's
-controller re-learns after every membership change. That is the
-honest-by-construction choice — membership changes are exactly when a
-controller's model is stale — and it is what keeps node epochs
-cacheable and order-independent.
+Controller state is epoch-scoped by default: each node's policy
+instance is reconstructed per spec inside the engine worker, so a
+node's controller re-learns after every membership change. With
+``warm_start=True`` a node whose job membership did *not* change
+across the epoch boundary gets its previous epoch's policy snapshot
+re-injected (via the spec's ``initial_state`` field, which is part of
+the content address — warm node-epochs never collide with cold ones
+in the run cache); membership changes still cold-start, because a
+controller's model of the departed mix is stale by construction.
 """
 
 from __future__ import annotations
@@ -63,6 +66,7 @@ from repro.experiments.runner import RunConfig, RunResult, experiment_catalog
 from repro.faults.plan import FaultPlan
 from repro.metrics.fairness import jain_index
 from repro.resources.types import ResourceCatalog
+from repro.state import PolicyState
 from repro.workloads.arrivals import ArrivalTrace, JobArrival
 
 
@@ -81,6 +85,12 @@ class MigrationConfig:
 
     fairness_threshold: float = 0.85
     patience: int = 2
+    #: Control intervals of useful work a migrated job loses on its
+    #: destination node (checkpoint transfer, page-cache refill, cold
+    #: microarchitectural state), applied as a pro-rata scaling of its
+    #: first-epoch speedup there. 0 keeps the historical free-migration
+    #: behaviour.
+    warmup_penalty_intervals: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.fairness_threshold <= 1.0:
@@ -89,6 +99,10 @@ class MigrationConfig:
             )
         if self.patience < 1:
             raise ClusterError(f"patience must be >= 1, got {self.patience}")
+        if self.warmup_penalty_intervals < 0:
+            raise ClusterError(
+                f"warmup_penalty_intervals must be >= 0, got {self.warmup_penalty_intervals}"
+            )
 
 
 @dataclass(frozen=True)
@@ -104,7 +118,14 @@ class NodeEpochRecord:
             performance by definition.
         throughput / fairness: the node's scored means for the epoch.
         job_speedups: per-job mean speedup over the epoch, keyed by
-            job id.
+            job id (migration warm-up penalties, when configured, are
+            already folded in).
+        warm_started: the node's controller was warm-started from the
+            previous epoch's snapshot (membership-stable node under
+            ``warm_start=True``).
+        fairness_series: per-interval fairness scores for the epoch
+            (empty for synthesized epochs) — what warm-vs-cold
+            comparisons use to measure intervals-to-recover.
     """
 
     epoch: int
@@ -114,6 +135,8 @@ class NodeEpochRecord:
     throughput: float
     fairness: float
     job_speedups: Dict[int, float] = field(default_factory=dict)
+    warm_started: bool = False
+    fairness_series: Tuple[float, ...] = ()
 
     @property
     def n_jobs(self) -> int:
@@ -241,6 +264,16 @@ class ClusterSimulator:
             each catalog can physically partition.
         engine: execution engine for node-epoch batches; defaults to a
             fresh serial engine.
+        warm_start: re-inject each node's prior-epoch policy snapshot
+            whenever its job membership did not change across the
+            epoch boundary, so membership-stable controllers keep
+            their learned state instead of re-learning from scratch.
+            Membership *changes* still cold-start (the controller's
+            model of the old mix is stale by construction). Off by
+            default: warm-started node-epoch specs carry the previous
+            epoch's state in their content address, which chains
+            digests across epochs and reduces cache sharing between
+            sweep cells.
     """
 
     def __init__(
@@ -259,6 +292,7 @@ class ClusterSimulator:
         migration: Optional[MigrationConfig] = None,
         node_capacity: Optional[int] = None,
         engine: Optional[ExecutionEngine] = None,
+        warm_start: bool = False,
     ):
         if n_nodes < 1:
             raise ClusterError(f"a cluster needs at least one node, got {n_nodes}")
@@ -289,10 +323,17 @@ class ClusterSimulator:
             ServerNode(node_id, catalogs[node_id], capacity=node_capacity)
             for node_id in range(n_nodes)
         ]
+        self._warm_start = bool(warm_start)
         # Previous-epoch observations per node (the placement policy's
         # information set) and consecutive-unfair counters for migration.
         self._observed: Dict[int, Tuple[float, float]] = {}
         self._unfair_streak: Dict[int, int] = {node.node_id: 0 for node in self._nodes}
+        # Warm-start bookkeeping: each node's previous-epoch membership
+        # and final policy snapshot, and the jobs that migrated in at
+        # the current epoch boundary (warm-up penalty targets).
+        self._prev_membership: Dict[int, Tuple[int, ...]] = {}
+        self._node_states: Dict[int, PolicyState] = {}
+        self._migrated_in: Dict[int, set] = {}
 
     @property
     def nodes(self) -> List[ServerNode]:
@@ -377,6 +418,7 @@ class ClusterSimulator:
                     arrival_epoch=0,
                 )
             )
+            self._migrated_in.setdefault(target, set()).add(victim)
             self._unfair_streak[node.node_id] = 0
             moved += 1
         return moved
@@ -405,9 +447,21 @@ class ClusterSimulator:
         )
         specs: List[RunSpec] = []
         spec_nodes: List[ServerNode] = []
+        warm_nodes: set = set()
         for node in self._nodes:
             if node.n_jobs < 2:
                 continue
+            initial_state = None
+            if (
+                self._warm_start
+                and self._prev_membership.get(node.node_id) == node.job_ids
+            ):
+                # Membership unchanged across the epoch boundary: the
+                # controller's learned model still describes this mix,
+                # so hand the prior epoch's snapshot back to it.
+                initial_state = self._node_states.get(node.node_id)
+            if initial_state is not None:
+                warm_nodes.add(node.node_id)
             specs.append(
                 node.epoch_spec(
                     policy=self._policy,
@@ -416,17 +470,32 @@ class ClusterSimulator:
                     policy_kwargs=self._policy_kwargs,
                     goals=self._goals,
                     fault_plan=self._fault_plans.get(node.node_id),
+                    initial_state=initial_state,
                 )
             )
             spec_nodes.append(node)
 
         results = self._engine.run(specs) if specs else []
 
+        penalty = (
+            self._migration.warmup_penalty_intervals if self._migration is not None else 0
+        )
         records: List[NodeEpochRecord] = []
         simulated = {node.node_id for node in spec_nodes}
         for node, result in zip(spec_nodes, results):
             assert isinstance(result, RunResult)
             speedups = result.scored.mean_job_speedups()
+            job_speedups = {
+                job_id: float(speedup)
+                for job_id, speedup in zip(node.job_ids, speedups)
+            }
+            if penalty:
+                # Jobs that just migrated here lose `penalty` control
+                # intervals of useful work this epoch (pro-rata).
+                scale = max(0.0, 1.0 - penalty / config.n_steps)
+                for job_id in self._migrated_in.get(node.node_id, ()):
+                    if job_id in job_speedups:
+                        job_speedups[job_id] *= scale
             records.append(
                 NodeEpochRecord(
                     epoch=epoch,
@@ -435,17 +504,25 @@ class ClusterSimulator:
                     synthesized=False,
                     throughput=result.throughput,
                     fairness=result.fairness,
-                    job_speedups={
-                        job_id: float(speedup)
-                        for job_id, speedup in zip(node.job_ids, speedups)
-                    },
+                    job_speedups=job_speedups,
+                    warm_started=node.node_id in warm_nodes,
+                    fairness_series=tuple(
+                        float(v) for v in result.telemetry.series("fairness")
+                    ),
                 )
             )
+            if result.final_state is not None:
+                self._node_states[node.node_id] = result.final_state
+            else:
+                self._node_states.pop(node.node_id, None)
         for node in self._nodes:
             if node.node_id in simulated:
                 continue
             # 0/1-job nodes: an uncontended job retains its isolation
-            # performance by construction — nothing to simulate.
+            # performance by construction — nothing to simulate. No
+            # controller ran this epoch, so any held snapshot is stale;
+            # drop it.
+            self._node_states.pop(node.node_id, None)
             records.append(
                 NodeEpochRecord(
                     epoch=epoch,
@@ -457,6 +534,9 @@ class ClusterSimulator:
                     job_speedups={job_id: 1.0 for job_id in node.job_ids},
                 )
             )
+        for node in self._nodes:
+            self._prev_membership[node.node_id] = node.job_ids
+        self._migrated_in.clear()
         records.sort(key=lambda r: r.node_id)
         return records
 

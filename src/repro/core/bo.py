@@ -27,7 +27,9 @@ from repro.core.objective import GoalRecords
 from repro.errors import ModelError
 from repro.resources.allocation import Configuration
 from repro.resources.space import ConfigurationSpace
-from repro.rng import SeedLike, make_rng
+from repro.rng import SeedLike, make_rng, rng_from_state, rng_state
+from repro.serialize import thaw_data
+from repro.state import BOState
 
 
 #: Spaces up to this size get exact acquisition maximization.
@@ -132,6 +134,49 @@ class BayesianOptimizer:
     @property
     def iteration(self) -> int:
         return self._iteration
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def snapshot(self) -> BOState:
+        """The optimizer's mutable state as a versioned value.
+
+        Captures the GP posterior, the candidate-sampling RNG position,
+        the iteration counter, the proxy-change probe set (drawn from
+        the RNG at construction — a restored optimizer is built from a
+        different seed, so the probes must travel), and the previous
+        probe means. The precomputed full-space enumeration is *not*
+        state: it is a pure function of the space and is rebuilt by the
+        constructor.
+        """
+        return BOState(
+            gp=self._gp.snapshot(),
+            rng=rng_state(self._rng),
+            iteration=self._iteration,
+            probes=[config.to_dict() for config in self._probes],
+            last_probe_means=(
+                None
+                if self._last_probe_means is None
+                else tuple(self._last_probe_means.tolist())
+            ),
+        )
+
+    def restore(self, state: BOState) -> "BayesianOptimizer":
+        """Resume from a :meth:`snapshot`; returns self for chaining."""
+        self._gp.restore(state.gp)
+        self._rng = rng_from_state(thaw_data(state.rng))
+        self._iteration = int(state.iteration)
+        probes = [Configuration.from_dict(d) for d in thaw_data(state.probes)]
+        for probe in probes:
+            if not self._space.contains(probe):
+                raise ModelError(f"probe {probe!r} is outside this optimizer's space")
+        self._probes = probes
+        self._probe_x = self._space.encode_batch(probes)
+        self._last_probe_means = (
+            None
+            if state.last_probe_means is None
+            else np.asarray(state.last_probe_means, dtype=float)
+        )
+        return self
 
     def suggest(self, records: GoalRecords, weights: Sequence[float]) -> Suggestion:
         """Fit the proxy model and pick the next configuration.

@@ -37,15 +37,33 @@ from repro.core.weights import (
     StaticWeights,
     WeightState,
 )
+from repro import serialize
 from repro.errors import PolicyError
 from repro.metrics.goals import GoalSet
 from repro.policies.base import PartitioningPolicy
 from repro.resources.allocation import Configuration
 from repro.resources.space import ConfigurationSpace
-from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.rng import SeedLike, make_rng, rng_from_state, rng_state, spawn_rng
+from repro.state import BOState, GoalRecordsState, PolicyState, WeightSchedulerState
 from repro.system.simulation import Observation
 
 MODES = ("dynamic", "static", "throughput", "fairness")
+
+
+def _config_or_none(config: Optional[Configuration]) -> Optional[dict]:
+    return None if config is None else config.to_dict()
+
+
+def _restore_config(data: Optional[dict]) -> Optional[Configuration]:
+    return None if data is None else Configuration.from_dict(data)
+
+
+def _array_or_none(values) -> Optional[list]:
+    return None if values is None else [float(v) for v in np.asarray(values).ravel()]
+
+
+def _restore_array(data) -> Optional[np.ndarray]:
+    return None if data is None else np.asarray(data, dtype=float)
 
 
 class SatoriController(PartitioningPolicy):
@@ -89,6 +107,7 @@ class SatoriController(PartitioningPolicy):
     """
 
     name = "SATORI"
+    state_kind = "SATORI"
 
     def __init__(
         self,
@@ -228,6 +247,135 @@ class SatoriController(PartitioningPolicy):
             out["fallback_intervals"] = float(self._fallback_intervals)
         return out
 
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> PolicyState:
+        """Everything the decision path reads, as one serializable value.
+
+        Includes the construction-time RNG draws (the initial "good"
+        set and the BO probe set) because a restored controller is
+        built from a *different* seed than the one that produced the
+        snapshot; excludes only wall-clock accounting
+        (``_decision_seconds``), which is irrelevant to decisions and
+        non-deterministic by nature.
+        """
+        scheduler_state = self._scheduler.snapshot()
+        suggestion = self._last_suggestion
+        payload = {
+            "mode": self._mode,
+            "rng": rng_state(self._rng),
+            "scheduler": None if scheduler_state is None else scheduler_state.to_dict(),
+            "bo": self._bo.snapshot().to_dict(),
+            "records": self._records.snapshot().to_dict(),
+            "initial_set": [config.to_dict() for config in self._initial_set],
+            "initial_cursor": self._initial_cursor,
+            "pending": _config_or_none(self._pending),
+            "idle": self._idle,
+            "stable_best": _config_or_none(self._stable_best),
+            "best_streak": self._best_streak,
+            "idle_entry_objective": self._idle_entry_objective,
+            "idle_ema": self._idle_ema,
+            "idle_config": _config_or_none(self._idle_config),
+            "actuation_failures": self._actuation_failures,
+            "watchdog_active": self._watchdog_active,
+            "fallback_intervals": self._fallback_intervals,
+            "rejected_samples": self._rejected_samples,
+            "spike_pending": self._spike_pending,
+            "noise_seen": self._noise_seen,
+            "last_accepted_ips": _array_or_none(self._last_accepted_ips),
+            "last_accepted_config": _config_or_none(self._last_accepted_config),
+            "last_good_speedups": _array_or_none(self._last_good_speedups),
+            "last_weights": (
+                None
+                if self._last_weights is None
+                else serialize.dataclass_to_dict(self._last_weights)
+            ),
+            "last_suggestion": (
+                None
+                if suggestion is None
+                else {
+                    "config": suggestion.config.to_dict(),
+                    "acquisition_value": suggestion.acquisition_value,
+                    "predicted_mean": suggestion.predicted_mean,
+                    "predicted_std": suggestion.predicted_std,
+                    "incumbent_value": suggestion.incumbent_value,
+                    "proxy_change_percent": suggestion.proxy_change_percent,
+                }
+            ),
+            "last_objective": self._last_objective,
+            "decision_count": self._decision_count,
+            "idle_intervals": self._idle_intervals,
+        }
+        return PolicyState(policy=self.state_kind, payload=payload)
+
+    def restore(self, state: Optional[PolicyState]) -> None:
+        """Resume from a :meth:`snapshot` taken by a same-mode controller.
+
+        The controller must be constructed with the same configuration
+        knobs (space, mode, periods, hardening settings) as the one
+        that produced the snapshot — the engine guarantees this by
+        rebuilding policies from identical spec kwargs. Continuing from
+        here is bit-identical to never having torn the controller down.
+        """
+        if state is None:
+            return
+        self._check_state(state)
+        payload = state.payload_dict()
+        if payload.get("mode") != self._mode:
+            raise PolicyError(
+                f"cannot restore a {payload.get('mode')!r}-mode snapshot into a "
+                f"{self._mode!r}-mode controller"
+            )
+        self._rng = rng_from_state(payload["rng"])
+        scheduler_state = payload.get("scheduler")
+        self._scheduler.restore(
+            None
+            if scheduler_state is None
+            else WeightSchedulerState.from_dict(scheduler_state)
+        )
+        self._bo.restore(BOState.from_dict(payload["bo"]))
+        self._records.restore(GoalRecordsState.from_dict(payload["records"]))
+        self._initial_set = [
+            Configuration.from_dict(d) for d in payload["initial_set"]
+        ]
+        self._initial_cursor = int(payload["initial_cursor"])
+        self._pending = _restore_config(payload.get("pending"))
+        self._idle = bool(payload["idle"])
+        self._stable_best = _restore_config(payload.get("stable_best"))
+        self._best_streak = int(payload["best_streak"])
+        self._idle_entry_objective = float(payload["idle_entry_objective"])
+        self._idle_ema = float(payload["idle_ema"])
+        self._idle_config = _restore_config(payload.get("idle_config"))
+        self._actuation_failures = int(payload["actuation_failures"])
+        self._watchdog_active = bool(payload["watchdog_active"])
+        self._fallback_intervals = int(payload["fallback_intervals"])
+        self._rejected_samples = int(payload["rejected_samples"])
+        self._spike_pending = bool(payload["spike_pending"])
+        self._noise_seen = bool(payload["noise_seen"])
+        self._last_accepted_ips = _restore_array(payload.get("last_accepted_ips"))
+        self._last_accepted_config = _restore_config(payload.get("last_accepted_config"))
+        self._last_good_speedups = _restore_array(payload.get("last_good_speedups"))
+        weights = payload.get("last_weights")
+        self._last_weights = (
+            None if weights is None else serialize.dataclass_from_dict(WeightState, weights)
+        )
+        suggestion = payload.get("last_suggestion")
+        self._last_suggestion = (
+            None
+            if suggestion is None
+            else Suggestion(
+                config=Configuration.from_dict(suggestion["config"]),
+                acquisition_value=float(suggestion["acquisition_value"]),
+                predicted_mean=float(suggestion["predicted_mean"]),
+                predicted_std=float(suggestion["predicted_std"]),
+                incumbent_value=float(suggestion["incumbent_value"]),
+                proxy_change_percent=float(suggestion["proxy_change_percent"]),
+            )
+        )
+        self._last_objective = float(payload["last_objective"])
+        self._decision_count = int(payload["decision_count"])
+        self._idle_intervals = int(payload["idle_intervals"])
+
     # -- introspection -------------------------------------------------------
 
     @property
@@ -286,9 +434,25 @@ class SatoriController(PartitioningPolicy):
 
     def _decide(self, observation: Optional[Observation]) -> Configuration:
         if observation is None:
-            self._pending = self._initial_set[0]
-            self._initial_cursor = 1
-            return self._pending
+            # Session (re)start: there is no previous interval to
+            # attribute. A fresh controller opens the initial "good"
+            # set (Alg. 1 line 1); a warm-started one resumes from
+            # what it already learned instead of re-paying for probes
+            # a previous epoch already drained.
+            if self._initial_cursor < len(self._initial_set):
+                self._pending = self._initial_set[self._initial_cursor]
+                self._initial_cursor += 1
+                return self._pending
+            if self._idle and self._idle_config is not None:
+                # Resume on the held optimum. The idle latch survives
+                # the restart on purpose: the idle-exit tolerance is
+                # the arbiter of whether the new epoch's environment
+                # moved enough to warrant re-exploring — waking
+                # unconditionally would let BO exploit records from
+                # the *previous* environment, which measures worse.
+                self._pending = self._idle_config
+                return self._pending
+            return self._retreat_configuration()
 
         if self._hardening:
             fallback = self._watchdog_gate(observation)

@@ -16,7 +16,11 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ModelError
-from repro.core.kernels import Kernel, Matern52
+from repro.core.kernels import RBF, Kernel, Matern52
+from repro.state import GPState
+
+#: Kernel classes by snapshot name (lowercase class name).
+_KERNELS = {"matern52": Matern52, "rbf": RBF}
 
 #: Jitter added to the kernel diagonal for numerical stability.
 _JITTER = 1e-8
@@ -137,6 +141,63 @@ class GaussianProcess:
         self._chol = chol
         self._alpha = _cho_solve(chol, z)
         self._fit_key = self._kernel_key()
+        return self
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def snapshot(self) -> GPState:
+        """The full posterior as a versioned, JSON-codable value.
+
+        The Cholesky factor is captured verbatim rather than recomputed
+        on restore: a from-scratch factorization matches an
+        incrementally extended one only to floating-point error, and
+        the snapshot protocol promises bit-identical resume.
+        """
+        kernel_name = type(self.kernel).__name__.lower()
+        if kernel_name not in _KERNELS:
+            raise ModelError(f"kernel {type(self.kernel).__name__} has no snapshot name")
+        return GPState(
+            kernel=kernel_name,
+            lengthscale=self.kernel.lengthscale,
+            variance=self.kernel.variance,
+            noise=self.noise,
+            y_mean=self._y_mean,
+            y_std=self._y_std,
+            fits_since_search=self._fits_since_search,
+            x=None if self._x is None else tuple(map(tuple, self._x.tolist())),
+            chol=None if self._chol is None else tuple(map(tuple, self._chol.tolist())),
+            alpha=None if self._alpha is None else tuple(self._alpha.tolist()),
+        )
+
+    def restore(self, state: GPState) -> "GaussianProcess":
+        """Resume from a :meth:`snapshot`; returns self for chaining.
+
+        ``_fit_key`` is recomputed from the restored kernel (it holds a
+        type object and cannot ride through JSON); the next ``fit``
+        call therefore extends the restored factor incrementally,
+        exactly as an uninterrupted run would.
+        """
+        try:
+            kernel_cls = _KERNELS[state.kernel]
+        except KeyError:
+            raise ModelError(f"unknown kernel name {state.kernel!r} in GP state") from None
+        self.kernel = kernel_cls(lengthscale=state.lengthscale, variance=state.variance)
+        self.noise = float(state.noise)
+        self._y_mean = float(state.y_mean)
+        self._y_std = float(state.y_std)
+        self._fits_since_search = (
+            None if state.fits_since_search is None else int(state.fits_since_search)
+        )
+        if state.x is None:
+            self._x = self._chol = self._alpha = None
+            self._fit_key = None
+        else:
+            if state.chol is None or state.alpha is None:
+                raise ModelError("GP state has inputs but no factorization")
+            self._x = np.asarray(state.x, dtype=float)
+            self._chol = np.asarray(state.chol, dtype=float)
+            self._alpha = np.asarray(state.alpha, dtype=float)
+            self._fit_key = self._kernel_key()
         return self
 
     def _kernel_key(self) -> tuple:

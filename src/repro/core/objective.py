@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.resources.allocation import Configuration
+from repro.serialize import thaw_data
+from repro.state import GoalRecordsState
 
 
 @dataclass(frozen=True)
@@ -91,6 +93,39 @@ class GoalRecords:
         )
         if len(self._samples) > self._max_samples:
             del self._samples[0]
+
+    def snapshot(self) -> GoalRecordsState:
+        """The sample book as a versioned, JSON-codable value."""
+        return GoalRecordsState(
+            goal_names=self._goal_names,
+            max_samples=self._max_samples,
+            samples=[
+                {
+                    "config": s.config.to_dict(),
+                    "encoded": list(s.encoded),
+                    "scores": list(s.scores),
+                }
+                for s in self._samples
+            ],
+        )
+
+    def restore(self, state: GoalRecordsState) -> "GoalRecords":
+        """Replace the sample book with a :meth:`snapshot`'s contents."""
+        if tuple(state.goal_names) != self._goal_names:
+            raise ModelError(
+                f"goal mismatch: records track {self._goal_names}, "
+                f"state has {tuple(state.goal_names)}"
+            )
+        self._max_samples = int(state.max_samples)
+        self._samples = [
+            GoalSample(
+                config=Configuration.from_dict(sample["config"]),
+                encoded=tuple(float(v) for v in sample["encoded"]),
+                scores=tuple(float(v) for v in sample["scores"]),
+            )
+            for sample in thaw_data(state.samples)
+        ]
+        return self
 
     def inputs(self) -> np.ndarray:
         """All encoded inputs as an ``(n, d)`` matrix."""

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import PolicyError
+from repro.state import WeightSchedulerState
 
 #: Paper bounds on the weight factors (Sec. III-B).
 WEIGHT_LOWER_BOUND = 0.25
@@ -99,6 +100,13 @@ class StaticWeights:
     def reset(self) -> None:
         """No state to reset; present for scheduler protocol parity."""
 
+    def snapshot(self) -> Optional[WeightSchedulerState]:
+        """Stateless: nothing to carry across runs."""
+        return None
+
+    def restore(self, state: Optional[WeightSchedulerState]) -> None:
+        """Stateless: nothing to restore (protocol parity)."""
+
 
 class DynamicWeightScheduler:
     """The paper's dynamic re-prioritization of throughput and fairness.
@@ -152,6 +160,28 @@ class DynamicWeightScheduler:
         self._w_tp = 0.5
         self._w_fp = 0.5
         self._period_scores: list = []
+
+    def snapshot(self) -> WeightSchedulerState:
+        """The scheduler's position inside the current equalization period."""
+        return WeightSchedulerState(
+            step_in_te=self._step_in_te,
+            sum_w_t=self._sum_w_t,
+            sum_w_f=self._sum_w_f,
+            w_tp=self._w_tp,
+            w_fp=self._w_fp,
+            period_scores=tuple(self._period_scores),
+        )
+
+    def restore(self, state: Optional[WeightSchedulerState]) -> None:
+        """Resume mid-period from a :meth:`snapshot`."""
+        if state is None:
+            return
+        self._step_in_te = int(state.step_in_te)
+        self._sum_w_t = float(state.sum_w_t)
+        self._sum_w_f = float(state.sum_w_f)
+        self._w_tp = float(state.w_tp)
+        self._w_fp = float(state.w_fp)
+        self._period_scores = [(float(t), float(f)) for t, f in state.period_scores]
 
     def update(self, throughput: float, fairness: float) -> WeightState:
         """Advance one interval and produce the next weights.

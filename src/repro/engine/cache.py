@@ -39,7 +39,15 @@ from repro.experiments.runner import RunResult
 #: incremental Cholesky extension in between), so SATORI/Oracle-
 #: adjacent run results differ from v2 at the trajectory level; v2
 #: artifacts must not be served.
-CACHE_SCHEMA_VERSION = 3
+#: v4: policy-state protocol. RunResult carries the policy's final
+#: snapshot (``final_state``), RunSpec digests cover the optional
+#: ``initial_state`` (warm-start specs can never collide with cold
+#: ones), and measurement-noise seeds derive from the cold digest —
+#: the spec with warm-start state stripped — so a warm run and its
+#: cold twin face paired noise while cold runs keep their historical
+#: streams. v3 artifacts lack the final state; they must not be
+#: served.
+CACHE_SCHEMA_VERSION = 4
 
 
 def default_cache_salt() -> str:

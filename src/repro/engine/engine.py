@@ -46,15 +46,20 @@ def execute_run(spec: RunSpec) -> RunResult:
         spec.catalog,
         goals,
         rng=spec.seed_for("policy"),
+        initial_state=spec.initial_state,
         **spec.kwargs_dict(),
     )
+    # Noise derives from the cold digest — the spec with any warm-start
+    # state stripped — so a warm continuation and its cold twin measure
+    # the same perturbed hardware (their delta is the carried state),
+    # while cold specs keep their historical noise streams.
     return run_policy(
         policy,
         spec.mix,
         spec.catalog,
         spec.run_config,
         goals,
-        seed=spec.seed_for("noise"),
+        seed=derive_seed(spec.cold_digest, "noise"),
         faults=spec.fault_plan,
         fault_seed=derive_seed(spec.environment_digest, "faults"),
     )

@@ -30,6 +30,7 @@ from repro.experiments.runner import RunConfig
 from repro.faults.plan import FaultPlan
 from repro.metrics.goals import GoalSet
 from repro.resources.types import Resource, ResourceCatalog, ResourceKind
+from repro.state import PolicyState
 from repro.workloads.mixes import JobMix
 
 #: Derived seeds live in numpy's legal seed range.
@@ -111,6 +112,14 @@ class RunSpec:
             excludes the policy — so variants compared under the same
             plan, mix, and seed face the identical fault timeline
             (hardware does not care which controller is running).
+        initial_state: optional :class:`~repro.state.PolicyState` to
+            warm-start the policy from. Part of the content digest (a
+            warm run is a different experiment than a cold one — the
+            cache must never serve one for the other) but excluded
+            from :attr:`cold_digest` and the environment digest: the
+            measurement-noise stream derives from the cold digest, so
+            a warm run and its cold twin face bit-identical noise and
+            every difference between them is the carried state.
     """
 
     mix: JobMix
@@ -121,6 +130,7 @@ class RunSpec:
     goals: Tuple[str, str] = ("sum_ips", "jain")
     seed: int = 0
     fault_plan: Optional[FaultPlan] = None
+    initial_state: Optional[PolicyState] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "policy_kwargs", _freeze(dict(self.policy_kwargs)
@@ -130,12 +140,22 @@ class RunSpec:
         object.__setattr__(self, "seed", int(self.seed))
         if isinstance(self.fault_plan, Mapping):
             object.__setattr__(self, "fault_plan", FaultPlan.from_dict(dict(self.fault_plan)))
+        if isinstance(self.initial_state, Mapping):
+            object.__setattr__(
+                self, "initial_state", PolicyState.from_dict(dict(self.initial_state))
+            )
 
     # -- identity --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-compatible representation (digest input)."""
-        return {
+        """Canonical JSON-compatible representation (digest input).
+
+        ``initial_state`` is emitted only when set, so cold-start specs
+        keep the digests they had before warm-start existed (cached
+        results stay addressable), while a warm-start spec can never
+        collide with its cold twin.
+        """
+        content = {
             "mix": {
                 "label": self.mix.label,
                 "workloads": [_listify(dataclasses.asdict(w)) for w in self.mix],
@@ -156,11 +176,30 @@ class RunSpec:
             "seed": self.seed,
             "faults": self.fault_plan.to_dict() if self.fault_plan is not None else None,
         }
+        if self.initial_state is not None:
+            content["initial_state"] = self.initial_state.to_dict()
+        return content
 
     @cached_property
     def digest(self) -> str:
         """SHA-256 hex digest of the canonical representation."""
         payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @cached_property
+    def cold_digest(self) -> str:
+        """Digest of the spec with any warm-start state stripped.
+
+        The measurement-noise seed derives from this digest: a warm
+        continuation and its cold twin then sample identical noise, so
+        their comparison is paired — and for cold specs it equals
+        :attr:`digest`, preserving every pre-warm-start noise stream.
+        """
+        if self.initial_state is None:
+            return self.digest
+        content = self.to_dict()
+        del content["initial_state"]
+        payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
 
     @cached_property
@@ -177,6 +216,10 @@ class RunSpec:
         content = self.to_dict()
         for key in ("policy", "policy_kwargs", "goals"):
             del content[key]
+        # Warm-start state is policy baggage, not environment: a warm
+        # and a cold run of the same mix/seed face identical fault
+        # realizations, so their comparison is paired.
+        content.pop("initial_state", None)
         payload = json.dumps(content, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -106,6 +106,7 @@ def cluster_sweep(
     fault_intensity: float = 0.0,
     migration: Optional[MigrationConfig] = None,
     engine: Optional[ExecutionEngine] = None,
+    warm_start: bool = False,
 ) -> ClusterSweepResult:
     """Run every (placement x policy) cell over one shared trace.
 
@@ -125,6 +126,9 @@ def cluster_sweep(
         engine: shared execution engine — one engine across all cells
             lets the run cache deduplicate node-epochs that different
             placements happen to produce identically.
+        warm_start: warm-start membership-stable node controllers from
+            their prior-epoch snapshots in every cell (see
+            :class:`~repro.cluster.simulator.ClusterSimulator`).
     """
     if not placements:
         raise ClusterError("need at least one placement policy")
@@ -149,6 +153,7 @@ def cluster_sweep(
                 node_fault_plans=plans,
                 migration=migration,
                 engine=engine,
+                warm_start=warm_start,
             )
             cells.append(
                 ClusterCell(placement=placement, policy=policy, result=simulator.run())

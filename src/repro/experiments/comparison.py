@@ -199,7 +199,7 @@ def compare_on_mix(
             catalog,
             run_config,
             goals,
-            seed=oracle_spec.seed_for("noise"),
+            seed=derive_seed(oracle_spec.cold_digest, "noise"),
         )
         results = engine.run(list(policy_specs.values()))
     else:

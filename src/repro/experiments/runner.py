@@ -25,6 +25,7 @@ from repro.metrics.goals import GoalSet
 from repro.policies.base import PartitioningPolicy
 from repro.resources.types import ResourceCatalog, default_catalog
 from repro.rng import SeedLike
+from repro.state import PolicyState
 from repro.system.session import ControlSession
 from repro.system.simulation import DEFAULT_CONTROL_INTERVAL_S, CoLocationSimulator
 from repro.system.telemetry import TelemetryLog
@@ -100,12 +101,18 @@ class RunConfig:
 
 @dataclass(frozen=True)
 class RunResult:
-    """A completed policy run with its scored telemetry."""
+    """A completed policy run with its scored telemetry.
+
+    ``final_state`` is the policy's snapshot at session end (``None``
+    for stateless policies): feed it to a later spec's
+    ``initial_state`` to warm-start a continuation run.
+    """
 
     policy_name: str
     mix_label: str
     telemetry: TelemetryLog
     run_config: RunConfig
+    final_state: Optional[PolicyState] = None
 
     @property
     def scored(self) -> TelemetryLog:
@@ -130,6 +137,7 @@ class RunResult:
         "run_config": serialize.FieldCodec(
             encode=lambda value: value.to_dict(), decode=lambda data: RunConfig.from_dict(data)
         ),
+        "final_state": serialize.optional(serialize.object_codec(PolicyState)),
     }
 
     def to_dict(self) -> dict:
@@ -210,4 +218,5 @@ def run_policy(
         mix_label=mix.label,
         telemetry=session.telemetry,
         run_config=run_config,
+        final_state=session.policy_state(),
     )

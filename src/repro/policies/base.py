@@ -19,6 +19,7 @@ from repro.errors import PolicyError
 from repro.metrics.goals import GoalSet
 from repro.resources.allocation import Configuration
 from repro.resources.space import ConfigurationSpace
+from repro.state import STATE_VERSION, PolicyState
 from repro.system.simulation import Observation
 
 
@@ -33,6 +34,11 @@ class PartitioningPolicy(abc.ABC):
 
     #: Human-readable policy name, set by subclasses.
     name: str = "policy"
+
+    #: Kind tag stamped into :class:`~repro.state.PolicyState`
+    #: snapshots; ``None`` marks a stateless policy (snapshots to
+    #: ``None``, restores nothing).
+    state_kind: Optional[str] = None
 
     def __init__(self, space: ConfigurationSpace, goals: Optional[GoalSet] = None):
         self._space = space
@@ -62,6 +68,48 @@ class PartitioningPolicy(abc.ABC):
 
     def reset(self) -> None:
         """Clear adaptive state (called between experiment runs)."""
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def snapshot(self) -> Optional[PolicyState]:
+        """The policy's serializable state, or ``None`` if stateless.
+
+        Stateful policies override this (together with :meth:`restore`)
+        so their accumulated state — GP posterior, sample records,
+        scheduler position, RNG streams — can cross run boundaries.
+        The contract: ``restore(snapshot())`` on a compatibly
+        constructed instance (same space, same constructor kwargs) must
+        continue **bit-identically** to never tearing the policy down.
+        """
+        return None
+
+    def restore(self, state: Optional[PolicyState]) -> None:
+        """Resume from a :meth:`snapshot`; ``None`` is a no-op.
+
+        The default implementation serves stateless policies: it
+        accepts ``None`` silently and rejects any actual state, so a
+        snapshot can never silently vanish into a policy that does not
+        implement the protocol.
+        """
+        if state is None:
+            return
+        raise PolicyError(
+            f"{type(self).__name__} is stateless and cannot restore "
+            f"{state.policy!r} policy state"
+        )
+
+    def _check_state(self, state: PolicyState) -> None:
+        """Shared validation for stateful :meth:`restore` overrides."""
+        if self.state_kind is None or state.policy != self.state_kind:
+            raise PolicyError(
+                f"cannot restore {state.policy!r} state into {type(self).__name__} "
+                f"(expects {self.state_kind!r})"
+            )
+        if state.version > STATE_VERSION:
+            raise PolicyError(
+                f"{state.policy} state version {state.version} is newer than "
+                f"this code understands ({STATE_VERSION})"
+            )
 
     def diagnostics(self) -> Dict[str, float]:
         """Introspection values recorded into telemetry ``extra`` fields.

@@ -13,13 +13,16 @@ spaces in long runs).
 
 from __future__ import annotations
 
+import json
 from typing import Optional, Set
 
 from repro.metrics.goals import GoalSet
 from repro.policies.base import PartitioningPolicy
 from repro.resources.allocation import Configuration
 from repro.resources.space import ConfigurationSpace
-from repro.rng import SeedLike, make_rng
+from repro.rng import SeedLike, make_rng, rng_from_state, rng_state
+from repro.serialize import thaw_data
+from repro.state import PolicyState
 from repro.system.simulation import Observation
 
 _MAX_RESAMPLES = 16
@@ -29,6 +32,7 @@ class RandomSearchPolicy(PartitioningPolicy):
     """Uniform random configuration every interval, avoiding repeats."""
 
     name = "Random"
+    state_kind = "Random"
 
     def __init__(self, space: ConfigurationSpace, goals: GoalSet = None, rng: SeedLike = None):
         super().__init__(space, goals)
@@ -46,3 +50,24 @@ class RandomSearchPolicy(PartitioningPolicy):
 
     def reset(self) -> None:
         self._seen.clear()
+
+    def snapshot(self) -> PolicyState:
+        """RNG position + the without-repetition history."""
+        seen = sorted(
+            (config.to_dict() for config in self._seen),
+            key=lambda d: json.dumps(d, sort_keys=True),
+        )
+        return PolicyState(
+            policy=self.state_kind,
+            payload={"rng": rng_state(self._rng), "seen": seen},
+        )
+
+    def restore(self, state: Optional[PolicyState]) -> None:
+        if state is None:
+            return
+        self._check_state(state)
+        payload = state.payload_dict()
+        self._rng = rng_from_state(payload["rng"])
+        self._seen = {
+            Configuration.from_dict(d) for d in thaw_data(payload["seen"])
+        }

@@ -29,6 +29,7 @@ from repro.policies.static import EqualPartitionPolicy
 from repro.resources.space import ConfigurationSpace
 from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog
 from repro.rng import SeedLike, make_rng
+from repro.state import PolicyState
 from repro.workloads.mixes import JobMix
 
 #: Builder signature: ``(mix, catalog, goals, rng, **kwargs) -> policy``.
@@ -68,6 +69,7 @@ def make_policy(
     goals: Optional[GoalSet] = None,
     rng: SeedLike = None,
     n_jobs: Optional[int] = None,
+    initial_state: Optional[PolicyState] = None,
     **kwargs,
 ) -> PartitioningPolicy:
     """Build a fresh policy instance from registry id + kwargs.
@@ -80,6 +82,10 @@ def make_policy(
         goals: metric choices; defaults to the paper's.
         rng: seed for stochastic policies.
         n_jobs: job count override when ``mix`` is ``None``.
+        initial_state: a prior :meth:`PartitioningPolicy.snapshot` to
+            warm-start from; restored after construction, so the
+            policy's own validation (kind tag, version, mode) gates
+            mismatched state.
         kwargs: forwarded to the builder (must be plain data when the
             policy will be constructed in a worker process).
     """
@@ -91,7 +97,10 @@ def make_policy(
         ) from None
     if mix is None and n_jobs is None:
         raise PolicyError(f"policy factory {name!r} needs a mix or an explicit n_jobs")
-    return builder(mix, catalog, goals or GoalSet(), rng, _n_jobs(mix, n_jobs), **kwargs)
+    policy = builder(mix, catalog, goals or GoalSet(), rng, _n_jobs(mix, n_jobs), **kwargs)
+    if initial_state is not None:
+        policy.restore(initial_state)
+    return policy
 
 
 def _n_jobs(mix: Optional[JobMix], n_jobs: Optional[int]) -> int:

@@ -37,3 +37,39 @@ def spawn_rng(rng: np.random.Generator, key: Optional[int] = None) -> np.random.
     """
     seed = int(rng.integers(0, 2**63 - 1)) if key is None else key
     return np.random.default_rng(seed)
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """A generator's exact stream position as JSON-compatible plain data.
+
+    Numpy exposes the underlying bit generator's state as a dict of
+    ints and strings (Python ints are arbitrary-precision, so the
+    128-bit PCG64 words survive JSON untouched). Restoring this state
+    via :func:`rng_from_state` resumes the stream bit-identically —
+    the property the policy snapshot/restore protocol is built on.
+    """
+    return _plain(rng.bit_generator.state)
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """A fresh generator resumed at the stream position of ``state``."""
+    name = state.get("bit_generator", "PCG64")
+    try:
+        bit_generator = getattr(np.random, name)()
+    except AttributeError:
+        raise ValueError(f"unknown numpy bit generator {name!r}") from None
+    bit_generator.state = _plain(state)
+    return np.random.Generator(bit_generator)
+
+
+def _plain(value):
+    """Deep-copy nested dicts/lists with numpy scalars coerced to Python."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value

@@ -165,6 +165,16 @@ class ControlSession:
         """The held isolation baseline the policy currently acts on."""
         return self._baseline
 
+    def policy_state(self):
+        """The policy's current snapshot (``None`` for stateless policies).
+
+        Taken at session end, this is what rides into
+        :attr:`~repro.experiments.runner.RunResult.final_state` so the
+        next run — the next placement epoch on the same node, say —
+        can warm-start instead of re-learning from scratch.
+        """
+        return self._policy.snapshot()
+
     # -- baseline management -------------------------------------------------
 
     def refresh_baseline(self) -> np.ndarray:

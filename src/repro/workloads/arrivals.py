@@ -18,6 +18,7 @@ comparisons require the environment to be identical across cells.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -186,37 +187,31 @@ class ArrivalTrace:
         )
 
 
-def poisson_trace(
+def _rate_trace(
     n_epochs: int,
-    arrival_rate: float = 2.0,
-    mean_residency: float = 4.0,
-    max_jobs: Optional[int] = None,
-    suites: Sequence[str] = ("parsec",),
-    registry: Optional[WorkloadRegistry] = None,
-    seed: SeedLike = 0,
-    initial_jobs: int = 0,
+    rates: Sequence[float],
+    mean_residency: float,
+    max_jobs: Optional[int],
+    suites: Sequence[str],
+    registry: Optional[WorkloadRegistry],
+    seed: SeedLike,
+    initial_jobs: int,
 ) -> ArrivalTrace:
-    """A deterministic random trace: Poisson arrivals, geometric stays.
+    """The shared generator behind every stochastic trace: Poisson
+    arrivals at a per-epoch rate, geometric stays.
 
-    Args:
-        n_epochs: trace length in placement epochs.
-        arrival_rate: mean arrivals per epoch (Poisson).
-        mean_residency: mean resident epochs per job (geometric, >= 1).
-        max_jobs: cap on simultaneously resident jobs; arrivals beyond
-            the cap are dropped (an admission-controlled cluster).
-            ``None`` admits everything.
-        suites: workload suites to draw benchmarks from, uniformly.
-        registry: workload registry; defaults to the built-in one.
-        seed: explicit seed — the same seed always yields the same
-            trace, which is what makes sweep cells paired.
-        initial_jobs: jobs already resident at epoch 0 (drawn before
-            any Poisson arrivals, so warm-start traces stay paired with
-            cold-start ones for the shared prefix of draws).
+    The RNG draw order (initial jobs first, then per-epoch Poisson
+    counts with per-arrival workload + residency draws) is the
+    contract: every public generator delegates here, so a constant
+    rate curve reproduces :func:`poisson_trace`'s historical traces
+    draw-for-draw.
     """
     if n_epochs < 1:
         raise ClusterError(f"a trace needs at least one epoch, got {n_epochs}")
-    if arrival_rate < 0:
-        raise ClusterError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    if len(rates) != n_epochs:
+        raise ClusterError(f"need {n_epochs} per-epoch rates, got {len(rates)}")
+    if any(rate < 0 for rate in rates):
+        raise ClusterError("arrival rates must be >= 0")
     if mean_residency < 1:
         raise ClusterError(f"mean_residency must be >= 1, got {mean_residency}")
     registry = registry or default_registry()
@@ -253,7 +248,7 @@ def poisson_trace(
         _admit(0)
 
     for epoch in range(n_epochs):
-        n_arrivals = int(rng.poisson(arrival_rate))
+        n_arrivals = int(rng.poisson(rates[epoch]))
         for _ in range(n_arrivals):
             if max_jobs is not None:
                 resident = sum(1 for job in jobs if job.resident_at(epoch))
@@ -262,3 +257,124 @@ def poisson_trace(
             _admit(epoch)
 
     return ArrivalTrace(n_epochs=n_epochs, jobs=tuple(jobs))
+
+
+def poisson_trace(
+    n_epochs: int,
+    arrival_rate: float = 2.0,
+    mean_residency: float = 4.0,
+    max_jobs: Optional[int] = None,
+    suites: Sequence[str] = ("parsec",),
+    registry: Optional[WorkloadRegistry] = None,
+    seed: SeedLike = 0,
+    initial_jobs: int = 0,
+) -> ArrivalTrace:
+    """A deterministic random trace: Poisson arrivals, geometric stays.
+
+    Args:
+        n_epochs: trace length in placement epochs.
+        arrival_rate: mean arrivals per epoch (Poisson).
+        mean_residency: mean resident epochs per job (geometric, >= 1).
+        max_jobs: cap on simultaneously resident jobs; arrivals beyond
+            the cap are dropped (an admission-controlled cluster).
+            ``None`` admits everything.
+        suites: workload suites to draw benchmarks from, uniformly.
+        registry: workload registry; defaults to the built-in one.
+        seed: explicit seed — the same seed always yields the same
+            trace, which is what makes sweep cells paired.
+        initial_jobs: jobs already resident at epoch 0 (drawn before
+            any Poisson arrivals, so warm-start traces stay paired with
+            cold-start ones for the shared prefix of draws).
+    """
+    if n_epochs < 1:
+        raise ClusterError(f"a trace needs at least one epoch, got {n_epochs}")
+    if arrival_rate < 0:
+        raise ClusterError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    return _rate_trace(
+        n_epochs,
+        [arrival_rate] * n_epochs,
+        mean_residency,
+        max_jobs,
+        suites,
+        registry,
+        seed,
+        initial_jobs,
+    )
+
+
+def diurnal_trace(
+    n_epochs: int,
+    base_rate: float = 0.5,
+    peak_rate: float = 3.0,
+    period_epochs: int = 12,
+    mean_residency: float = 4.0,
+    max_jobs: Optional[int] = None,
+    suites: Sequence[str] = ("parsec",),
+    registry: Optional[WorkloadRegistry] = None,
+    seed: SeedLike = 0,
+    initial_jobs: int = 0,
+) -> ArrivalTrace:
+    """Non-stationary arrivals on a day/night cycle.
+
+    The per-epoch Poisson rate follows a raised cosine from
+    ``base_rate`` (epoch 0, the trough) up to ``peak_rate`` at
+    mid-period and back, repeating every ``period_epochs``. Controllers
+    that warm-start across quiet stretches hold their learning through
+    the trough; the rising edge then stresses adaptation under churn.
+    """
+    if base_rate < 0:
+        raise ClusterError(f"base_rate must be >= 0, got {base_rate}")
+    if peak_rate < base_rate:
+        raise ClusterError(
+            f"peak_rate ({peak_rate}) must be >= base_rate ({base_rate})"
+        )
+    if period_epochs < 2:
+        raise ClusterError(f"period_epochs must be >= 2, got {period_epochs}")
+    rates = [
+        base_rate
+        + (peak_rate - base_rate)
+        * 0.5
+        * (1.0 - math.cos(2.0 * math.pi * epoch / period_epochs))
+        for epoch in range(max(n_epochs, 1))
+    ]
+    return _rate_trace(
+        n_epochs, rates, mean_residency, max_jobs, suites, registry, seed, initial_jobs
+    )
+
+
+def flash_crowd_trace(
+    n_epochs: int,
+    base_rate: float = 0.5,
+    burst_rate: float = 4.0,
+    burst_epoch: int = 0,
+    burst_duration: int = 2,
+    mean_residency: float = 4.0,
+    max_jobs: Optional[int] = None,
+    suites: Sequence[str] = ("parsec",),
+    registry: Optional[WorkloadRegistry] = None,
+    seed: SeedLike = 0,
+    initial_jobs: int = 0,
+) -> ArrivalTrace:
+    """A quiet stream with one flash-crowd burst.
+
+    Arrivals run at ``base_rate`` except during the half-open window
+    ``[burst_epoch, burst_epoch + burst_duration)``, where they spike
+    to ``burst_rate`` — the step change that separates controllers
+    which re-learn per epoch from ones that carry state through the
+    surge.
+    """
+    if base_rate < 0:
+        raise ClusterError(f"base_rate must be >= 0, got {base_rate}")
+    if burst_rate < 0:
+        raise ClusterError(f"burst_rate must be >= 0, got {burst_rate}")
+    if burst_epoch < 0:
+        raise ClusterError(f"burst_epoch must be >= 0, got {burst_epoch}")
+    if burst_duration < 1:
+        raise ClusterError(f"burst_duration must be >= 1, got {burst_duration}")
+    rates = [
+        burst_rate if burst_epoch <= epoch < burst_epoch + burst_duration else base_rate
+        for epoch in range(max(n_epochs, 1))
+    ]
+    return _rate_trace(
+        n_epochs, rates, mean_residency, max_jobs, suites, registry, seed, initial_jobs
+    )

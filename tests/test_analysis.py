@@ -16,6 +16,7 @@ from repro.analysis.export import (
 from repro.analysis.stats import (
     confidence_interval,
     convergence_time_s,
+    paired_deltas,
     replicate_policy,
 )
 from repro.core.controller import SatoriController
@@ -122,3 +123,41 @@ class TestConvergence:
         policy = EqualPartitionPolicy(full_space(catalog6, 3))
         result = run_policy(policy, parsec_mix3, catalog6, RunConfig(duration_s=4.0), seed=0)
         assert convergence_time_s(result) <= 2.0
+
+
+class TestPairedDeltas:
+    def test_constant_shift_recovered_exactly(self):
+        a = {job: 1.0 + 0.1 * job for job in range(6)}
+        b = {job: value + 0.25 for job, value in a.items()}
+        delta = paired_deltas(a, b)
+        assert delta.delta.mean == pytest.approx(0.25)
+        assert delta.delta.std == pytest.approx(0.0)
+        assert delta.n_common == 6
+        assert delta.n_only_a == delta.n_only_b == 0
+
+    def test_direction_is_b_minus_a(self):
+        a = {0: 1.0, 1: 1.0, 2: 1.0}
+        b = {0: 0.5, 1: 0.5, 2: 0.5}
+        assert paired_deltas(a, b).delta.mean == pytest.approx(-0.5)
+
+    def test_unpaired_keys_counted_not_silently_dropped(self):
+        a = {0: 1.0, 1: 2.0, 2: 3.0, 9: 4.0}
+        b = {0: 1.5, 1: 2.5, 2: 3.5, 7: 0.0, 8: 0.0}
+        delta = paired_deltas(a, b)
+        assert delta.n_common == 3
+        assert delta.n_only_a == 1
+        assert delta.n_only_b == 2
+
+    def test_too_few_common_keys_rejected(self):
+        with pytest.raises(ExperimentError, match="common keys"):
+            paired_deltas({0: 1.0, 1: 2.0}, {1: 2.0, 5: 3.0})
+
+    def test_ci_shrinks_relative_to_unpaired_noise(self):
+        # Huge per-key variance, tiny per-key delta: the paired CI must
+        # still pin the shift tightly — the whole point of pairing.
+        rng = np.random.default_rng(0)
+        a = {job: float(v) for job, v in enumerate(rng.normal(10.0, 5.0, size=30))}
+        b = {job: value + 0.1 for job, value in a.items()}
+        delta = paired_deltas(a, b)
+        assert delta.delta.ci_low == pytest.approx(0.1, abs=1e-9)
+        assert delta.delta.ci_high == pytest.approx(0.1, abs=1e-9)

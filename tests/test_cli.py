@@ -20,6 +20,7 @@ COMMANDS = (
     "overhead",
     "resilience",
     "cluster",
+    "warmstart",
     "report",
     "figure",
 )
@@ -38,6 +39,8 @@ TINY_INVOCATIONS = {
     "cluster": ["cluster", "--nodes", "2", "--epochs", "2", "--duration", "1",
                 "--units", "4", "--suite", "ecp",
                 "--policies", "EqualPartition", "--placements", "round_robin"],
+    "warmstart": ["warmstart", "--duration", "3", "--units", "4", "--suite", "ecp",
+                  "--mixes", "2", "--nodes", "2", "--epochs", "4"],
     "report": ["report", "--duration", "2", "--units", "4", "--suite", "ecp", "--mixes", "1"],
     "figure": ["figure", "--list"],
 }
@@ -105,6 +108,22 @@ class TestTinyInvocations:
         assert "cluster-wide" in out
         assert "per-node [round_robin / EqualPartition]" in out
         assert "fairness" in out
+
+    def test_warmstart_output(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "warmstart.json"
+        assert main(TINY_INVOCATIONS["warmstart"] + ["--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery gain" in out
+        assert "warm-started node-epochs" in out
+        report = json.loads(out_path.read_text())
+        assert len(report["adaptation"]) == 2
+        assert "job_speedup_delta" in report["cluster"]
+
+    def test_cluster_warm_start_flag(self, capsys):
+        assert main(TINY_INVOCATIONS["cluster"] + ["--warm-start"]) == 0
+        capsys.readouterr()  # drain
 
     def test_cluster_rejects_unknown_placement(self):
         from repro.errors import ClusterError

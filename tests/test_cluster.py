@@ -31,6 +31,8 @@ from repro.experiments.runner import RunConfig, experiment_catalog
 from repro.workloads.arrivals import (
     ArrivalTrace,
     JobArrival,
+    diurnal_trace,
+    flash_crowd_trace,
     poisson_trace,
     workload_from_dict,
     workload_to_dict,
@@ -113,6 +115,77 @@ class TestArrivalTrace:
         job = JobArrival(0, registry.get("canneal"), arrival_epoch=5)
         with pytest.raises(ClusterError, match="beyond the trace"):
             ArrivalTrace(n_epochs=3, jobs=(job,))
+
+
+class TestNonStationaryTraces:
+    """Diurnal and flash-crowd generators: deterministic, serializable,
+    and actually concentrating load where they claim to."""
+
+    def arrivals_per_epoch(self, trace):
+        counts = [0] * trace.n_epochs
+        for job in trace.jobs:
+            if job.arrival_epoch < trace.n_epochs:
+                counts[job.arrival_epoch] += 1
+        return counts
+
+    def test_diurnal_deterministic_and_round_trips(self):
+        kwargs = dict(n_epochs=8, base_rate=0.2, peak_rate=2.0,
+                      period_epochs=8, suites=("ecp",), seed=11)
+        first, second = diurnal_trace(**kwargs), diurnal_trace(**kwargs)
+        assert first == second
+        data = json.loads(json.dumps(first.to_dict()))
+        assert ArrivalTrace.from_dict(data) == first
+
+    def test_diurnal_peaks_mid_period(self):
+        # Average arrivals over many seeds: mid-period epochs (rate near
+        # the peak) must outdraw the troughs at the period's edges.
+        edge = peak = 0
+        for seed in range(25):
+            counts = self.arrivals_per_epoch(
+                diurnal_trace(n_epochs=8, base_rate=0.1, peak_rate=4.0,
+                              period_epochs=8, suites=("ecp",), seed=seed)
+            )
+            edge += counts[0] + counts[7]
+            peak += counts[3] + counts[4]
+        assert peak > edge
+
+    def test_flash_crowd_concentrates_in_burst_window(self):
+        burst = quiet = 0
+        for seed in range(25):
+            counts = self.arrivals_per_epoch(
+                flash_crowd_trace(n_epochs=6, base_rate=0.1, burst_rate=5.0,
+                                  burst_epoch=2, burst_duration=2,
+                                  suites=("ecp",), seed=seed)
+            )
+            burst += counts[2] + counts[3]
+            quiet += counts[0] + counts[1] + counts[4] + counts[5]
+        assert burst > quiet
+
+    def test_flash_crowd_deterministic_and_round_trips(self):
+        kwargs = dict(n_epochs=6, burst_epoch=1, suites=("ecp",), seed=4)
+        assert flash_crowd_trace(**kwargs) == flash_crowd_trace(**kwargs)
+        data = json.loads(json.dumps(flash_crowd_trace(**kwargs).to_dict()))
+        assert ArrivalTrace.from_dict(data) == flash_crowd_trace(**kwargs)
+
+    def test_constant_rates_reduce_to_poisson_trace(self):
+        # A flat diurnal cycle and a burst equal to the base rate are
+        # both the stationary trace — pinning _rate_trace's draw-order
+        # compatibility with poisson_trace.
+        kwargs = dict(n_epochs=5, mean_residency=2.0, suites=("ecp",),
+                      seed=9, initial_jobs=2)
+        flat = poisson_trace(arrival_rate=1.5, **kwargs)
+        assert diurnal_trace(base_rate=1.5, peak_rate=1.5, **kwargs) == flat
+        assert flash_crowd_trace(base_rate=1.5, burst_rate=1.5, **kwargs) == flat
+
+    def test_parameter_validation(self):
+        with pytest.raises(ClusterError, match="peak_rate"):
+            diurnal_trace(n_epochs=4, base_rate=2.0, peak_rate=1.0)
+        with pytest.raises(ClusterError, match="period_epochs"):
+            diurnal_trace(n_epochs=4, period_epochs=1)
+        with pytest.raises(ClusterError, match="burst_duration"):
+            flash_crowd_trace(n_epochs=4, burst_duration=0)
+        with pytest.raises(ClusterError, match="burst_epoch"):
+            flash_crowd_trace(n_epochs=4, burst_epoch=-1)
 
 
 def view(node_id, n_jobs, capacity=4, mean_speedup=1.0, fairness=1.0):

@@ -198,3 +198,74 @@ class TestReporting:
     def test_format_table_precision(self):
         table = format_table(["v"], [[1.23456]], precision=3)
         assert "1.235" in table
+
+
+class TestWarmstart:
+    @pytest.fixture(scope="class")
+    def report(self, catalog4):
+        from repro.experiments.warmstart import warmstart_experiment
+        from repro.workloads.mixes import suite_mixes
+
+        return warmstart_experiment(
+            mixes=suite_mixes("ecp", mix_size=3)[:2],
+            catalog=catalog4,
+            run_config=RunConfig(duration_s=3.0, baseline_reset_s=1.5),
+            n_nodes=2,
+            n_epochs=5,
+            seed=0,
+        )
+
+    def test_adaptation_cells_are_paired(self, report):
+        assert len(report.adaptation) == 2
+        for cell in report.adaptation:
+            # Same environment, same length — only the carried state differs.
+            assert len(cell.cold.telemetry) == len(cell.warm.telemetry)
+            assert cell.cold.policy_name == cell.warm.policy_name
+            assert cell.warm.final_state is not None
+            intervals = len(cell.cold.telemetry) + 1
+            assert 0 < cell.cold_recovery_intervals <= intervals
+            assert 0 < cell.warm_recovery_intervals <= intervals
+
+    def test_cluster_replays_are_exactly_paired(self, report):
+        cluster = report.cluster
+        cold_members = {(r.epoch, r.node_id): r.job_ids for r in cluster.cold.records}
+        warm_members = {(r.epoch, r.node_id): r.job_ids for r in cluster.warm.records}
+        assert cold_members == warm_members
+        assert cluster.warm_started_epochs > 0
+        assert cluster.job_speedup_delta.n_only_a == 0
+        assert cluster.job_speedup_delta.n_only_b == 0
+
+    def test_fairness_series_recorded_for_simulated_epochs(self, report):
+        for record in report.cluster.cold.records + report.cluster.warm.records:
+            if record.synthesized:
+                assert record.fairness_series == ()
+            else:
+                assert len(record.fairness_series) > 0
+
+    def test_recovery_outcomes_cover_warm_started_epochs(self, report):
+        cluster = report.cluster
+        outcomes = cluster.fairness_recovery_outcomes()
+        assert set(outcomes) == {"wins", "ties", "losses"}
+        assert all(count >= 0 for count in outcomes.values())
+        assert sum(outcomes.values()) <= cluster.warm_started_epochs
+
+    def test_report_serializes(self, report):
+        import json
+
+        data = json.loads(json.dumps(report.to_dict()))
+        assert {"adaptation", "cluster"} <= set(data)
+        gain = report.recovery_gain_summary()
+        assert gain.n == len(report.adaptation)
+
+    def test_stateless_policy_rejected(self, catalog4):
+        from repro.errors import ExperimentError
+        from repro.experiments.warmstart import adaptation_sweep
+        from repro.workloads.mixes import suite_mixes
+
+        with pytest.raises(ExperimentError, match="no snapshot"):
+            adaptation_sweep(
+                mixes=suite_mixes("ecp", mix_size=3)[:1],
+                policy="EqualPartition",
+                catalog=catalog4,
+                run_config=RunConfig(duration_s=2.0, baseline_reset_s=1.0),
+            )
