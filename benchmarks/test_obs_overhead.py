@@ -1,0 +1,110 @@
+"""Observability overhead guard: the disabled path must be ~free.
+
+The instrumentation added to the controller, session, engine, and
+cluster layers runs on every control interval, so it ships enabled-by-
+default only because the default :data:`~repro.obs.NULL_COLLECTOR`
+makes each probe an attribute read plus an empty call. This bench
+pins that claim two ways:
+
+* a microbenchmark of the null probe itself (span + counter + event),
+  asserted well under the microsecond scale that could matter at the
+  paper's 100 ms control interval;
+* an end-to-end engine batch, where the extrapolated total probe cost
+  must stay under 5% of the batch wall time — the acceptance bound for
+  throughput regression with tracing disabled.
+
+A live-collector run of the identical batch rides along to report the
+enabled-path cost and to assert the observability invariant: collection
+is purely observational, so instrumented and uninstrumented runs must
+produce bit-identical tables.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import ExecutionEngine
+from repro.experiments import compare_on_mixes, experiment_catalog
+from repro.experiments.runner import RunConfig
+from repro.obs import TraceCollector, active_collector, use_collector
+from repro.workloads.mixes import suite_mixes
+
+#: Iterations for the null-probe microbenchmark.
+N_PROBES = 200_000
+
+#: Generous per-probe ceiling for the disabled path; the measured cost
+#: is typically tens of nanoseconds, but CI boxes jitter.
+NULL_PROBE_CEILING_S = 5e-6
+
+#: Acceptance bound: probes may cost at most this fraction of an
+#: uninstrumented engine batch.
+MAX_NULL_OVERHEAD_FRACTION = 0.05
+
+#: Probes per control interval on the hottest path (session interval +
+#: decide + suggest + gp_fit + acquisition + actuation spans, plus a
+#: few counters inside the GP) — deliberately over-counted.
+PROBES_PER_INTERVAL = 12
+
+RUN_CONFIG = RunConfig(duration_s=5.0)
+
+
+def _null_probe_seconds() -> float:
+    """Mean cost of one disabled span probe (lookup + enter + exit)."""
+    started = time.perf_counter()
+    for _ in range(N_PROBES):
+        with active_collector().span("bench", "obs"):
+            pass
+    return (time.perf_counter() - started) / N_PROBES
+
+
+@pytest.mark.slow
+def test_null_probe_is_nanoscale():
+    assert active_collector().enabled is False  # default must be the null path
+    per_probe = _null_probe_seconds()
+    print(f"\nnull probe: {per_probe * 1e9:.0f} ns "
+          f"(ceiling {NULL_PROBE_CEILING_S * 1e9:.0f} ns)")
+    assert per_probe < NULL_PROBE_CEILING_S
+
+
+@pytest.mark.slow
+def test_engine_throughput_overhead_under_bound():
+    catalog = experiment_catalog()
+    mixes = suite_mixes("parsec", mix_size=2)[:2]
+
+    def batch():
+        return compare_on_mixes(
+            mixes, catalog, RUN_CONFIG, seed=0, engine=ExecutionEngine(workers=1)
+        )
+
+    # Uninstrumented (default NullCollector) reference run.
+    started = time.perf_counter()
+    null_results = batch()
+    null_seconds = time.perf_counter() - started
+
+    # Extrapolated cost of every probe the batch executed: intervals
+    # per run x runs per mix x mixes, over-counted probes per interval.
+    n_intervals = RUN_CONFIG.n_steps * 6 * len(mixes)
+    probe_seconds = _null_probe_seconds() * PROBES_PER_INTERVAL * n_intervals
+    fraction = probe_seconds / null_seconds
+
+    # Live collector: identical batch, plus the observational invariant.
+    collector = TraceCollector()
+    started = time.perf_counter()
+    with use_collector(collector):
+        live_results = batch()
+    live_seconds = time.perf_counter() - started
+
+    print(f"\nengine batch ({len(mixes)} mixes x 6 runs, {RUN_CONFIG.duration_s:g} s):")
+    print(f"  disabled (default): {null_seconds:6.2f} s")
+    print(f"  probe cost bound:   {probe_seconds * 1e3:6.1f} ms "
+          f"({100 * fraction:.2f}% of batch; limit "
+          f"{100 * MAX_NULL_OVERHEAD_FRACTION:.0f}%)")
+    print(f"  live collector:     {live_seconds:6.2f} s "
+          f"({len(collector.events)} events)")
+
+    assert fraction < MAX_NULL_OVERHEAD_FRACTION
+    # Collection is purely observational: same seeds, same tables.
+    assert [c.scores for c in live_results] == [c.scores for c in null_results]
+    assert len(collector.events) > 0

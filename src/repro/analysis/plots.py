@@ -8,6 +8,7 @@ use — time series (weights, objective traces), grouped bars
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -16,6 +17,13 @@ from repro.errors import ExperimentError
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 _BAR_CHAR = "█"
+
+#: Series naming convention used by ``repro.cluster.ClusterSimulator``:
+#: one per-epoch series per (sweep cell, node, metric).
+_CLUSTER_SERIES = re.compile(
+    r"^cluster\.(?P<placement>[^.]+)\.(?P<policy>[^.]+)"
+    r"\.node(?P<node>\d+)\.(?P<metric>[^.]+)$"
+)
 
 
 def sparkline(values: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
@@ -40,6 +48,79 @@ def sparkline(values: Sequence[float], lo: Optional[float] = None, hi: Optional[
         level = int((v - lo) / span * (len(_SPARK_LEVELS) - 1) + 0.5)
         chars.append(_SPARK_LEVELS[min(max(level, 0), len(_SPARK_LEVELS) - 1)])
     return "".join(chars)
+
+
+def cluster_node_dashboard(
+    metrics,
+    metric_order: Sequence[str] = ("throughput", "fairness", "occupancy"),
+) -> str:
+    """Per-node sparkline dashboard from cluster-sweep metric series.
+
+    Consumes the ``cluster.<placement>.<policy>.node<N>.<metric>``
+    series a :class:`~repro.cluster.simulator.ClusterSimulator` records
+    into the active collector's registry: one block per sweep cell, one
+    row per node, one sparkline per metric over the epochs. Within a
+    cell each metric shares its scale across nodes, so an unfair
+    placement shows up as visibly divergent rows.
+
+    Args:
+        metrics: a :class:`~repro.obs.MetricRegistry` (anything with
+            ``items()`` yielding ``(name, series)``) or a plain
+            ``{name: sequence}`` mapping.
+        metric_order: metric columns to render, left to right; metrics
+            absent from the data are skipped.
+
+    Raises:
+        ExperimentError: if no cluster series are present.
+    """
+    pairs = metrics.items() if hasattr(metrics, "items") else metrics
+    cells: Dict[tuple, Dict[int, Dict[str, List[float]]]] = {}
+    seen_metrics = set()
+    for name, metric in pairs:
+        match = _CLUSTER_SERIES.match(name)
+        if not match:
+            continue
+        values = list(getattr(metric, "values", metric))
+        if not values:
+            continue
+        cell = (match.group("placement"), match.group("policy"))
+        node = int(match.group("node"))
+        cells.setdefault(cell, {}).setdefault(node, {})[match.group("metric")] = values
+        seen_metrics.add(match.group("metric"))
+    if not cells:
+        raise ExperimentError(
+            "no cluster.<placement>.<policy>.node<N>.<metric> series to chart; "
+            "run the sweep under an active TraceCollector"
+        )
+
+    columns = [m for m in metric_order if m in seen_metrics]
+    columns += sorted(seen_metrics - set(columns))
+    blocks = []
+    for (placement, policy), nodes in sorted(cells.items()):
+        # Shared per-metric scale across the cell's nodes.
+        scales = {}
+        for metric_name in columns:
+            pooled = [v for per_node in nodes.values()
+                      for v in per_node.get(metric_name, ())]
+            if pooled:
+                scales[metric_name] = (min(pooled), max(pooled))
+        n_epochs = max(len(v) for per_node in nodes.values() for v in per_node.values())
+        col_width = max(n_epochs + 7, max(len(m) for m in columns) + 1)
+        header = "  node  " + "".join(m.ljust(col_width) for m in columns)
+        lines = [f"[{placement} / {policy}]  ({n_epochs} epochs)", header]
+        for node, per_node in sorted(nodes.items()):
+            row = f"  {node:4d}  "
+            for metric_name in columns:
+                values = per_node.get(metric_name)
+                if values is None:
+                    row += "-".ljust(col_width)
+                    continue
+                lo, hi = scales[metric_name]
+                cell_text = f"{sparkline(values, lo, hi)} {values[-1]:.2f}"
+                row += cell_text.ljust(col_width)
+            lines.append(row.rstrip())
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
 
 
 def bar_chart(

@@ -128,15 +128,29 @@ def paired_deltas(
     cells, each job is its own control, and the paired differences
     cancel the job-identity variance that makes unpaired comparisons of
     small fleets inconclusive.
+
+    Degenerate inputs stay well-formed rather than raising mid-report:
+    a single common key (a one-job trace) yields a zero-width interval
+    at the observed difference with ``n=1``, and identical per-key
+    differences (zero variance — e.g. both cells produced bit-identical
+    runs) collapse the interval to the mean. Only an empty intersection
+    is an error, since there is nothing to pair at all.
     """
     common = sorted(set(a) & set(b), key=str)
-    if len(common) < 2:
-        raise ExperimentError(
-            f"paired comparison needs >= 2 common keys, got {len(common)}"
-        )
+    if not common:
+        raise ExperimentError("paired comparison needs common keys, got 0")
     deltas = [float(b[key]) - float(a[key]) for key in common]
+    if len(deltas) == 1:
+        # One pair: the difference is exact, the uncertainty unknown.
+        # A zero-width interval reports the observation without
+        # pretending to a spread no statistic can estimate from n=1.
+        score = ReplicatedScore(
+            mean=deltas[0], std=0.0, ci_low=deltas[0], ci_high=deltas[0], n=1
+        )
+    else:
+        score = confidence_interval(deltas, confidence)
     return PairedDelta(
-        delta=confidence_interval(deltas, confidence),
+        delta=score,
         n_common=len(common),
         n_only_a=len(set(a) - set(b)),
         n_only_b=len(set(b) - set(a)),

@@ -12,6 +12,7 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``sensitivity``  — T_P / T_E sweeps (Fig. 16).
 * ``scalability``  — SATORI vs PARTIES across co-location degrees.
 * ``overhead``     — controller decision-time measurement.
+* ``obs``          — instrumented run: decision-latency budget + trace export.
 * ``resilience``   — fault-intensity sweep: hardened vs unhardened SATORI.
 * ``cluster``      — multi-node placement x partitioning-policy sweep.
 * ``warmstart``    — warm-vs-cold controller continuation (policy-state value).
@@ -194,6 +195,80 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.experiments.obs import observed_overhead
+    from repro.obs.export import write_chrome_trace, write_jsonl, write_prometheus
+
+    catalog = experiment_catalog(args.units)
+    mix = _mixes(args)[args.mix]
+    report, collector = observed_overhead(
+        mix,
+        catalog,
+        RunConfig(duration_s=args.duration),
+        seed=args.seed,
+        idle_detection=args.idle,
+    )
+    budget = report.budget
+
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+    if args.json != "-":
+        rows = [
+            ["decide (controller)", budget.decide_ms, budget.decide_ms / max(1, budget.n_intervals)],
+            ["  suggest (BO)", budget.suggest_ms, budget.suggest_ms / max(1, budget.n_intervals)],
+            ["    gp_fit", budget.gp_fit_ms, budget.gp_fit_ms / max(1, budget.n_intervals)],
+            ["    acquisition", budget.acquisition_ms, budget.acquisition_ms / max(1, budget.n_intervals)],
+            ["  bookkeeping", budget.bookkeeping_ms, budget.bookkeeping_ms / max(1, budget.n_intervals)],
+            ["actuation", budget.actuation_ms, budget.actuation_ms / max(1, budget.n_intervals)],
+        ]
+        print(
+            format_table(
+                ["span", "total (ms)", "per interval (ms)"],
+                rows,
+                precision=3,
+                title=f"decision-latency budget, mix {report.mix_label} "
+                      f"({budget.n_intervals} intervals):",
+            )
+        )
+        print(
+            f"\ndecision latency: {budget.mean_overhead_ms:.3f} ms/interval "
+            f"({100 * budget.overhead_fraction_of_interval:.2f} % of the "
+            f"{budget.control_interval_ms:.0f} ms interval; "
+            f"paper reports ~1.2 ms for all BO tasks)"
+        )
+        print(f"span coverage: {100 * budget.span_coverage:.1f} % of the measured "
+              f"decision latency is explained by gp_fit + acquisition + actuation")
+        print(f"idle fraction: {report.idle_fraction:.2f} "
+              f"(idle detection {'on' if report.idle_detection else 'off'})")
+        if report.counters:
+            print(format_table(
+                ["counter", "count"],
+                [[name, int(value)] for name, value in report.counters],
+                title="\ncounters:",
+            ))
+
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
+        chrome_path = os.path.join(args.trace_dir, "trace.chrome.json")
+        prom_path = os.path.join(args.trace_dir, "metrics.prom")
+        write_jsonl(collector.events, jsonl_path)
+        write_chrome_trace(collector.events, chrome_path, process_name="repro obs")
+        write_prometheus(collector.metrics, prom_path)
+        if args.json != "-":
+            print(f"\ntrace artifacts written to {args.trace_dir}/ "
+                  f"(trace.jsonl, trace.chrome.json, metrics.prom)")
+    return 0
+
+
 def cmd_resilience(args: argparse.Namespace) -> int:
     catalog = experiment_catalog(args.units)
     mix = _mixes(args)[args.mix]
@@ -234,8 +309,10 @@ def cmd_resilience(args: argparse.Namespace) -> int:
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.analysis.plots import cluster_node_dashboard
     from repro.cluster.simulator import MigrationConfig
     from repro.experiments.cluster import cluster_sweep, default_trace
+    from repro.obs import TraceCollector, use_collector
 
     catalog = experiment_catalog(args.units)
     epoch_config = RunConfig(duration_s=args.duration)
@@ -249,23 +326,25 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         catalog=catalog,
     )
     engine = _engine(args)
-    sweep = cluster_sweep(
-        trace,
-        n_nodes=args.nodes,
-        placements=tuple(args.placements),
-        policies=tuple(args.policies),
-        catalog=catalog,
-        epoch_config=epoch_config,
-        seed=args.seed,
-        fault_intensity=args.fault_intensity,
-        migration=(
-            MigrationConfig(warmup_penalty_intervals=args.migration_penalty)
-            if args.migrate
-            else None
-        ),
-        engine=engine,
-        warm_start=args.warm_start,
-    )
+    collector = TraceCollector()
+    with use_collector(collector):
+        sweep = cluster_sweep(
+            trace,
+            n_nodes=args.nodes,
+            placements=tuple(args.placements),
+            policies=tuple(args.policies),
+            catalog=catalog,
+            epoch_config=epoch_config,
+            seed=args.seed,
+            fault_intensity=args.fault_intensity,
+            migration=(
+                MigrationConfig(warmup_penalty_intervals=args.migration_penalty)
+                if args.migrate
+                else None
+            ),
+            engine=engine,
+            warm_start=args.warm_start,
+        )
     print(
         f"trace: {sweep.n_jobs} jobs over {sweep.n_epochs} epochs "
         f"({args.duration:g}s each), peak {sweep.peak_jobs} resident, "
@@ -306,6 +385,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 title=f"per-node [{cell.placement} / {cell.policy}]:",
             )
         )
+
+    print("\nper-node trends over epochs (shared scale within each cell):\n")
+    print(cluster_node_dashboard(collector.metrics))
 
     # Placement-vs-placement paired deltas: each job is its own control,
     # so even a small fleet yields a meaningful CI on the speedup gain.
@@ -469,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("sensitivity", cmd_sensitivity, None),
         ("scalability", cmd_scalability, "scalability"),
         ("overhead", cmd_overhead, None),
+        ("obs", cmd_obs, "obs"),
         ("resilience", cmd_resilience, "resilience"),
         ("cluster", cmd_cluster, "cluster"),
         ("warmstart", cmd_warmstart, "warmstart"),
@@ -482,6 +565,17 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--all-mixes", action="store_true", help="run every suite mix")
         if extra == "scalability":
             p.add_argument("--degrees", type=int, nargs="+", default=[3, 5, 7])
+        if extra == "obs":
+            p.add_argument("--json", nargs="?", const="-", default=None,
+                           help="emit the JSON report ('-' or no value for stdout, "
+                                "otherwise a file path)")
+            p.add_argument("--trace-dir", default="",
+                           help="write trace.jsonl, trace.chrome.json and "
+                                "metrics.prom to this directory")
+            p.add_argument("--idle", action="store_true",
+                           help="enable idle detection during the measured run")
+            # enough intervals for a stable per-interval budget
+            p.set_defaults(duration=15.0)
         if extra == "resilience":
             p.add_argument("--intensities", type=float, nargs="+",
                            default=[0.0, 0.25, 0.5, 1.0],

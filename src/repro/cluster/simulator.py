@@ -65,6 +65,7 @@ from repro.errors import ClusterError
 from repro.experiments.runner import RunConfig, RunResult, experiment_catalog
 from repro.faults.plan import FaultPlan
 from repro.metrics.fairness import jain_index
+from repro.obs import active_collector
 from repro.resources.types import ResourceCatalog
 from repro.state import PolicyState
 from repro.workloads.arrivals import ArrivalTrace, JobArrival
@@ -406,6 +407,11 @@ class ClusterSimulator:
             if target == node.node_id or not self._nodes[target].has_capacity:
                 continue
             workload = node.workload_of(victim)
+            active_collector().event(
+                "migration", "cluster",
+                job_id=victim, source=node.node_id, target=target,
+            )
+            active_collector().metrics.counter("cluster.migrations").inc()
             node.remove_job(victim)
             # Re-add under the original (pre-instance-rename) name; the
             # destination node re-renames it identically since the job
@@ -424,14 +430,23 @@ class ClusterSimulator:
         return moved
 
     def _place_arrivals(self, epoch: int) -> List[int]:
+        obs = active_collector()
         rejected = []
         for arrival in self._trace.arrivals_at(epoch):
             try:
                 node_id = self._placement.place(self._views())
             except ClusterError:
                 rejected.append(arrival.job_id)
+                obs.event(
+                    "job_rejected", "cluster", job_id=arrival.job_id, epoch=epoch
+                )
+                obs.metrics.counter("cluster.rejected_jobs").inc()
                 continue
             self._nodes[node_id].add_job(arrival)
+            obs.event(
+                "placement", "cluster",
+                job_id=arrival.job_id, node=node_id, epoch=epoch,
+            )
         return rejected
 
     def _epoch_records(self, epoch: int) -> List[NodeEpochRecord]:
@@ -462,6 +477,10 @@ class ClusterSimulator:
                 initial_state = self._node_states.get(node.node_id)
             if initial_state is not None:
                 warm_nodes.add(node.node_id)
+                active_collector().event(
+                    "warm_start", "cluster", node=node.node_id, epoch=epoch
+                )
+                active_collector().metrics.counter("cluster.warm_starts").inc()
             specs.append(
                 node.epoch_spec(
                     policy=self._policy,
@@ -544,17 +563,27 @@ class ClusterSimulator:
 
     def run(self) -> ClusterResult:
         """Replay the whole trace and return the cluster-level result."""
+        obs = active_collector()
+        # Sweep cells run sequentially under one collector, so series
+        # names carry the cell coordinates to keep nodes from
+        # interleaving across cells.
+        series_prefix = f"cluster.{self._placement.name}.{self._policy}"
         all_records: List[NodeEpochRecord] = []
         rejected: List[int] = []
         migrations = 0
         previous: Dict[int, NodeEpochRecord] = {}
         for epoch in range(self._trace.n_epochs):
-            self._apply_departures(epoch)
-            migrations += self._maybe_migrate(previous)
-            rejected.extend(self._place_arrivals(epoch))
-            records = self._epoch_records(epoch)
+            with obs.span("epoch", "cluster", epoch=epoch):
+                self._apply_departures(epoch)
+                migrations += self._maybe_migrate(previous)
+                rejected.extend(self._place_arrivals(epoch))
+                records = self._epoch_records(epoch)
             for record in records:
                 self._observed[record.node_id] = (record.mean_speedup, record.fairness)
+                node_prefix = f"{series_prefix}.node{record.node_id}"
+                obs.metrics.series(f"{node_prefix}.throughput").append(record.throughput)
+                obs.metrics.series(f"{node_prefix}.fairness").append(record.fairness)
+                obs.metrics.series(f"{node_prefix}.occupancy").append(record.n_jobs)
             previous = {record.node_id: record for record in records}
             all_records.extend(records)
         return ClusterResult(

@@ -25,6 +25,7 @@ from repro.core.gp import GaussianProcess
 from repro.core.kernels import Kernel, Matern52
 from repro.core.objective import GoalRecords
 from repro.errors import ModelError
+from repro.obs import active_collector
 from repro.resources.allocation import Configuration
 from repro.resources.space import ConfigurationSpace
 from repro.rng import SeedLike, make_rng, rng_from_state, rng_state
@@ -189,35 +190,45 @@ class BayesianOptimizer:
         """
         if len(records) < 1:
             raise ModelError("BO needs at least one recorded sample; run the initial set first")
-        x = records.inputs()
-        y = records.objective_values(weights)
-        incumbent = float(np.max(y))
-
+        obs = active_collector()
         gp = self._gp
-        # The GP itself gates the grid search by sample growth
-        # (lengthscale_refit_every); refit_every == 0 disables it.
-        gp.fit(x, y, optimize_lengthscale=self._refit_every > 0)
+        with obs.span("suggest", "bo"):
+            # The gp_fit span covers the whole model update of
+            # Algorithm 1 lines 6-7: reconstructing the objective
+            # values under the current weights (Sec. III-B) and
+            # conditioning the GP on them. The GP itself gates the grid
+            # search by sample growth (lengthscale_refit_every);
+            # refit_every == 0 disables it.
+            with obs.span("gp_fit", "bo"):
+                x = records.inputs()
+                y = records.objective_values(weights)
+                incumbent = float(np.max(y))
+                gp.fit(x, y, optimize_lengthscale=self._refit_every > 0)
 
-        proxy_change = self._track_proxy_change(gp)
+            # The acquisition span covers everything posterior-side:
+            # the probe-set predictions of the proxy-change metric,
+            # candidate generation, and the acquisition scan itself.
+            with obs.span("acquisition", "bo"):
+                proxy_change = self._track_proxy_change(gp)
 
-        candidates = self._candidate_pool(records, weights)
-        if candidates is self._full_space:
-            encoded = self._full_space_encoded
-        else:
-            encoded = self._space.encode_batch(candidates)
-        mean, std = gp.predict(encoded)
-        scores = self._acquisition(mean, std, incumbent)
-        best = int(np.argmax(scores))
+                candidates = self._candidate_pool(records, weights)
+                if candidates is self._full_space:
+                    encoded = self._full_space_encoded
+                else:
+                    encoded = self._space.encode_batch(candidates)
+                mean, std = gp.predict(encoded)
+                scores = self._acquisition(mean, std, incumbent)
+                best = int(np.argmax(scores))
 
-        self._iteration += 1
-        return Suggestion(
-            config=candidates[best],
-            acquisition_value=float(scores[best]),
-            predicted_mean=float(mean[best]),
-            predicted_std=float(std[best]),
-            incumbent_value=incumbent,
-            proxy_change_percent=proxy_change,
-        )
+            self._iteration += 1
+            return Suggestion(
+                config=candidates[best],
+                acquisition_value=float(scores[best]),
+                predicted_mean=float(mean[best]),
+                predicted_std=float(std[best]),
+                incumbent_value=incumbent,
+                proxy_change_percent=proxy_change,
+            )
 
     def _candidate_pool(
         self, records: GoalRecords, weights: Sequence[float]

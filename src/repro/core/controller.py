@@ -39,6 +39,7 @@ from repro.core.weights import (
 )
 from repro import serialize
 from repro.errors import PolicyError
+from repro.obs import active_collector
 from repro.metrics.goals import GoalSet
 from repro.policies.base import PartitioningPolicy
 from repro.resources.allocation import Configuration
@@ -197,7 +198,8 @@ class SatoriController(PartitioningPolicy):
         """One Algorithm-1 iteration; returns the next configuration."""
         started = time.perf_counter()
         try:
-            return self._decide(observation)
+            with active_collector().span("decide", "controller"):
+                return self._decide(observation)
         finally:
             self._decision_seconds += time.perf_counter() - started
             self._decision_count += 1
@@ -464,6 +466,9 @@ class SatoriController(PartitioningPolicy):
                 # on whatever exploration point was last emitted) and
                 # wait for a clean sample.
                 self._rejected_samples += 1
+                active_collector().event(
+                    "sample_rejected", "controller", time_s=observation.time_s
+                )
                 return self._retreat_configuration()
 
         scores = self._record(observation)
@@ -551,6 +556,10 @@ class SatoriController(PartitioningPolicy):
             return None
         self._actuation_failures += 1
         if self._actuation_failures >= self._watchdog_threshold:
+            if not self._watchdog_active:
+                active_collector().event(
+                    "watchdog_engaged", "controller", failures=self._actuation_failures
+                )
             self._watchdog_active = True
         if self._watchdog_active:
             self._fallback_intervals += 1
@@ -653,10 +662,12 @@ class SatoriController(PartitioningPolicy):
                 self._idle = False
                 self._best_streak = 0
                 self._stable_best = None
+                active_collector().event("idle_exit", "controller")
             return self._idle
 
         if self._best_streak >= self._idle_patience:
             self._idle = True
+            active_collector().event("idle_enter", "controller")
             self._idle_entry_objective = self._last_objective
             self._idle_ema = self._last_objective
             # Pin the configuration held during idleness: re-selecting a

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.core.kernels import RBF, Kernel, Matern52
+from repro.obs import active_collector
 from repro.state import GPState
 
 #: Kernel classes by snapshot name (lowercase class name).
@@ -133,6 +134,9 @@ class GaussianProcess:
             if due:
                 self.kernel, chol = self._best_kernel(x, z)
                 self._fits_since_search = 0
+                active_collector().metrics.counter("gp.lengthscale_searches").inc()
+            else:
+                active_collector().metrics.counter("gp.lengthscale_reuses").inc()
 
         if chol is None:
             chol = self._factorize(x)
@@ -238,8 +242,10 @@ class GaussianProcess:
                 chol[:old_n, :old_n] = self._chol
                 chol[old_n:, :old_n] = l21t.T
                 chol[old_n:, old_n:] = l22
+                active_collector().metrics.counter("gp.chol_extended").inc()
                 return chol
 
+        active_collector().metrics.counter("gp.chol_full").inc()
         k = self.kernel(x, x)
         k[np.diag_indices_from(k)] += self.noise + _JITTER
         try:

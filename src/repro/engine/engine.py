@@ -22,6 +22,7 @@ dedup across engine instances, processes, and sessions.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -29,6 +30,7 @@ from repro.engine.cache import RunCache
 from repro.engine.spec import RunSpec, derive_seed
 from repro.errors import EngineError
 from repro.experiments.runner import RunResult, run_policy
+from repro.obs import active_collector
 from repro.policies.registry import make_policy
 
 
@@ -68,6 +70,19 @@ def execute_run(spec: RunSpec) -> RunResult:
 def _execute_run_payload(spec: RunSpec) -> dict:
     """Worker entry point: run a spec, ship the result as plain data."""
     return execute_run(spec).to_dict()
+
+
+def _execute_run_timed(spec: RunSpec) -> Tuple[dict, float]:
+    """Worker entry point that also reports the run's wall time.
+
+    Worker processes have their own memory, so spans recorded inside
+    them never reach the parent's collector; shipping the measured
+    duration alongside the payload is how the pool path still feeds
+    per-spec run timing and worker-utilization metrics parent-side.
+    """
+    started = time.perf_counter()
+    payload = _execute_run_payload(spec)
+    return payload, time.perf_counter() - started
 
 
 @dataclass(frozen=True)
@@ -231,39 +246,47 @@ class ExecutionEngine:
         specs = list(specs)
         self._stats.batches += 1
         self._stats.submitted += len(specs)
+        obs = active_collector()
 
-        # First-seen order of unique specs keeps scheduling deterministic.
-        unique: Dict[RunSpec, Optional[Union[RunResult, RunError]]] = {}
-        for spec in specs:
-            if spec in unique:
-                self._stats.deduplicated += 1
-            else:
-                unique[spec] = None
+        with obs.span("engine_batch", "engine"):
+            # First-seen order of unique specs keeps scheduling deterministic.
+            unique: Dict[RunSpec, Optional[Union[RunResult, RunError]]] = {}
+            for spec in specs:
+                if spec in unique:
+                    self._stats.deduplicated += 1
+                    obs.metrics.counter("engine.deduplicated").inc()
+                else:
+                    unique[spec] = None
 
-        pending: List[RunSpec] = []
-        for spec in unique:
-            cached = self._cache.get(spec) if self._cache is not None else None
-            if cached is not None:
-                self._stats.cache_hits += 1
-                unique[spec] = cached
-            else:
-                if self._cache is not None:
-                    self._stats.cache_misses += 1
-                pending.append(spec)
+            pending: List[RunSpec] = []
+            for spec in unique:
+                cached = self._cache.get(spec) if self._cache is not None else None
+                if cached is not None:
+                    self._stats.cache_hits += 1
+                    obs.metrics.counter("engine.cache_hits").inc()
+                    obs.event("cache_hit", "engine")
+                    unique[spec] = cached
+                else:
+                    if self._cache is not None:
+                        self._stats.cache_misses += 1
+                        obs.metrics.counter("engine.cache_misses").inc()
+                    pending.append(spec)
 
-        for spec, (payload, error, attempts) in self._execute_with_retries(pending).items():
-            if payload is not None:
-                result = RunResult.from_dict(payload)
-                self._stats.executed += 1
-                self._store(spec, result)
-                unique[spec] = result
-            else:
-                self._stats.failed += 1
-                if on_error == "raise":
-                    raise EngineError(
-                        f"{spec!r} failed after {attempts} attempt(s): {error}"
-                    )
-                unique[spec] = RunError(spec=spec, error=str(error), attempts=attempts)
+            for spec, (payload, error, attempts) in self._execute_with_retries(pending).items():
+                if payload is not None:
+                    result = RunResult.from_dict(payload)
+                    self._stats.executed += 1
+                    obs.metrics.counter("engine.executed").inc()
+                    self._store(spec, result)
+                    unique[spec] = result
+                else:
+                    self._stats.failed += 1
+                    obs.metrics.counter("engine.failed").inc()
+                    if on_error == "raise":
+                        raise EngineError(
+                            f"{spec!r} failed after {attempts} attempt(s): {error}"
+                        )
+                    unique[spec] = RunError(spec=spec, error=str(error), attempts=attempts)
 
         return [unique[spec] for spec in specs]
 
@@ -312,31 +335,46 @@ class ExecutionEngine:
         """
         if not pending:
             return []
+        obs = active_collector()
         if self._workers == 1 or len(pending) == 1:
             outcomes: List[_Outcome] = []
             for spec in pending:
+                started = time.perf_counter()
                 try:
-                    outcomes.append((_execute_run_payload(spec), None))
+                    with obs.span("run_spec", "engine"):
+                        payload = _execute_run_payload(spec)
                 except Exception as error:  # noqa: BLE001 - reported per spec
                     outcomes.append((None, f"{type(error).__name__}: {error}"))
+                else:
+                    outcomes.append((payload, None))
+                obs.metrics.histogram("engine.run_seconds").observe(
+                    time.perf_counter() - started
+                )
             return outcomes
 
         outcomes = [(None, "not executed")] * len(pending)
         max_workers = min(self._workers, len(pending))
+        batch_started = time.perf_counter()
+        busy_seconds = 0.0
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
         not_done: set = set()
         try:
             futures = {
-                pool.submit(_execute_run_payload, spec): index
+                pool.submit(_execute_run_timed, spec): index
                 for index, spec in enumerate(pending)
             }
             done, not_done = concurrent.futures.wait(futures, timeout=self._timeout_s)
             for future in done:
                 index = futures[future]
                 try:
-                    outcomes[index] = (future.result(), None)
+                    payload, duration_s = future.result()
                 except Exception as error:  # noqa: BLE001 - reported per spec
                     outcomes[index] = (None, f"{type(error).__name__}: {error}")
+                else:
+                    outcomes[index] = (payload, None)
+                    busy_seconds += duration_s
+                    obs.metrics.histogram("engine.run_seconds").observe(duration_s)
+                    obs.event("run_spec", "engine", duration_s=duration_s)
             for future in not_done:
                 future.cancel()
                 outcomes[futures[future]] = (
@@ -348,4 +386,9 @@ class ExecutionEngine:
             # on them: abandon the pool without waiting (its processes
             # exit once their current task finishes or is killed).
             pool.shutdown(wait=not not_done, cancel_futures=True)
+        wall = time.perf_counter() - batch_started
+        if wall > 0:
+            obs.metrics.gauge("engine.worker_utilization").set(
+                busy_seconds / (max_workers * wall)
+            )
         return outcomes

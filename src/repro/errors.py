@@ -71,6 +71,15 @@ class EngineError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """The observability layer was misused.
+
+    Raised for metric name/type conflicts in a
+    :class:`~repro.obs.MetricRegistry`, malformed histogram bucket
+    bounds, and unreadable trace artifacts.
+    """
+
+
 class ClusterError(ReproError):
     """The cluster layer was misconfigured or placement is impossible.
 

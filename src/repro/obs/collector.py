@@ -1,0 +1,251 @@
+"""Trace collection: structured events, scoped spans, active-collector scoping.
+
+The collector is an in-process event bus. Instrumented code asks for
+the ambient collector (:func:`active_collector`) and records spans —
+
+    with active_collector().span("gp_fit", "bo"):
+        gp.fit(x, y)
+
+— or point events (``collector.event("migration", "cluster", job_id=3)``).
+By default the ambient collector is :data:`NULL_COLLECTOR`, whose span
+and event methods do nothing, so uninstrumented runs pay one module
+attribute read and an empty call per probe. Experiments that want data
+install a real :class:`TraceCollector` for a scope:
+
+    collector = TraceCollector()
+    with use_collector(collector):
+        run_policy(...)
+
+Timing uses a monotonic nanosecond clock (``time.perf_counter_ns``);
+tests inject a manual clock for deterministic durations. Collection is
+purely observational: no RNG is touched and no control-flow decision
+reads collector state, so instrumented and uninstrumented runs produce
+bit-identical results.
+
+Worker processes have separate memory, so spans recorded inside an
+engine worker never reach the parent's collector; instrumented
+pipelines run the engine serially (``n_workers=1``) or accept
+parent-side-only data.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from repro.obs.metrics import MetricRegistry, NullRegistry
+
+#: Event kinds: a ``span`` has a duration; an ``instant`` marks a moment.
+SPAN = "span"
+INSTANT = "instant"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded trace event.
+
+    Times are nanoseconds on the collector's clock (monotonic by
+    default — comparable within a process, not across processes or to
+    wall time).
+    """
+
+    name: str
+    category: str
+    start_ns: int
+    duration_ns: int
+    kind: str = SPAN
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "category": self.category,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "kind": self.kind,
+        }
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            name=data["name"],
+            category=data["category"],
+            start_ns=int(data["start_ns"]),
+            duration_ns=int(data["duration_ns"]),
+            kind=data.get("kind", SPAN),
+            args=tuple(sorted(data.get("args", {}).items())),
+        )
+
+
+class _Span:
+    """Context manager recording one timed span on exit.
+
+    Exceptions propagate; the span is still recorded (a failed
+    actuation's latency is part of the budget).
+    """
+
+    __slots__ = ("_collector", "_name", "_category", "_args", "_start_ns")
+
+    def __init__(self, collector: "TraceCollector", name: str, category: str,
+                 args: Tuple[Tuple[str, Any], ...]) -> None:
+        self._collector = collector
+        self._name = name
+        self._category = category
+        self._args = args
+        self._start_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = self._collector._clock()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        end_ns = self._collector._clock()
+        self._collector._events.append(TraceEvent(
+            name=self._name,
+            category=self._category,
+            start_ns=self._start_ns,
+            duration_ns=end_ns - self._start_ns,
+            kind=SPAN,
+            args=self._args,
+        ))
+        return False
+
+
+class TraceCollector:
+    """Collects :class:`TraceEvent`s and carries a :class:`MetricRegistry`.
+
+    Args:
+        clock: nanosecond tick source; defaults to
+            ``time.perf_counter_ns``. Tests pass a manual clock so span
+            durations are deterministic.
+        metrics: registry to attach; a fresh one by default.
+    """
+
+    #: Real collectors record; the null collector overrides to False so
+    #: call sites can skip building expensive event arguments.
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns,
+                 metrics: MetricRegistry = None) -> None:
+        self._clock = clock
+        self._events: List[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+
+    def span(self, name: str, category: str = "", **args: Any) -> _Span:
+        """A context manager timing the enclosed block."""
+        return _Span(self, name, category, tuple(sorted(args.items())) if args else ())
+
+    def event(self, name: str, category: str = "", **args: Any) -> None:
+        """Record an instantaneous (zero-duration) event."""
+        self._events.append(TraceEvent(
+            name=name,
+            category=category,
+            start_ns=self._clock(),
+            duration_ns=0,
+            kind=INSTANT,
+            args=tuple(sorted(args.items())) if args else (),
+        ))
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def spans_named(self, name: str) -> Tuple[TraceEvent, ...]:
+        """All span events with the given name, in completion order."""
+        return tuple(e for e in self._events if e.kind == SPAN and e.name == name)
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span with the given name."""
+        return sum(e.duration_ns for e in self._events
+                   if e.kind == SPAN and e.name == name) / 1e9
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullCollector(TraceCollector):
+    """The default, disabled collector: every probe is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(metrics=NullRegistry())
+
+    def span(self, name: str, category: str = "", **args: Any) -> _Span:
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def event(self, name: str, category: str = "", **args: Any) -> None:
+        pass
+
+
+#: Process-wide default collector; never records anything.
+NULL_COLLECTOR = NullCollector()
+
+_active: TraceCollector = NULL_COLLECTOR
+
+
+def active_collector() -> TraceCollector:
+    """The ambient collector instrumented code should record into."""
+    return _active
+
+
+@contextmanager
+def use_collector(collector: TraceCollector) -> Iterator[TraceCollector]:
+    """Install ``collector`` as the ambient collector for a scope.
+
+    Restores the previous collector on exit, so scopes nest (an
+    instrumented sweep inside an instrumented session keeps the outer
+    collector afterwards).
+    """
+    global _active
+    previous = _active
+    _active = collector
+    try:
+        yield collector
+    finally:
+        _active = previous
+
+
+class ManualClock:
+    """Deterministic tick source for tests.
+
+    Every read returns the current time and advances it by
+    ``step_ns``, so a span's duration is exactly ``step_ns`` and event
+    ordering is reproducible without real time passing.
+    """
+
+    def __init__(self, start_ns: int = 0, step_ns: int = 1000) -> None:
+        self._now_ns = start_ns
+        self.step_ns = step_ns
+
+    def __call__(self) -> int:
+        now = self._now_ns
+        self._now_ns += self.step_ns
+        return now
+
+    def advance(self, delta_ns: int) -> None:
+        self._now_ns += delta_ns

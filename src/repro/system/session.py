@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Optional, Protocol, Tuple, runtime_checkable
 import numpy as np
 
 from repro.metrics.goals import GoalSet
+from repro.obs import active_collector
 from repro.resources.allocation import Configuration
 from repro.resources.types import ResourceCatalog
 from repro.system.simulation import Observation
@@ -200,46 +201,55 @@ class ControlSession:
         Returns the server's raw observation for the interval (the
         policy itself sees the held-baseline view, not this).
         """
+        obs = active_collector()
         if self._baseline is None:
             # First interval: measure the initial baseline lazily so
             # construction stays side-effect-free but the server RNG
             # draw order matches the historical pre-loop measurement.
-            self.refresh_baseline()
+            with obs.span("baseline_refresh", "session"):
+                self.refresh_baseline()
 
-        config = self._policy.decide(self._policy_view)
-        raw = self._server.step(config)
+        with obs.span("interval", "session"):
+            config = self._policy.decide(self._policy_view)
+            raw = self._server.step(config)
 
-        # Policies act on the held baseline (Algorithm 1 resets it only
-        # periodically); telemetry scores against the true current one.
-        self._policy_view = dataclasses.replace(
-            raw, isolation_ips=tuple(float(b) for b in self._baseline)
-        )
-        diag = self._policy.diagnostics()
-        scored_ips = raw.ips
-        if self._server.fault_schedule is not None:
-            # Fault/recovery trail: which intervals ran under injected
-            # faults and whether the interval's actuation landed. The
-            # policy sees the corrupted measurements; the evaluator
-            # scores what a fault-free monitor would have reported.
-            scored_ips = self._server.last_true_ips
-            diag = dict(diag)
-            diag["actuation_ok"] = float(raw.actuation_ok)
-            diag["faults_active"] = float(self._server.active_fault_count)
-        weights = None
-        if self._record_weights and "weight_throughput" in diag and "weight_fairness" in diag:
-            weights = (diag["weight_throughput"], diag["weight_fairness"])
-        self._telemetry.record(
-            time_s=raw.time_s,
-            config=raw.config,
-            ips=scored_ips,
-            isolation_ips=raw.isolation_ips,
-            weights=weights,
-            extra=diag,
-        )
+            # Policies act on the held baseline (Algorithm 1 resets it only
+            # periodically); telemetry scores against the true current one.
+            self._policy_view = dataclasses.replace(
+                raw, isolation_ips=tuple(float(b) for b in self._baseline)
+            )
+            diag = self._policy.diagnostics()
+            scored_ips = raw.ips
+            if self._server.fault_schedule is not None:
+                # Fault/recovery trail: which intervals ran under injected
+                # faults and whether the interval's actuation landed. The
+                # policy sees the corrupted measurements; the evaluator
+                # scores what a fault-free monitor would have reported.
+                scored_ips = self._server.last_true_ips
+                diag = dict(diag)
+                diag["actuation_ok"] = float(raw.actuation_ok)
+                diag["faults_active"] = float(self._server.active_fault_count)
+                if not raw.actuation_ok:
+                    obs.event("actuation_failure", "session", time_s=raw.time_s)
+                    obs.metrics.counter("session.actuation_failures").inc()
+                if self._server.active_fault_count:
+                    obs.metrics.counter("session.faulted_intervals").inc()
+            weights = None
+            if self._record_weights and "weight_throughput" in diag and "weight_fairness" in diag:
+                weights = (diag["weight_throughput"], diag["weight_fairness"])
+            self._telemetry.record(
+                time_s=raw.time_s,
+                config=raw.config,
+                ips=scored_ips,
+                isolation_ips=raw.isolation_ips,
+                weights=weights,
+                extra=diag,
+            )
 
-        if raw.time_s + 1e-9 >= self._next_reset:
-            self._baseline = self._server.measure_isolation(noisy=True)
-            self._next_reset += self._baseline_reset_s
+            if raw.time_s + 1e-9 >= self._next_reset:
+                with obs.span("baseline_refresh", "session"):
+                    self._baseline = self._server.measure_isolation(noisy=True)
+                self._next_reset += self._baseline_reset_s
         return raw
 
     def run(self, n_steps: int) -> TelemetryLog:

@@ -28,6 +28,7 @@ from repro.hardware.mba import MemoryBandwidthAllocator
 from repro.hardware.msr import MsrFile
 from repro.hardware.pqos import PqosMonitor
 from repro.hardware.rapl import PowerCapController
+from repro.obs import active_collector
 from repro.resources.allocation import Configuration, equal_partition
 from repro.resources.types import (
     CORES,
@@ -284,14 +285,15 @@ class CoLocationSimulator:
             ActuationError: if every write attempt failed; the
                 previously installed configuration remains active.
         """
-        if config is not None:
-            if config.n_jobs != self.n_jobs:
-                raise ConfigurationError(
-                    f"configuration covers {config.n_jobs} jobs, mix has {self.n_jobs}"
-                )
-            config.validate(self._catalog.subset(config.resource_names))
-            self._install(config)
-        self._config = config
+        with active_collector().span("actuation", "server"):
+            if config is not None:
+                if config.n_jobs != self.n_jobs:
+                    raise ConfigurationError(
+                        f"configuration covers {config.n_jobs} jobs, mix has {self.n_jobs}"
+                    )
+                config.validate(self._catalog.subset(config.resource_names))
+                self._install(config)
+            self._config = config
 
     def _install(self, config: Configuration) -> None:
         """Program a validated configuration, retrying injected failures."""

@@ -148,9 +148,27 @@ class TestPairedDeltas:
         assert delta.n_only_a == 1
         assert delta.n_only_b == 2
 
-    def test_too_few_common_keys_rejected(self):
+    def test_no_common_keys_rejected(self):
         with pytest.raises(ExperimentError, match="common keys"):
-            paired_deltas({0: 1.0, 1: 2.0}, {1: 2.0, 5: 3.0})
+            paired_deltas({0: 1.0, 1: 2.0}, {5: 2.0, 6: 3.0})
+
+    def test_single_common_key_zero_width_interval(self):
+        # A one-job trace still yields a well-formed report row.
+        delta = paired_deltas({0: 1.0, 1: 2.0}, {1: 2.4, 5: 3.0})
+        assert delta.n_common == 1
+        assert delta.delta.n == 1
+        assert delta.delta.mean == pytest.approx(0.4)
+        assert delta.delta.std == 0.0
+        assert delta.delta.ci_low == delta.delta.ci_high == delta.delta.mean
+
+    def test_zero_variance_deltas_collapse_interval(self):
+        a = {job: float(job) for job in range(4)}
+        b = {job: value + 1.0 for job, value in a.items()}
+        delta = paired_deltas(a, b)
+        assert delta.delta.std == 0.0
+        assert delta.delta.ci_low == pytest.approx(1.0)
+        assert delta.delta.ci_high == pytest.approx(1.0)
+        assert np.isfinite(delta.delta.ci_low) and np.isfinite(delta.delta.ci_high)
 
     def test_ci_shrinks_relative_to_unpaired_noise(self):
         # Huge per-key variance, tiny per-key delta: the paired CI must

@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.analysis.plots import bar_chart, line_chart, sparkline
+from repro.analysis.plots import (
+    bar_chart,
+    cluster_node_dashboard,
+    line_chart,
+    sparkline,
+)
 from repro.errors import ExperimentError
+from repro.obs import MetricRegistry
 
 
 class TestSparkline:
@@ -54,6 +60,58 @@ class TestBarChart:
     def test_max_value_caps_bars(self):
         chart = bar_chart(["a"], [200.0], width=10, max_value=100.0)
         assert chart.count("█") == 10
+
+
+class TestClusterNodeDashboard:
+    @staticmethod
+    def registry():
+        registry = MetricRegistry()
+        for node, values in ((0, (0.5, 0.7, 0.9)), (1, (0.9, 0.7, 0.5))):
+            for metric, series in (("throughput", values), ("fairness", values)):
+                s = registry.series(f"cluster.round_robin.SATORI.node{node}.{metric}")
+                for v in series:
+                    s.append(v)
+        return registry
+
+    def test_one_block_per_cell_one_row_per_node(self):
+        out = cluster_node_dashboard(self.registry())
+        assert "[round_robin / SATORI]" in out and "(3 epochs)" in out
+        lines = out.splitlines()
+        assert sum(1 for line in lines if line.strip().startswith(("0 ", "1 "))) == 2
+
+    def test_sparklines_share_scale_within_cell(self):
+        out = cluster_node_dashboard(self.registry())
+        # Opposite trends on a shared scale: node 0 rises, node 1 falls.
+        node0 = next(l for l in out.splitlines() if l.strip().startswith("0"))
+        node1 = next(l for l in out.splitlines() if l.strip().startswith("1"))
+        assert "▁" in node0 and "█" in node0
+        assert "▁" in node1 and "█" in node1
+
+    def test_plain_mapping_accepted(self):
+        out = cluster_node_dashboard(
+            {"cluster.rr.SATORI.node0.throughput": [1.0, 2.0]}.items()
+        )
+        assert "[rr / SATORI]" in out
+
+    def test_non_cluster_series_ignored(self):
+        registry = self.registry()
+        registry.series("session.some_series").append(1.0)
+        registry.counter("engine.cache_hits").inc()
+        out = cluster_node_dashboard(registry)
+        assert "session" not in out
+
+    def test_no_cluster_series_rejected(self):
+        with pytest.raises(ExperimentError, match="no cluster"):
+            cluster_node_dashboard(MetricRegistry())
+
+    def test_missing_metric_column_rendered_as_dash(self):
+        registry = MetricRegistry()
+        registry.series("cluster.rr.SATORI.node0.throughput").append(1.0)
+        registry.series("cluster.rr.SATORI.node1.throughput").append(1.0)
+        registry.series("cluster.rr.SATORI.node1.fairness").append(1.0)
+        out = cluster_node_dashboard(registry)
+        node0 = next(l for l in out.splitlines() if l.strip().startswith("0"))
+        assert "-" in node0
 
 
 class TestLineChart:

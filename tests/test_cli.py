@@ -18,6 +18,7 @@ COMMANDS = (
     "sensitivity",
     "scalability",
     "overhead",
+    "obs",
     "resilience",
     "cluster",
     "warmstart",
@@ -34,6 +35,7 @@ TINY_INVOCATIONS = {
     "sensitivity": ["sensitivity", "--duration", "2", "--units", "4", "--suite", "ecp"],
     "scalability": ["scalability", "--duration", "2", "--units", "4", "--degrees", "3"],
     "overhead": ["overhead", "--duration", "2", "--units", "4", "--suite", "ecp"],
+    "obs": ["obs", "--duration", "2", "--units", "4", "--suite", "ecp"],
     "resilience": ["resilience", "--duration", "3", "--units", "4", "--suite", "ecp",
                    "--intensities", "0.5"],
     "cluster": ["cluster", "--nodes", "2", "--epochs", "2", "--duration", "1",
@@ -101,6 +103,42 @@ class TestTinyInvocations:
     def test_overhead_output(self, capsys):
         assert main(TINY_INVOCATIONS["overhead"]) == 0
         assert "decision time" in capsys.readouterr().out
+
+    def test_obs_output(self, capsys):
+        assert main(TINY_INVOCATIONS["obs"]) == 0
+        out = capsys.readouterr().out
+        assert "decision-latency budget" in out
+        assert "gp_fit" in out and "acquisition" in out and "actuation" in out
+        assert "span coverage" in out
+
+    def test_obs_json_round_trips_through_serialize(self, capsys):
+        import json
+
+        from repro.experiments.obs import ObsReport
+
+        assert main(TINY_INVOCATIONS["obs"] + ["--json"]) == 0
+        report = ObsReport.from_dict(json.loads(capsys.readouterr().out))
+        assert report.budget.n_intervals > 0
+        assert report.budget.span_coverage >= 0.9
+        assert ObsReport.from_dict(report.to_dict()) == report
+
+    def test_obs_trace_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import read_jsonl
+
+        trace_dir = tmp_path / "trace"
+        json_path = tmp_path / "report.json"
+        assert main(TINY_INVOCATIONS["obs"]
+                    + ["--trace-dir", str(trace_dir), "--json", str(json_path)]) == 0
+        capsys.readouterr()  # drain
+        events = read_jsonl(trace_dir / "trace.jsonl")
+        assert any(e.name == "gp_fit" for e in events)
+        chrome = json.loads((trace_dir / "trace.chrome.json").read_text())
+        assert chrome["traceEvents"][0]["ph"] == "M"
+        assert any(entry.get("ph") == "X" for entry in chrome["traceEvents"])
+        assert "gp_chol" in (trace_dir / "metrics.prom").read_text()
+        assert json.loads(json_path.read_text())["mix_label"]
 
     def test_cluster_output(self, capsys):
         assert main(TINY_INVOCATIONS["cluster"]) == 0

@@ -1,0 +1,196 @@
+"""Property tests for the stochastic arrival-trace generators.
+
+The cluster layer's paired comparisons rest on three trace properties:
+explicit-seed determinism (same seed, same trace), rate curves that
+stay inside their declared bounds, and burst/trough shapes that put
+arrivals only where the generator promises them. Hypothesis sweeps the
+parameter space instead of pinning a handful of examples.
+"""
+
+import math
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusterError
+from repro.workloads import arrivals as arrivals_module
+from repro.workloads.arrivals import (
+    diurnal_trace,
+    flash_crowd_trace,
+    poisson_trace,
+)
+from repro.workloads.registry import default_registry
+
+#: Shared registry: building it per example would dominate the runtime.
+REGISTRY = default_registry()
+
+rates = st.floats(min_value=0.0, max_value=4.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+epoch_counts = st.integers(min_value=1, max_value=24)
+
+
+def _recorded_rates(trace_fn, **kwargs):
+    """The per-epoch rate curve a generator hands to ``_rate_trace``."""
+    with mock.patch.object(
+        arrivals_module, "_rate_trace", wraps=arrivals_module._rate_trace
+    ) as spy:
+        trace_fn(registry=REGISTRY, **kwargs)
+    return list(spy.call_args.args[1])
+
+
+class TestSeedDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, n_epochs=epoch_counts, base=rates)
+    def test_diurnal_same_seed_same_trace(self, seed, n_epochs, base):
+        kwargs = dict(
+            n_epochs=n_epochs, base_rate=base, peak_rate=base + 2.0,
+            period_epochs=6, seed=seed, registry=REGISTRY,
+        )
+        assert diurnal_trace(**kwargs).to_dict() == diurnal_trace(**kwargs).to_dict()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, n_epochs=epoch_counts, burst=rates)
+    def test_flash_crowd_same_seed_same_trace(self, seed, n_epochs, burst):
+        kwargs = dict(
+            n_epochs=n_epochs, base_rate=0.5, burst_rate=burst,
+            burst_epoch=n_epochs // 2, burst_duration=2, seed=seed,
+            registry=REGISTRY,
+        )
+        assert (
+            flash_crowd_trace(**kwargs).to_dict()
+            == flash_crowd_trace(**kwargs).to_dict()
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, n_epochs=epoch_counts, rate=rates)
+    def test_flat_diurnal_reproduces_poisson_draw_for_draw(
+        self, seed, n_epochs, rate
+    ):
+        # base == peak collapses the cosine to a constant curve; the
+        # shared _rate_trace draw order then makes the diurnal trace
+        # identical to the historical poisson one, job for job.
+        flat = diurnal_trace(
+            n_epochs=n_epochs, base_rate=rate, peak_rate=rate,
+            period_epochs=6, seed=seed, registry=REGISTRY,
+        )
+        poisson = poisson_trace(
+            n_epochs=n_epochs, arrival_rate=rate, seed=seed, registry=REGISTRY
+        )
+        assert flat.to_dict() == poisson.to_dict()
+
+
+class TestRateBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_epochs=epoch_counts,
+        base=rates,
+        lift=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        period=st.integers(min_value=2, max_value=16),
+    )
+    def test_diurnal_rates_within_base_and_peak(self, n_epochs, base, lift, period):
+        peak = base + lift
+        curve = _recorded_rates(
+            diurnal_trace, n_epochs=n_epochs, base_rate=base, peak_rate=peak,
+            period_epochs=period, seed=0,
+        )
+        assert len(curve) == n_epochs
+        assert all(base - 1e-9 <= r <= peak + 1e-9 for r in curve)
+        # Epoch 0 is the trough by construction.
+        assert curve[0] == pytest.approx(base)
+        if n_epochs > period // 2:
+            assert curve[period // 2] == pytest.approx(
+                peak if period % 2 == 0 else base + lift * 0.5 * (1.0 - math.cos(
+                    2.0 * math.pi * (period // 2) / period))
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_epochs=epoch_counts,
+        base=rates,
+        burst=rates,
+        burst_epoch=st.integers(min_value=0, max_value=30),
+        burst_duration=st.integers(min_value=1, max_value=8),
+    )
+    def test_flash_crowd_rates_step_only_in_window(
+        self, n_epochs, base, burst, burst_epoch, burst_duration
+    ):
+        curve = _recorded_rates(
+            flash_crowd_trace, n_epochs=n_epochs, base_rate=base,
+            burst_rate=burst, burst_epoch=burst_epoch,
+            burst_duration=burst_duration, seed=0,
+        )
+        for epoch, rate in enumerate(curve):
+            expected = (
+                burst if burst_epoch <= epoch < burst_epoch + burst_duration else base
+            )
+            assert rate == pytest.approx(expected)
+
+
+class TestShapeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=seeds,
+        n_epochs=st.integers(min_value=4, max_value=24),
+        burst_duration=st.integers(min_value=1, max_value=4),
+    )
+    def test_silent_baseline_confines_arrivals_to_burst(
+        self, seed, n_epochs, burst_duration
+    ):
+        burst_epoch = n_epochs // 3
+        trace = flash_crowd_trace(
+            n_epochs=n_epochs, base_rate=0.0, burst_rate=5.0,
+            burst_epoch=burst_epoch, burst_duration=burst_duration,
+            seed=seed, registry=REGISTRY,
+        )
+        for job in trace.jobs:
+            assert burst_epoch <= job.arrival_epoch < burst_epoch + burst_duration
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, period=st.integers(min_value=2, max_value=8))
+    def test_zero_base_diurnal_is_silent_at_troughs(self, seed, period):
+        # Poisson(0) draws nothing: epochs where the cosine returns to
+        # the trough (multiples of the period) must have no arrivals.
+        trace = diurnal_trace(
+            n_epochs=3 * period, base_rate=0.0, peak_rate=4.0,
+            period_epochs=period, seed=seed, registry=REGISTRY,
+        )
+        for job in trace.jobs:
+            assert job.arrival_epoch % period != 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=seeds,
+        n_epochs=st.integers(min_value=2, max_value=16),
+        max_jobs=st.integers(min_value=1, max_value=6),
+    )
+    def test_max_jobs_caps_residency_every_epoch(self, seed, n_epochs, max_jobs):
+        trace = diurnal_trace(
+            n_epochs=n_epochs, base_rate=2.0, peak_rate=6.0,
+            period_epochs=4, mean_residency=3.0, max_jobs=max_jobs,
+            seed=seed, registry=REGISTRY,
+        )
+        assert trace.peak_jobs <= max_jobs
+
+
+class TestValidation:
+    def test_diurnal_peak_below_base_rejected(self):
+        with pytest.raises(ClusterError, match="peak_rate"):
+            diurnal_trace(n_epochs=4, base_rate=2.0, peak_rate=1.0, registry=REGISTRY)
+
+    def test_diurnal_short_period_rejected(self):
+        with pytest.raises(ClusterError, match="period_epochs"):
+            diurnal_trace(n_epochs=4, period_epochs=1, registry=REGISTRY)
+
+    def test_flash_crowd_negative_rates_rejected(self):
+        with pytest.raises(ClusterError, match="base_rate"):
+            flash_crowd_trace(n_epochs=4, base_rate=-0.1, registry=REGISTRY)
+        with pytest.raises(ClusterError, match="burst_rate"):
+            flash_crowd_trace(n_epochs=4, burst_rate=-1.0, registry=REGISTRY)
+
+    def test_flash_crowd_bad_window_rejected(self):
+        with pytest.raises(ClusterError, match="burst_epoch"):
+            flash_crowd_trace(n_epochs=4, burst_epoch=-1, registry=REGISTRY)
+        with pytest.raises(ClusterError, match="burst_duration"):
+            flash_crowd_trace(n_epochs=4, burst_duration=0, registry=REGISTRY)
