@@ -1,0 +1,34 @@
+"""Cluster-level resource broker: SATORI's control loop, one level up.
+
+The hierarchical control plane's top layer (see DESIGN.md
+"Hierarchical control plane"): a :class:`GlobalBroker` observes each
+node's epoch outcomes and moves elastic
+:class:`~repro.cluster.budget.ResourceBudget` units between nodes,
+while each node's own partitioning policy divides whatever budget it
+holds among its resident jobs. Schemes: ``static`` (control),
+``harvest`` (Spirit-style take-from-richest), ``trade`` (pairwise
+exchange with hysteresis), and ``bo`` (the PR 3 Bayesian-optimization
+machinery applied to the fleet's budget vector — SATORI on itself).
+"""
+
+from repro.broker.base import (
+    BrokerView,
+    GlobalBroker,
+    broker_names,
+    make_broker,
+    register_broker,
+)
+from repro.broker.bo import BudgetOptimizerBroker
+from repro.broker.schemes import HarvestBroker, StaticBroker, TradeBroker
+
+__all__ = [
+    "BrokerView",
+    "BudgetOptimizerBroker",
+    "GlobalBroker",
+    "HarvestBroker",
+    "StaticBroker",
+    "TradeBroker",
+    "broker_names",
+    "make_broker",
+    "register_broker",
+]

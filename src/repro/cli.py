@@ -15,6 +15,7 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``obs``          — instrumented run: decision-latency budget + trace export.
 * ``resilience``   — fault-intensity sweep: hardened vs unhardened SATORI.
 * ``cluster``      — multi-node placement x partitioning-policy sweep.
+* ``broker``       — cluster budget-broker sweep (static/harvest/trade/bo).
 * ``warmstart``    — warm-vs-cold controller continuation (policy-state value).
 * ``workloads``    — list the benchmark workload models (Tables I-III).
 """
@@ -68,6 +69,36 @@ def _engine(args: argparse.Namespace) -> ExecutionEngine:
     cache_dir = "" if args.no_cache else args.cache_dir
     cache = RunCache(cache_dir) if cache_dir else None
     return ExecutionEngine(workers=args.workers, cache=cache)
+
+
+def _export_trace(collector, trace_dir: str, process_name: str) -> None:
+    """Write the PR 5 trace artifacts for a collected run."""
+    import os
+
+    from repro.obs.export import write_chrome_trace, write_jsonl, write_prometheus
+
+    os.makedirs(trace_dir, exist_ok=True)
+    write_jsonl(collector.events, os.path.join(trace_dir, "trace.jsonl"))
+    write_chrome_trace(
+        collector.events,
+        os.path.join(trace_dir, "trace.chrome.json"),
+        process_name=process_name,
+    )
+    write_prometheus(collector.metrics, os.path.join(trace_dir, "metrics.prom"))
+    print(f"\ntrace artifacts written to {trace_dir}/ "
+          f"(trace.jsonl, trace.chrome.json, metrics.prom)")
+
+
+def _parse_node_budgets(raw: str) -> Optional[List[int]]:
+    """``--node-budgets 8,8,4,4`` -> per-node uniform unit counts."""
+    if not raw:
+        return None
+    try:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--node-budgets wants comma-separated integers, got {raw!r}"
+        ) from None
 
 
 def _print_engine_stats(engine: ExecutionEngine) -> None:
@@ -270,17 +301,21 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
 
 def cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.obs import TraceCollector, use_collector
+
     catalog = experiment_catalog(args.units)
     mix = _mixes(args)[args.mix]
     engine = _engine(args)
-    result = resilience_sweep(
-        mix,
-        catalog,
-        RunConfig(duration_s=args.duration),
-        intensities=tuple(args.intensities),
-        seed=args.seed,
-        engine=engine,
-    )
+    collector = TraceCollector()
+    with use_collector(collector):
+        result = resilience_sweep(
+            mix,
+            catalog,
+            RunConfig(duration_s=args.duration),
+            intensities=tuple(args.intensities),
+            seed=args.seed,
+            engine=engine,
+        )
     rows = []
     for outcome in result.outcomes:
         if outcome.failed:
@@ -304,6 +339,8 @@ def cmd_resilience(args: argparse.Namespace) -> int:
             title=f"mix: {result.mix_label} (faults over the middle third of each run)",
         )
     )
+    if args.trace_dir:
+        _export_trace(collector, args.trace_dir, "repro resilience")
     _print_engine_stats(engine)
     return 0
 
@@ -326,6 +363,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         catalog=catalog,
     )
     engine = _engine(args)
+    node_budgets = _parse_node_budgets(args.node_budgets)
+    if node_budgets is not None and len(node_budgets) != args.nodes:
+        raise SystemExit(
+            f"--node-budgets lists {len(node_budgets)} nodes, --nodes is {args.nodes}"
+        )
     collector = TraceCollector()
     with use_collector(collector):
         sweep = cluster_sweep(
@@ -342,6 +384,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 if args.migrate
                 else None
             ),
+            node_budgets=node_budgets,
             engine=engine,
             warm_start=args.warm_start,
         )
@@ -374,13 +417,16 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     )
     for cell in sweep.cells:
         node_rows = [
-            [node_id, f"{throughput:.3f}", f"{fairness:.3f}", f"{occupancy:.1f}"]
-            for node_id, throughput, fairness, occupancy in cell.result.node_summary()
+            [node_id, f"{throughput:.3f}", f"{fairness:.3f}", f"{occupancy:.1f}",
+             f"{budget_units:.1f}", f"{budget_occupancy:.2f}"]
+            for node_id, throughput, fairness, occupancy, budget_units,
+                budget_occupancy in cell.result.node_summary()
         ]
         print()
         print(
             format_table(
-                ["node", "throughput", "fairness", "mean jobs"],
+                ["node", "throughput", "fairness", "mean jobs",
+                 "budget units", "budget occ"],
                 node_rows,
                 title=f"per-node [{cell.placement} / {cell.policy}]:",
             )
@@ -421,26 +467,127 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 title="paired per-job speedup deltas (same trace, same jobs):",
             )
         )
+    if args.trace_dir:
+        _export_trace(collector, args.trace_dir, "repro cluster")
+    _print_engine_stats(engine)
+    return 0
+
+
+def cmd_broker(args: argparse.Namespace) -> int:
+    from repro.analysis.plots import cluster_node_dashboard
+    from repro.experiments.broker import broker_sweep
+    from repro.experiments.cluster import default_trace
+    from repro.obs import TraceCollector, use_collector
+
+    catalog = experiment_catalog(args.units)
+    epoch_config = RunConfig(duration_s=args.duration)
+    trace = default_trace(
+        n_epochs=args.epochs,
+        n_nodes=args.nodes,
+        arrival_rate=args.arrival_rate,
+        mean_residency=args.residency,
+        suite=args.suite,
+        seed=args.seed,
+        catalog=catalog,
+    )
+    engine = _engine(args)
+    node_budgets = _parse_node_budgets(args.node_budgets)
+    if node_budgets is not None and len(node_budgets) != args.nodes:
+        raise SystemExit(
+            f"--node-budgets lists {len(node_budgets)} nodes, --nodes is {args.nodes}"
+        )
+    collector = TraceCollector()
+    with use_collector(collector):
+        sweep = broker_sweep(
+            trace,
+            n_nodes=args.nodes,
+            brokers=tuple(args.brokers),
+            placements=tuple(args.placements),
+            policy=args.policy,
+            catalog=catalog,
+            epoch_config=epoch_config,
+            seed=args.seed,
+            fault_intensity=args.fault_intensity,
+            node_budgets=node_budgets,
+            slo_threshold=args.slo,
+            engine=engine,
+        )
+    print(
+        f"trace: {sweep.n_jobs} jobs over {sweep.n_epochs} epochs "
+        f"({args.duration:g}s each), {args.nodes} nodes, "
+        f"local policy {sweep.policy}"
+    )
+    rows = []
+    for cell in sweep.cells:
+        r = cell.result
+        rows.append([
+            cell.broker,
+            cell.placement,
+            f"{r.mean_speedup:.3f}",
+            f"{r.fairness:.3f}",
+            f"{r.slo_attainment(args.slo):.3f}",
+            f"{r.worst_job_speedup:.3f}",
+            r.budget_transfers,
+            len(r.rejected_jobs),
+        ])
+    print(
+        format_table(
+            ["broker", "placement", "mean speedup", "fairness (jain)",
+             f"SLO ≥ {args.slo:g}", "worst job", "units moved", "rejected"],
+            rows,
+            title="cluster-wide by broker scheme:",
+        )
+    )
+    deltas = sweep.deltas_vs_static()
+    if deltas:
+        delta_rows = [
+            [
+                d.broker,
+                d.placement,
+                f"{d.speedup.delta.mean:+.3f}",
+                f"[{d.speedup.delta.ci_low:+.3f}, {d.speedup.delta.ci_high:+.3f}]",
+                f"{d.fairness_delta:+.3f}",
+                f"{d.slo_delta:+.3f}",
+                d.speedup.n_common,
+            ]
+            for d in deltas
+        ]
+        print()
+        print(
+            format_table(
+                ["broker", "placement", "mean Δspeedup", "95% CI",
+                 "Δfairness", "ΔSLO", "paired jobs"],
+                delta_rows,
+                title="paired deltas vs the static control (same trace, same jobs):",
+            )
+        )
+    print("\nper-node trends over epochs (shared scale within each cell):\n")
+    print(cluster_node_dashboard(collector.metrics))
+    if args.trace_dir:
+        _export_trace(collector, args.trace_dir, "repro broker")
     _print_engine_stats(engine)
     return 0
 
 
 def cmd_warmstart(args: argparse.Namespace) -> int:
     from repro.experiments.warmstart import warmstart_experiment
+    from repro.obs import TraceCollector, use_collector
 
     catalog = experiment_catalog(args.units)
     mixes = suite_mixes(args.suite, mix_size=3)[: args.mixes]
     engine = _engine(args)
-    report = warmstart_experiment(
-        mixes,
-        catalog=catalog,
-        run_config=RunConfig(duration_s=args.duration,
-                             baseline_reset_s=args.duration / 2),
-        n_nodes=args.nodes,
-        n_epochs=args.epochs,
-        seed=args.seed,
-        engine=engine,
-    )
+    collector = TraceCollector()
+    with use_collector(collector):
+        report = warmstart_experiment(
+            mixes,
+            catalog=catalog,
+            run_config=RunConfig(duration_s=args.duration,
+                                 baseline_reset_s=args.duration / 2),
+            n_nodes=args.nodes,
+            n_epochs=args.epochs,
+            seed=args.seed,
+            engine=engine,
+        )
 
     rows = []
     for cell in report.adaptation:
@@ -494,6 +641,8 @@ def cmd_warmstart(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"\nJSON summary written to {args.json}")
+    if args.trace_dir:
+        _export_trace(collector, args.trace_dir, "repro warmstart")
     _print_engine_stats(engine)
     return 0
 
@@ -554,6 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("obs", cmd_obs, "obs"),
         ("resilience", cmd_resilience, "resilience"),
         ("cluster", cmd_cluster, "cluster"),
+        ("broker", cmd_broker, "broker"),
         ("warmstart", cmd_warmstart, "warmstart"),
         ("report", cmd_report, "report"),
         ("figure", cmd_figure, "figure"),
@@ -580,6 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--intensities", type=float, nargs="+",
                            default=[0.0, 0.25, 0.5, 1.0],
                            help="fault intensities in [0, 1] to sweep")
+            p.add_argument("--trace-dir", default="",
+                           help="write trace.jsonl, trace.chrome.json and "
+                                "metrics.prom to this directory")
         if extra == "cluster":
             p.add_argument("--nodes", type=int, default=4, help="fleet size")
             p.add_argument("--epochs", type=int, default=4, help="placement epochs")
@@ -602,7 +755,41 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--warm-start", action="store_true",
                            help="carry controller state across epochs when a "
                                 "node's job membership is unchanged")
+            p.add_argument("--node-budgets", default="",
+                           help="comma-separated per-node unit counts, e.g. "
+                                "'8,8,4,4' (uniform across resources); empty "
+                                "means every node owns its full catalog")
+            p.add_argument("--trace-dir", default="",
+                           help="write trace.jsonl, trace.chrome.json and "
+                                "metrics.prom to this directory")
             # for cluster, --duration is the per-epoch length
+            p.set_defaults(duration=4.0)
+        if extra == "broker":
+            p.add_argument("--nodes", type=int, default=4, help="fleet size")
+            p.add_argument("--epochs", type=int, default=6, help="placement epochs")
+            p.add_argument("--arrival-rate", type=float, default=1.5,
+                           help="mean job arrivals per epoch (Poisson)")
+            p.add_argument("--residency", type=float, default=3.0,
+                           help="mean resident epochs per job (geometric)")
+            p.add_argument("--brokers", nargs="+",
+                           default=["static", "harvest", "trade", "bo"],
+                           help="broker schemes to compare")
+            p.add_argument("--placements", nargs="+", default=["round_robin"],
+                           help="placement policies to cross with")
+            p.add_argument("--policy", default="SATORI",
+                           help="partitioning policy every node runs")
+            p.add_argument("--fault-intensity", type=float, default=0.0,
+                           help="fault intensity on even-numbered nodes")
+            p.add_argument("--node-budgets", default="",
+                           help="comma-separated per-node unit counts, e.g. "
+                                "'8,8,4,4' (uniform across resources); empty "
+                                "means every node owns its full catalog")
+            p.add_argument("--slo", type=float, default=0.8,
+                           help="per-job mean-speedup SLO threshold")
+            p.add_argument("--trace-dir", default="",
+                           help="write trace.jsonl, trace.chrome.json and "
+                                "metrics.prom to this directory")
+            # for broker, --duration is the per-epoch length
             p.set_defaults(duration=4.0)
         if extra == "warmstart":
             p.add_argument("--mixes", type=int, default=4,
@@ -614,6 +801,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(warm starts need membership-stable boundaries)")
             p.add_argument("--json", default="",
                            help="write the JSON report to this path")
+            p.add_argument("--trace-dir", default="",
+                           help="write trace.jsonl, trace.chrome.json and "
+                                "metrics.prom to this directory")
             # warm-start value shows up over multi-epoch horizons
             p.set_defaults(duration=8.0)
         if extra == "report":

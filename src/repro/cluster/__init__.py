@@ -9,6 +9,14 @@ an independent :class:`~repro.engine.RunSpec` through the execution
 engine. See DESIGN.md ("Cluster architecture").
 """
 
+from repro.cluster.budget import (
+    BudgetLike,
+    BudgetTransfer,
+    ResourceBudget,
+    coerce_budget,
+    pool_totals,
+    scaled_catalog,
+)
 from repro.cluster.node import ServerNode, instance_name, node_capacity
 from repro.cluster.placement import (
     ContentionAwarePlacement,
@@ -27,6 +35,8 @@ from repro.cluster.simulator import (
 )
 
 __all__ = [
+    "BudgetLike",
+    "BudgetTransfer",
     "ClusterResult",
     "ClusterSimulator",
     "ContentionAwarePlacement",
@@ -35,10 +45,14 @@ __all__ = [
     "NodeEpochRecord",
     "NodeView",
     "PlacementPolicy",
+    "ResourceBudget",
     "RoundRobinPlacement",
     "ServerNode",
+    "coerce_budget",
     "instance_name",
     "make_placement",
     "node_capacity",
     "placement_names",
+    "pool_totals",
+    "scaled_catalog",
 ]

@@ -1,13 +1,22 @@
 """One server in the cluster: resident jobs plus spec construction.
 
-A :class:`ServerNode` owns its resource catalog and the set of job
-instances currently placed on it, and knows how to describe one
-placement epoch of partitioned execution as a
-:class:`~repro.engine.RunSpec`. The node itself never executes
-anything — the cluster simulator batches every node's epoch spec
-through the :class:`~repro.engine.ExecutionEngine`, which is what
-makes nodes run in parallel worker processes and lets the run cache
-deduplicate identical node-epochs across sweep cells.
+A :class:`ServerNode` owns its resource catalog, its elastic
+:class:`~repro.cluster.budget.ResourceBudget` (the share of the
+cluster-wide unit pool it currently holds), and the set of job
+instances placed on it, and knows how to describe one placement epoch
+of partitioned execution as a :class:`~repro.engine.RunSpec`. The node
+itself never executes anything — the cluster simulator batches every
+node's epoch spec through the
+:class:`~repro.engine.ExecutionEngine`, which is what makes nodes run
+in parallel worker processes and lets the run cache deduplicate
+identical node-epochs across sweep cells.
+
+Capacity is no longer a fixed scalar: the most jobs a node can host is
+whatever its *current budget* can physically partition, so when the
+global broker moves units toward a node its capacity grows and the
+placement layer sees the change on the next arrival. A node at its
+catalog's full budget behaves exactly as the pre-budget code did —
+same capacity, same epoch-spec digests.
 
 Job instances get *instance-unique* workload names (``canneal#7`` for
 job id 7) because :class:`~repro.workloads.mixes.JobMix` forbids
@@ -20,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Tuple
 
+from repro.cluster.budget import ResourceBudget, scaled_catalog
 from repro.errors import ClusterError
 from repro.engine.spec import RunSpec
 from repro.experiments.runner import RunConfig
@@ -37,7 +47,8 @@ def instance_name(workload_name: str, job_id: int) -> str:
 
 
 def node_capacity(catalog: ResourceCatalog) -> int:
-    """Most jobs a catalog can host: every job needs its per-resource minimum."""
+    """Most jobs a full-budget catalog can host: every job needs its
+    per-resource minimum."""
     return min(resource.units // resource.min_units for resource in catalog)
 
 
@@ -46,10 +57,17 @@ class ServerNode:
 
     Args:
         node_id: stable index of this node.
-        catalog: the node's resource catalog (nodes may be
-            heterogeneous — each carries its own).
-        capacity: maximum resident jobs; defaults to what the catalog
-            can physically partition (:func:`node_capacity`).
+        catalog: the node's resource template (nodes may be
+            heterogeneous — each carries its own). Defines the resource
+            kinds, per-job minimums, and unit capacities; the *number*
+            of units the node holds is the budget's business.
+        capacity: optional fixed cap on resident jobs, layered on top
+            of whatever the current budget can physically partition
+            (kept for admission-control experiments; most callers leave
+            it unset and let the budget decide).
+        budget: initial :class:`~repro.cluster.budget.ResourceBudget`;
+            defaults to the catalog's full unit counts — the historical
+            fixed-capacity behavior.
     """
 
     def __init__(
@@ -57,25 +75,79 @@ class ServerNode:
         node_id: int,
         catalog: ResourceCatalog,
         capacity: Optional[int] = None,
+        budget: Optional[ResourceBudget] = None,
     ):
         if node_id < 0:
             raise ClusterError(f"node_id must be >= 0, got {node_id}")
-        limit = node_capacity(catalog)
-        if capacity is None:
-            capacity = limit
-        if capacity < 1:
-            raise ClusterError(f"node capacity must be >= 1, got {capacity}")
-        if capacity > limit:
-            raise ClusterError(
-                f"node {node_id}: capacity {capacity} exceeds what the catalog "
-                f"can partition ({limit} jobs)"
-            )
         self.node_id = int(node_id)
         self.catalog = catalog
-        self.capacity = int(capacity)
+        self._budget = budget or ResourceBudget.from_catalog(catalog)
+        if set(self._budget.names) != set(catalog.names):
+            raise ClusterError(
+                f"node {node_id}: budget resources {self._budget.names} do not "
+                f"match catalog {catalog.names}"
+            )
+        limit = self._budget.capacity(catalog)
+        if limit < 1:
+            raise ClusterError(
+                f"node {node_id}: budget {self._budget.as_dict()} cannot host "
+                f"even one job under {catalog!r}"
+            )
+        if capacity is not None:
+            if capacity < 1:
+                raise ClusterError(f"node capacity must be >= 1, got {capacity}")
+            if capacity > limit:
+                raise ClusterError(
+                    f"node {node_id}: capacity {capacity} exceeds what the "
+                    f"budget can partition ({limit} jobs)"
+                )
+        self._max_jobs = None if capacity is None else int(capacity)
         self._jobs: Dict[int, Workload] = {}
 
+    # -- budget -----------------------------------------------------------
+
+    @property
+    def budget(self) -> ResourceBudget:
+        """The node's current share of the cluster-wide unit pool."""
+        return self._budget
+
+    @property
+    def effective_catalog(self) -> ResourceCatalog:
+        """The catalog this node's epochs actually partition.
+
+        Identical (by object) to :attr:`catalog` at full budget, so
+        fixed-budget epoch specs keep their historical digests.
+        """
+        return scaled_catalog(self.catalog, self._budget)
+
+    def set_budget(self, budget: ResourceBudget) -> None:
+        """Adopt a broker-assigned budget for the coming epoch.
+
+        Raises:
+            ClusterError: if the budget's resources do not match the
+                catalog or it cannot host the currently resident jobs —
+                the broker must never strand a placed job.
+        """
+        if set(budget.names) != set(self.catalog.names):
+            raise ClusterError(
+                f"node {self.node_id}: budget resources {budget.names} do not "
+                f"match catalog {self.catalog.names}"
+            )
+        capacity = budget.capacity(self.catalog)
+        if capacity < max(1, self.n_jobs):
+            raise ClusterError(
+                f"node {self.node_id}: budget {budget.as_dict()} hosts "
+                f"{capacity} job(s) but {self.n_jobs} are resident"
+            )
+        self._budget = budget
+
     # -- occupancy --------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Most jobs the node can currently host (budget-derived)."""
+        limit = self._budget.capacity(self.catalog)
+        return limit if self._max_jobs is None else min(limit, self._max_jobs)
 
     @property
     def n_jobs(self) -> int:
@@ -156,12 +228,15 @@ class ServerNode:
         ``initial_state`` warm-starts the node's controller from the
         previous epoch's final snapshot (the cluster simulator passes
         it only when job membership did not change across the epoch
-        boundary).
+        boundary). The spec's catalog is the *effective* catalog — the
+        node's budget enters the content digest through it, so an
+        epoch run under a shrunken budget never collides in the cache
+        with one run at full budget.
         """
         return RunSpec(
             mix=self.mix(),
             policy=policy,
-            catalog=self.catalog,
+            catalog=self.effective_catalog,
             policy_kwargs=tuple(sorted((policy_kwargs or {}).items())),
             run_config=run_config,
             goals=goals,

@@ -36,12 +36,19 @@ class NodeView:
         node_id: stable node index.
         n_jobs: jobs currently resident (after departures, including
             placements already made this epoch).
-        capacity: maximum resident jobs the node's catalog supports.
+        capacity: maximum resident jobs the node's *current budget*
+            supports — elastic, not a constant: the global broker may
+            have moved units toward or away from this node since the
+            last epoch.
         mean_speedup: mean per-job speedup the node observed last
             epoch (1.0 until the node has telemetry — an empty or
             fresh node looks uncontended).
         fairness: fairness score the node observed last epoch (1.0
             until telemetry exists).
+        budget_units: total resource units the node currently owns,
+            summed across resources (0 when the caller did not thread
+            budgets through — placement decisions key off ``capacity``,
+            which already reflects the budget).
     """
 
     node_id: int
@@ -49,6 +56,7 @@ class NodeView:
     capacity: int
     mean_speedup: float = 1.0
     fairness: float = 1.0
+    budget_units: int = 0
 
     @property
     def has_capacity(self) -> bool:

@@ -25,7 +25,16 @@ Epoch loop (in order):
    uncontended job retains its isolation performance: speedup,
    throughput and fairness scores of 1.0) rather than simulated;
 5. **scoring** — per-node records feed the next epoch's node views and
-   accumulate into cluster-wide metrics.
+   accumulate into cluster-wide metrics;
+6. **brokering** (optional) — a :class:`~repro.broker.GlobalBroker`
+   observes the scored records and reassigns each node's elastic
+   :class:`~repro.cluster.budget.ResourceBudget` for the *next* epoch.
+   The simulator re-validates every decision: per-resource unit totals
+   must equal the initial pool (conservation) and no node may drop
+   below the floor its resident jobs need (feasibility) — floors are
+   computed on end-of-epoch residency, and the new budgets apply
+   before the next epoch's arrivals, so a compliant decision can never
+   strand a placed job.
 
 Pairing across sweep cells: a node-epoch's seed is
 ``derive_seed(seed, "node", node_id, "epoch", epoch)`` — a function of
@@ -57,6 +66,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.budget import (
+    BudgetLike,
+    ResourceBudget,
+    coerce_budget,
+    pool_totals,
+)
 from repro.cluster.node import ServerNode
 from repro.cluster.placement import NodeView, PlacementPolicy, make_placement
 from repro.engine import ExecutionEngine, RunSpec
@@ -127,6 +142,10 @@ class NodeEpochRecord:
         fairness_series: per-interval fairness scores for the epoch
             (empty for synthesized epochs) — what warm-vs-cold
             comparisons use to measure intervals-to-recover.
+        budget: the resource budget in force during the epoch (``None``
+            only for records built by hand before the budget layer).
+        capacity: jobs that budget could host — the occupancy
+            denominator.
     """
 
     epoch: int
@@ -138,6 +157,8 @@ class NodeEpochRecord:
     job_speedups: Dict[int, float] = field(default_factory=dict)
     warm_started: bool = False
     fairness_series: Tuple[float, ...] = ()
+    budget: Optional[ResourceBudget] = None
+    capacity: int = 0
 
     @property
     def n_jobs(self) -> int:
@@ -168,6 +189,8 @@ class ClusterResult:
     records: Tuple[NodeEpochRecord, ...]
     rejected_jobs: Tuple[int, ...] = ()
     migrations: int = 0
+    broker: str = "none"
+    budget_transfers: int = 0
 
     def node_records(self, node_id: int) -> List[NodeEpochRecord]:
         """One node's records in epoch order."""
@@ -218,17 +241,48 @@ class ClusterResult:
             return float("nan")
         return float(np.mean(simulated))
 
-    def node_summary(self) -> List[Tuple[int, float, float, float]]:
-        """Per-node ``(node_id, mean throughput, mean fairness, mean occupancy)``."""
+    def slo_attainment(self, threshold: float = 0.8) -> float:
+        """Fraction of jobs whose long-term mean speedup meets ``threshold``.
+
+        The cluster-level SLO proxy: a job "made its SLO" when, averaged
+        over its resident epochs, it retained at least ``threshold`` of
+        its isolation performance.
+        """
+        per_job = self.job_mean_speedups()
+        if not per_job:
+            return float("nan")
+        met = sum(1 for speedup in per_job.values() if speedup >= threshold)
+        return met / len(per_job)
+
+    def node_summary(
+        self,
+    ) -> List[Tuple[int, float, float, float, float, float]]:
+        """Per-node ``(node_id, mean throughput, mean fairness, mean
+        occupancy, mean budget units, budget occupancy)``.
+
+        *Budget occupancy* is resident jobs over budget-supported
+        capacity, averaged per epoch — 1.0 means the node's budget was
+        exactly full, low values mean the broker left it slack. Both
+        budget columns are 0.0 for hand-built records with no budget.
+        """
         rows = []
         for node_id in sorted({r.node_id for r in self.records}):
             records = self.node_records(node_id)
+            budgeted = [r for r in records if r.budget is not None]
             rows.append(
                 (
                     node_id,
                     float(np.mean([r.throughput for r in records])),
                     float(np.mean([r.fairness for r in records])),
                     float(np.mean([r.n_jobs for r in records])),
+                    float(np.mean([r.budget.total_units for r in budgeted]))
+                    if budgeted
+                    else 0.0,
+                    float(
+                        np.mean([r.n_jobs / r.capacity for r in budgeted if r.capacity])
+                    )
+                    if any(r.capacity for r in budgeted)
+                    else 0.0,
                 )
             )
         return rows
@@ -262,7 +316,21 @@ class ClusterSimulator:
         migration: optional :class:`MigrationConfig`; ``None`` disables
             job migration.
         node_capacity: cap on resident jobs per node; defaults to what
-            each catalog can physically partition.
+            each node's budget can physically partition.
+        node_budgets: optional per-node initial budgets (heterogeneous
+            fleets) — each entry a :class:`ResourceBudget`, a mapping of
+            per-resource unit counts, or an ``int`` meaning that many
+            units of every resource. Defaults to every node owning its
+            catalog's full unit counts (the historical fixed-capacity
+            fleet).
+        broker: optional cluster-level budget broker — a
+            :class:`~repro.broker.GlobalBroker` instance or registry id
+            (``"static"``, ``"harvest"``, ``"trade"``, ``"bo"``).
+            ``None`` disables brokering entirely; budgets then never
+            move and records are bit-identical to a ``"static"``
+            broker's.
+        broker_kwargs: kwargs for the broker factory when ``broker``
+            is a registry id.
         engine: execution engine for node-epoch batches; defaults to a
             fresh serial engine.
         warm_start: re-inject each node's prior-epoch policy snapshot
@@ -292,6 +360,9 @@ class ClusterSimulator:
         node_fault_plans: Optional[Mapping[int, FaultPlan]] = None,
         migration: Optional[MigrationConfig] = None,
         node_capacity: Optional[int] = None,
+        node_budgets: Optional[Sequence[BudgetLike]] = None,
+        broker: Union[str, "GlobalBroker", None] = None,  # noqa: F821
+        broker_kwargs: Optional[dict] = None,
         engine: Optional[ExecutionEngine] = None,
         warm_start: bool = False,
     ):
@@ -320,10 +391,40 @@ class ClusterSimulator:
             )
         self._migration = migration
         self._engine = engine or ExecutionEngine()
+        if node_budgets is not None and len(node_budgets) != n_nodes:
+            raise ClusterError(
+                f"got {len(node_budgets)} node budgets for {n_nodes} nodes"
+            )
         self._nodes = [
-            ServerNode(node_id, catalogs[node_id], capacity=node_capacity)
+            ServerNode(
+                node_id,
+                catalogs[node_id],
+                capacity=node_capacity,
+                budget=(
+                    coerce_budget(node_budgets[node_id], catalogs[node_id])
+                    if node_budgets is not None
+                    else None
+                ),
+            )
             for node_id in range(n_nodes)
         ]
+        # The conserved quantity: cluster-wide per-resource unit totals.
+        # Fixed at construction; every broker decision is checked
+        # against it.
+        self._pool = pool_totals(node.budget for node in self._nodes)
+        if isinstance(broker, str):
+            # Lazy import: repro.broker imports repro.cluster.budget at
+            # module load, so the simulator must not import it back at
+            # module level.
+            from repro.broker import make_broker
+
+            broker = make_broker(broker, **(broker_kwargs or {}))
+        elif broker_kwargs:
+            raise ClusterError(
+                "broker_kwargs only apply when broker is a registry id"
+            )
+        self._broker = broker
+        self._budget_transfers = 0
         self._warm_start = bool(warm_start)
         # Previous-epoch observations per node (the placement policy's
         # information set) and consecutive-unfair counters for migration.
@@ -343,6 +444,16 @@ class ClusterSimulator:
     @property
     def engine(self) -> ExecutionEngine:
         return self._engine
+
+    @property
+    def broker(self):
+        """The cluster-level budget broker (``None`` when disabled)."""
+        return self._broker
+
+    @property
+    def pool(self) -> Dict[str, int]:
+        """Cluster-wide per-resource unit totals (the conserved pool)."""
+        return dict(self._pool)
 
     # -- views ------------------------------------------------------------
 
@@ -365,6 +476,7 @@ class ClusterSimulator:
                     capacity=node.capacity,
                     mean_speedup=mean_speedup,
                     fairness=fairness,
+                    budget_units=node.budget.total_units,
                 )
             )
         return views
@@ -528,6 +640,8 @@ class ClusterSimulator:
                     fairness_series=tuple(
                         float(v) for v in result.telemetry.series("fairness")
                     ),
+                    budget=node.budget,
+                    capacity=node.capacity,
                 )
             )
             if result.final_state is not None:
@@ -551,6 +665,8 @@ class ClusterSimulator:
                     throughput=1.0,
                     fairness=1.0,
                     job_speedups={job_id: 1.0 for job_id in node.job_ids},
+                    budget=node.budget,
+                    capacity=node.capacity,
                 )
             )
         for node in self._nodes:
@@ -559,6 +675,90 @@ class ClusterSimulator:
         records.sort(key=lambda r: r.node_id)
         return records
 
+    # -- brokering ---------------------------------------------------------
+
+    def _broker_step(self, epoch: int, records: Sequence[NodeEpochRecord]) -> None:
+        """Let the broker reassign budgets from the epoch's outcomes."""
+        if self._broker is None:
+            return
+        from repro.broker import BrokerView  # lazy: see __init__
+
+        obs = active_collector()
+        by_node = {record.node_id: record for record in records}
+        views = []
+        for node in self._nodes:
+            record = by_node[node.node_id]
+            views.append(
+                BrokerView(
+                    node_id=node.node_id,
+                    budget=node.budget,
+                    floor=node.budget.floor(node.catalog, node.n_jobs),
+                    n_jobs=node.n_jobs,
+                    throughput=record.throughput,
+                    fairness=record.fairness,
+                    mean_speedup=record.mean_speedup,
+                    synthesized=record.synthesized,
+                )
+            )
+        with obs.span(
+            "broker.decide", "broker", epoch=epoch, scheme=self._broker.name
+        ):
+            decision = self._broker.decide(epoch, views)
+        self._apply_budgets(epoch, decision, views)
+
+    def _apply_budgets(
+        self,
+        epoch: int,
+        decision: Mapping[int, ResourceBudget],
+        views: Sequence["BrokerView"],  # noqa: F821
+    ) -> None:
+        """Validate a broker decision, emit its transfers, and adopt it.
+
+        Raises:
+            ClusterError: on an incomplete mapping, a conservation
+                violation (per-resource totals drifted from the pool),
+                or a floor violation (a node left unable to host its
+                resident jobs). Broker bugs fail loudly — a silent leak
+                of capacity would invalidate every downstream metric.
+        """
+        missing = {node.node_id for node in self._nodes} - set(decision)
+        if missing:
+            raise ClusterError(
+                f"broker {self._broker.name!r} omitted node(s) {sorted(missing)} "
+                f"at epoch {epoch}"
+            )
+        totals = pool_totals(decision[node.node_id] for node in self._nodes)
+        if totals != self._pool:
+            raise ClusterError(
+                f"broker {self._broker.name!r} broke conservation at epoch "
+                f"{epoch}: pool {self._pool} became {totals}"
+            )
+        floors = {view.node_id: view.floor for view in views}
+        for node in self._nodes:
+            new = decision[node.node_id]
+            floor = floors[node.node_id]
+            for name in floor.names:
+                if new.get(name) < floor.get(name):
+                    raise ClusterError(
+                        f"broker {self._broker.name!r} pushed node "
+                        f"{node.node_id} below its floor at epoch {epoch}: "
+                        f"{name}={new.get(name)} < {floor.get(name)}"
+                    )
+        obs = active_collector()
+        for resource, source, target, units in _transfer_ledger(
+            {node.node_id: node.budget for node in self._nodes}, decision
+        ):
+            obs.event(
+                "budget_transfer", "broker",
+                epoch=epoch, resource=resource,
+                source=source, target=target, units=units,
+            )
+            obs.metrics.counter("cluster.budget_transfers").inc()
+            self._budget_transfers += 1
+        for node in self._nodes:
+            if decision[node.node_id] != node.budget:
+                node.set_budget(decision[node.node_id])
+
     # -- the run -----------------------------------------------------------
 
     def run(self) -> ClusterResult:
@@ -566,8 +766,12 @@ class ClusterSimulator:
         obs = active_collector()
         # Sweep cells run sequentially under one collector, so series
         # names carry the cell coordinates to keep nodes from
-        # interleaving across cells.
+        # interleaving across cells. Broker sweeps share placement and
+        # policy across cells, so the broker name joins the coordinate
+        # (no-broker runs keep the historical prefix).
         series_prefix = f"cluster.{self._placement.name}.{self._policy}"
+        if self._broker is not None:
+            series_prefix += f"@{self._broker.name}"
         all_records: List[NodeEpochRecord] = []
         rejected: List[int] = []
         migrations = 0
@@ -584,6 +788,11 @@ class ClusterSimulator:
                 obs.metrics.series(f"{node_prefix}.throughput").append(record.throughput)
                 obs.metrics.series(f"{node_prefix}.fairness").append(record.fairness)
                 obs.metrics.series(f"{node_prefix}.occupancy").append(record.n_jobs)
+                if record.budget is not None:
+                    obs.metrics.series(f"{node_prefix}.budget_units").append(
+                        record.budget.total_units
+                    )
+            self._broker_step(epoch, records)
             previous = {record.node_id: record for record in records}
             all_records.extend(records)
         return ClusterResult(
@@ -594,4 +803,43 @@ class ClusterSimulator:
             records=tuple(all_records),
             rejected_jobs=tuple(rejected),
             migrations=migrations,
+            broker=self._broker.name if self._broker is not None else "none",
+            budget_transfers=self._budget_transfers,
         )
+
+
+def _transfer_ledger(
+    before: Mapping[int, ResourceBudget],
+    after: Mapping[int, ResourceBudget],
+) -> List[Tuple[str, int, int, int]]:
+    """Explain a budget reassignment as ``(resource, source, target,
+    units)`` flows.
+
+    The broker returns end states, not flows; for the trace we
+    reconstruct a minimal deterministic flow per resource by matching
+    losers to gainers in node-id order. Any matching with the right
+    row/column sums is equally valid as an audit trail — this one is
+    stable, which is what replayable traces need.
+    """
+    ledger: List[Tuple[str, int, int, int]] = []
+    resources = sorted({name for b in before.values() for name in b.names})
+    for resource in resources:
+        losses = []
+        gains = []
+        for node_id in sorted(before):
+            delta = after[node_id].get(resource) - before[node_id].get(resource)
+            if delta < 0:
+                losses.append([node_id, -delta])
+            elif delta > 0:
+                gains.append([node_id, delta])
+        li = gi = 0
+        while li < len(losses) and gi < len(gains):
+            units = min(losses[li][1], gains[gi][1])
+            ledger.append((resource, losses[li][0], gains[gi][0], units))
+            losses[li][1] -= units
+            gains[gi][1] -= units
+            if losses[li][1] == 0:
+                li += 1
+            if gains[gi][1] == 0:
+                gi += 1
+    return ledger

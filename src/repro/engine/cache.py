@@ -47,7 +47,13 @@ from repro.experiments.runner import RunResult
 #: cold twin face paired noise while cold runs keep their historical
 #: streams. v3 artifacts lack the final state; they must not be
 #: served.
-CACHE_SCHEMA_VERSION = 4
+#: v5: elastic node budgets. A node-epoch's spec catalog is now the
+#: node's *effective* (budget-scaled) catalog, so shrunken-budget
+#: epochs digest differently from full-budget ones. Full-budget specs
+#: are constructed from the identical catalog object and keep their
+#: v4 digests, but the schema bump retires v4 artifacts anyway as
+#: cheap insurance against serving a pre-budget result.
+CACHE_SCHEMA_VERSION = 5
 
 
 def default_cache_salt() -> str:

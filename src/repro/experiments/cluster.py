@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.budget import BudgetLike
 from repro.cluster.simulator import ClusterResult, ClusterSimulator, MigrationConfig
 from repro.engine import ExecutionEngine
 from repro.errors import ClusterError
@@ -105,6 +106,7 @@ def cluster_sweep(
     seed: int = 0,
     fault_intensity: float = 0.0,
     migration: Optional[MigrationConfig] = None,
+    node_budgets: Optional[Sequence[BudgetLike]] = None,
     engine: Optional[ExecutionEngine] = None,
     warm_start: bool = False,
 ) -> ClusterSweepResult:
@@ -123,6 +125,9 @@ def cluster_sweep(
         fault_intensity: intensity for :func:`node_fault_plans`;
             0 disables fault injection.
         migration: optional migration policy applied in every cell.
+        node_budgets: optional per-node initial budgets (heterogeneous
+            fleets) — every cell starts from the same budgets; see
+            :class:`~repro.cluster.simulator.ClusterSimulator`.
         engine: shared execution engine — one engine across all cells
             lets the run cache deduplicate node-epochs that different
             placements happen to produce identically.
@@ -152,6 +157,7 @@ def cluster_sweep(
                 seed=seed,
                 node_fault_plans=plans,
                 migration=migration,
+                node_budgets=node_budgets,
                 engine=engine,
                 warm_start=warm_start,
             )

@@ -21,6 +21,7 @@ COMMANDS = (
     "obs",
     "resilience",
     "cluster",
+    "broker",
     "warmstart",
     "report",
     "figure",
@@ -41,6 +42,9 @@ TINY_INVOCATIONS = {
     "cluster": ["cluster", "--nodes", "2", "--epochs", "2", "--duration", "1",
                 "--units", "4", "--suite", "ecp",
                 "--policies", "EqualPartition", "--placements", "round_robin"],
+    "broker": ["broker", "--nodes", "2", "--epochs", "2", "--duration", "1",
+               "--units", "4", "--suite", "ecp", "--policy", "EqualPartition",
+               "--brokers", "static", "harvest"],
     "warmstart": ["warmstart", "--duration", "3", "--units", "4", "--suite", "ecp",
                   "--mixes", "2", "--nodes", "2", "--epochs", "4"],
     "report": ["report", "--duration", "2", "--units", "4", "--suite", "ecp", "--mixes", "1"],
