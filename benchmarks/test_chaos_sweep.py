@@ -1,0 +1,143 @@
+"""Chaos sweep benchmark: fleet recovery vs ablation under shared weather.
+
+The fleet fault-tolerance acceptance run: a 4-node cluster replays one
+arrival trace with a mid-trace node crash (and optional straggler),
+once with the supervised recovery protocol and once with recovery
+disabled. Both arms face bit-identical fleet weather, so the gap —
+jobs lost, disruption-adjusted fairness, recovery intervals — is the
+measured value of the recovery machinery.
+
+Also home of the ``BENCH_chaos.json`` artifact: a fast, non-slow-marked
+run written on every tier-1 CI pass so the recovery trajectory is
+visible across PRs (override the path with ``BENCH_CHAOS_JSON``).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.chaos import chaos_fleet_plans, chaos_sweep
+from repro.experiments.cluster import default_trace
+from repro.experiments.runner import RunConfig, experiment_catalog
+
+from common import run_once
+
+#: Scale of the fast BENCH_chaos run — small enough for tier-1 CI.
+BENCH_NODES = 4
+BENCH_EPOCHS = 6
+BENCH_EPOCH_SECONDS = 2.0
+
+#: Scale of the slow-marked sweep.
+N_NODES = 4
+N_EPOCHS = 8
+EPOCH_SECONDS = 6.0
+
+
+def _bench_path():
+    return os.environ.get("BENCH_CHAOS_JSON", "BENCH_chaos.json")
+
+
+def _arm_row(arm):
+    intervals = ", ".join(
+        f"@{epoch}:" + ("never" if k is None else str(k))
+        for epoch, k in sorted(arm.recovery_intervals.items())
+    ) or "n/a"
+    return [
+        arm.name, arm.jobs_lost, round(arm.fairness, 4),
+        arm.result.replacements, arm.result.resurrections,
+        str(arm.pool_conserved), intervals,
+    ]
+
+
+def test_bench_chaos_artifact():
+    """4-node crash sweep: zero loss with recovery, ablation worse.
+
+    Deliberately not ``slow``-marked: tier-1 CI invokes this by path
+    after the main suite and uploads the artifact. The assertions gate
+    the recovery contract (no lost jobs, bit-exact budget conservation,
+    intervals reported, ablation strictly worse), never wall-clock
+    speed.
+    """
+    catalog = experiment_catalog()
+    # Long residencies keep the crashed node's drained jobs alive past
+    # the outage, so the arms genuinely diverge: the ablation loses
+    # work the recovery arm re-places.
+    trace = default_trace(
+        n_epochs=BENCH_EPOCHS, n_nodes=BENCH_NODES, arrival_rate=1.5,
+        mean_residency=float(BENCH_EPOCHS), seed=0, catalog=catalog,
+    )
+    plans = chaos_fleet_plans(
+        BENCH_NODES, BENCH_EPOCHS, crash_node=0,
+        straggler_node=1, straggler_slowdown=2.0,
+    )
+    started = time.perf_counter()
+    report = chaos_sweep(
+        trace, n_nodes=BENCH_NODES, fleet_plans=plans,
+        placement="least_loaded", policy="SATORI", catalog=catalog,
+        epoch_config=RunConfig(duration_s=BENCH_EPOCH_SECONDS), seed=0,
+    )
+    elapsed = time.perf_counter() - started
+
+    # The recovery contract, asserted at benchmark scale.
+    assert report.recovery.jobs_lost == 0
+    assert report.recovery.pool_conserved and report.ablation.pool_conserved
+    assert report.disruption_epochs, "the planned crash never fired"
+    assert report.recovery.recovery_intervals, "no recovery intervals reported"
+    assert report.ablation.jobs_lost > report.recovery.jobs_lost
+    assert report.recovery.fairness > report.ablation.fairness
+
+    payload = report.to_dict()
+    payload.update(
+        benchmark="chaos_sweep",
+        wall_s=round(elapsed, 4),
+        epochs_per_s=round(2 * BENCH_EPOCHS / elapsed, 3),
+        epoch_seconds=BENCH_EPOCH_SECONDS,
+        n_jobs=len(trace),
+    )
+    with open(_bench_path(), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {_bench_path()}")
+    print(format_table(
+        ["arm", "lost", "fairness", "replaced", "resurrected", "pool ok",
+         "recovery intervals"],
+        [_arm_row(arm) for arm in report.arms],
+        precision=4,
+    ))
+
+
+@pytest.mark.slow
+def test_chaos_sweep_at_scale(benchmark):
+    catalog = experiment_catalog()
+    trace = default_trace(
+        n_epochs=N_EPOCHS, n_nodes=N_NODES, arrival_rate=2.0,
+        mean_residency=float(N_EPOCHS), seed=0, catalog=catalog,
+    )
+    plans = chaos_fleet_plans(
+        N_NODES, N_EPOCHS, straggler_node=2, straggler_slowdown=2.5
+    )
+    report = run_once(
+        benchmark,
+        lambda: chaos_sweep(
+            trace, n_nodes=N_NODES, fleet_plans=plans,
+            placement="least_loaded", policy="SATORI", catalog=catalog,
+            epoch_config=RunConfig(duration_s=EPOCH_SECONDS), seed=0,
+        ),
+    )
+    print(
+        f"\nChaos sweep — {N_NODES} nodes, {len(trace)} jobs over "
+        f"{N_EPOCHS} epochs, disruptions at {list(report.disruption_epochs)}"
+    )
+    print(format_table(
+        ["arm", "lost", "fairness", "replaced", "resurrected", "pool ok",
+         "recovery intervals"],
+        [_arm_row(arm) for arm in report.arms],
+        precision=4,
+    ))
+    assert report.recovery.jobs_lost == 0
+    assert report.recovery.pool_conserved and report.ablation.pool_conserved
+    assert report.ablation.jobs_lost > 0
+    assert report.recovery.fairness > report.ablation.fairness

@@ -17,7 +17,11 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``cluster``      — multi-node placement x partitioning-policy sweep.
 * ``broker``       — cluster budget-broker sweep (static/harvest/trade/bo).
 * ``warmstart``    — warm-vs-cold controller continuation (policy-state value).
+* ``chaos``        — paired fleet-fault sweep: recovery protocol vs ablation.
 * ``workloads``    — list the benchmark workload models (Tables I-III).
+
+Every command (except ``workloads``) accepts ``--trace-dir`` to export
+the run's trace/metrics artifacts uniformly.
 """
 
 from __future__ import annotations
@@ -63,6 +67,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="directory for the content-addressed run cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompute everything")
+    parser.add_argument("--trace-dir", default="",
+                        help="write trace.jsonl, trace.chrome.json and "
+                             "metrics.prom to this directory")
 
 
 def _engine(args: argparse.Namespace) -> ExecutionEngine:
@@ -647,6 +654,71 @@ def cmd_warmstart(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import RecoveryConfig
+    from repro.experiments.chaos import chaos_fleet_plans, chaos_sweep
+    from repro.experiments.cluster import default_trace
+
+    catalog = experiment_catalog(args.units)
+    epoch_config = RunConfig(duration_s=args.duration)
+    trace = default_trace(
+        n_epochs=args.epochs,
+        n_nodes=args.nodes,
+        arrival_rate=args.arrival_rate,
+        mean_residency=args.residency,
+        suite=args.suite,
+        seed=args.seed,
+        catalog=catalog,
+    )
+    plans = chaos_fleet_plans(
+        args.nodes,
+        args.epochs,
+        crash_node=args.crash_node,
+        crash_epoch=args.crash_epoch,
+        outage_epochs=args.outage,
+        straggler_node=args.straggler_node,
+        straggler_slowdown=args.straggler_slowdown,
+    )
+    engine = _engine(args)
+    recovery = RecoveryConfig(
+        snapshot_cadence_epochs=args.snapshot_cadence,
+        warmup_penalty_intervals=args.penalty,
+    )
+    report = chaos_sweep(
+        trace,
+        args.nodes,
+        plans,
+        placement=args.placement,
+        policy=args.policy,
+        catalog=catalog,
+        epoch_config=epoch_config,
+        seed=args.seed,
+        recovery=recovery,
+        engine=engine,
+    )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nJSON report written to {args.json}")
+    _print_engine_stats(engine)
+    if args.assert_recovery:
+        problems = []
+        if report.recovery.jobs_lost:
+            problems.append(
+                f"recovery arm lost {report.recovery.jobs_lost} job(s)"
+            )
+        if not report.recovery.pool_conserved:
+            problems.append("recovery arm's budget pool was not conserved")
+        if problems:
+            print("chaos assertions FAILED: " + "; ".join(problems), file=sys.stderr)
+            return 1
+        print("\nchaos assertions passed: zero jobs lost, budget pool conserved")
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.figures import FigureScale, figure_names, run_figure
 
@@ -705,6 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("cluster", cmd_cluster, "cluster"),
         ("broker", cmd_broker, "broker"),
         ("warmstart", cmd_warmstart, "warmstart"),
+        ("chaos", cmd_chaos, "chaos"),
         ("report", cmd_report, "report"),
         ("figure", cmd_figure, "figure"),
     ):
@@ -719,20 +792,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--json", nargs="?", const="-", default=None,
                            help="emit the JSON report ('-' or no value for stdout, "
                                 "otherwise a file path)")
-            p.add_argument("--trace-dir", default="",
-                           help="write trace.jsonl, trace.chrome.json and "
-                                "metrics.prom to this directory")
             p.add_argument("--idle", action="store_true",
                            help="enable idle detection during the measured run")
             # enough intervals for a stable per-interval budget
-            p.set_defaults(duration=15.0)
+            p.set_defaults(duration=15.0, handles_trace=True)
         if extra == "resilience":
             p.add_argument("--intensities", type=float, nargs="+",
                            default=[0.0, 0.25, 0.5, 1.0],
                            help="fault intensities in [0, 1] to sweep")
-            p.add_argument("--trace-dir", default="",
-                           help="write trace.jsonl, trace.chrome.json and "
-                                "metrics.prom to this directory")
+            p.set_defaults(handles_trace=True)
         if extra == "cluster":
             p.add_argument("--nodes", type=int, default=4, help="fleet size")
             p.add_argument("--epochs", type=int, default=4, help="placement epochs")
@@ -759,11 +827,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated per-node unit counts, e.g. "
                                 "'8,8,4,4' (uniform across resources); empty "
                                 "means every node owns its full catalog")
-            p.add_argument("--trace-dir", default="",
-                           help="write trace.jsonl, trace.chrome.json and "
-                                "metrics.prom to this directory")
             # for cluster, --duration is the per-epoch length
-            p.set_defaults(duration=4.0)
+            p.set_defaults(duration=4.0, handles_trace=True)
         if extra == "broker":
             p.add_argument("--nodes", type=int, default=4, help="fleet size")
             p.add_argument("--epochs", type=int, default=6, help="placement epochs")
@@ -786,11 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
                                 "means every node owns its full catalog")
             p.add_argument("--slo", type=float, default=0.8,
                            help="per-job mean-speedup SLO threshold")
-            p.add_argument("--trace-dir", default="",
-                           help="write trace.jsonl, trace.chrome.json and "
-                                "metrics.prom to this directory")
             # for broker, --duration is the per-epoch length
-            p.set_defaults(duration=4.0)
+            p.set_defaults(duration=4.0, handles_trace=True)
         if extra == "warmstart":
             p.add_argument("--mixes", type=int, default=4,
                            help="number of suite mixes for the adaptation sweep")
@@ -801,11 +863,41 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(warm starts need membership-stable boundaries)")
             p.add_argument("--json", default="",
                            help="write the JSON report to this path")
-            p.add_argument("--trace-dir", default="",
-                           help="write trace.jsonl, trace.chrome.json and "
-                                "metrics.prom to this directory")
             # warm-start value shows up over multi-epoch horizons
-            p.set_defaults(duration=8.0)
+            p.set_defaults(duration=8.0, handles_trace=True)
+        if extra == "chaos":
+            p.add_argument("--nodes", type=int, default=4, help="fleet size")
+            p.add_argument("--epochs", type=int, default=6, help="placement epochs")
+            p.add_argument("--arrival-rate", type=float, default=1.0,
+                           help="mean job arrivals per epoch (Poisson)")
+            p.add_argument("--residency", type=float, default=5.0,
+                           help="mean resident epochs per job (geometric)")
+            p.add_argument("--placement", default="least_loaded",
+                           help="placement policy for both arms")
+            p.add_argument("--policy", default="SATORI",
+                           help="partitioning policy every node runs")
+            p.add_argument("--crash-node", type=int, default=0,
+                           help="node that crashes mid-trace")
+            p.add_argument("--crash-epoch", type=int, default=None,
+                           help="crash epoch (default: a third of the trace in)")
+            p.add_argument("--outage", type=int, default=None,
+                           help="blackout length in epochs before rejoin "
+                                "(default: a quarter of the trace)")
+            p.add_argument("--straggler-node", type=int, default=None,
+                           help="optional second node that straggles")
+            p.add_argument("--straggler-slowdown", type=float, default=2.0,
+                           help="slowdown factor for the straggler node")
+            p.add_argument("--snapshot-cadence", type=int, default=1,
+                           help="checkpoint policy state every N epochs")
+            p.add_argument("--penalty", type=int, default=0,
+                           help="warmup penalty intervals for re-placed jobs")
+            p.add_argument("--assert-recovery", action="store_true",
+                           help="exit 1 unless the recovery arm lost zero jobs "
+                                "and conserved the budget pool (CI smoke)")
+            p.add_argument("--json", default="",
+                           help="write the JSON report to this path")
+            # for chaos, --duration is the per-epoch length
+            p.set_defaults(duration=3.0)
         if extra == "report":
             p.add_argument("--mixes", type=int, default=4, help="mixes to include")
             p.add_argument("--out", default="", help="write markdown to this path")
@@ -819,7 +911,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_dir = getattr(args, "trace_dir", "")
+    if not trace_dir or getattr(args, "handles_trace", False):
+        # Commands with their own collector (obs, resilience, cluster,
+        # broker, warmstart) export the trace themselves.
+        return args.func(args)
+    from repro.obs import TraceCollector, use_collector
+
+    collector = TraceCollector()
+    with use_collector(collector):
+        code = args.func(args)
+    _export_trace(collector, trace_dir, f"repro {args.command}")
+    return code
 
 
 if __name__ == "__main__":

@@ -27,6 +27,17 @@ from repro.cluster.placement import (
     make_placement,
     placement_names,
 )
+from repro.cluster.recovery import (
+    EVT_JOB_LOST,
+    EVT_JOB_REPLACED,
+    EVT_NODE_DOWN,
+    EVT_NODE_EPOCH_FAILED,
+    EVT_NODE_QUARANTINED,
+    EVT_NODE_REJOINED,
+    EVT_SESSION_RESURRECTED,
+    FleetEvent,
+    RecoveryConfig,
+)
 from repro.cluster.simulator import (
     ClusterResult,
     ClusterSimulator,
@@ -40,11 +51,20 @@ __all__ = [
     "ClusterResult",
     "ClusterSimulator",
     "ContentionAwarePlacement",
+    "EVT_JOB_LOST",
+    "EVT_JOB_REPLACED",
+    "EVT_NODE_DOWN",
+    "EVT_NODE_EPOCH_FAILED",
+    "EVT_NODE_QUARANTINED",
+    "EVT_NODE_REJOINED",
+    "EVT_SESSION_RESURRECTED",
+    "FleetEvent",
     "LeastLoadedPlacement",
     "MigrationConfig",
     "NodeEpochRecord",
     "NodeView",
     "PlacementPolicy",
+    "RecoveryConfig",
     "ResourceBudget",
     "RoundRobinPlacement",
     "ServerNode",

@@ -12,23 +12,42 @@ route the same jobs to the same node at the same epoch share one run).
 
 Epoch loop (in order):
 
-1. **departures** — jobs whose trace residency ends leave their node;
-2. **migration** (optional) — a node whose observed fairness stayed
+1. **fleet weather** — nodes whose down window ended rejoin (their
+   parked budget returns to service); nodes whose
+   :class:`~repro.faults.nodes.NodeFaultSchedule` takes them down are
+   drained: resident jobs move to the re-placement queue (or are lost
+   when recovery is disabled) and the node's budget is parked;
+2. **departures** — jobs whose trace residency ends leave their node
+   (or the re-placement queue);
+3. **migration** (optional) — a node whose observed fairness stayed
    below the threshold for ``patience`` consecutive epochs evicts its
    worst-treated job to another node chosen by the placement policy;
-3. **arrivals** — the placement policy routes each arriving job using
+4. **re-placement** — displaced jobs are re-placed by the placement
+   policy *before* new arrivals (survivors outrank newcomers); a
+   crashed node's checkpointed policy state is resurrected on the
+   adopting node when its whole job group reassembles there;
+5. **arrivals** — the placement policy routes each arriving job using
    :class:`~repro.cluster.placement.NodeView` summaries of the
    *previous* epoch's telemetry (jobs with no free node anywhere are
    rejected and counted — an admission-controlled cluster);
-4. **execution** — every node with >= 2 resident jobs becomes one
+6. **execution** — every live node with >= 2 resident jobs becomes one
    engine spec; nodes with 0 or 1 jobs are *synthesized* (an
    uncontended job retains its isolation performance: speedup,
-   throughput and fairness scores of 1.0) rather than simulated;
-5. **scoring** — per-node records feed the next epoch's node views and
-   accumulate into cluster-wide metrics;
-6. **brokering** (optional) — a :class:`~repro.broker.GlobalBroker`
-   observes the scored records and reassigns each node's elastic
-   :class:`~repro.cluster.budget.ResourceBudget` for the *next* epoch.
+   throughput and fairness scores of 1.0) rather than simulated; down
+   nodes produce no record. Straggler weather scales a node-epoch's
+   useful work by its slowdown factor — or fails it outright past the
+   recovery deadline — and flaky weather overlays monitoring faults on
+   the node's spec;
+7. **scoring** — per-node records feed the next epoch's node views and
+   accumulate into cluster-wide metrics; the circuit breaker
+   quarantines nodes with ``failure_threshold`` consecutive failed
+   epochs;
+8. **brokering** (optional) — a :class:`~repro.broker.GlobalBroker`
+   observes the scored records and reassigns each *live* node's
+   elastic :class:`~repro.cluster.budget.ResourceBudget` for the
+   next epoch; parked (down-node) budgets are outside its reach and
+   the conserved pool is audited every epoch: live + parked totals
+   must equal the construction-time pool, bit-exactly.
    The simulator re-validates every decision: per-resource unit totals
    must equal the initial pool (conservation) and no node may drop
    below the floor its resident jobs need (feasibility) — floors are
@@ -74,10 +93,22 @@ from repro.cluster.budget import (
 )
 from repro.cluster.node import ServerNode
 from repro.cluster.placement import NodeView, PlacementPolicy, make_placement
-from repro.engine import ExecutionEngine, RunSpec
+from repro.cluster.recovery import (
+    EVT_JOB_LOST,
+    EVT_JOB_REPLACED,
+    EVT_NODE_DOWN,
+    EVT_NODE_EPOCH_FAILED,
+    EVT_NODE_QUARANTINED,
+    EVT_NODE_REJOINED,
+    EVT_SESSION_RESURRECTED,
+    FleetEvent,
+    RecoveryConfig,
+)
+from repro.engine import ExecutionEngine, RunError, RunSpec
 from repro.engine.spec import derive_seed
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ExperimentError
 from repro.experiments.runner import RunConfig, RunResult, experiment_catalog
+from repro.faults.nodes import NodeFaultPlan, NodeFaultSchedule
 from repro.faults.plan import FaultPlan
 from repro.metrics.fairness import jain_index
 from repro.obs import active_collector
@@ -146,6 +177,11 @@ class NodeEpochRecord:
             only for records built by hand before the budget layer).
         capacity: jobs that budget could host — the occupancy
             denominator.
+        failed: the node-epoch produced no useful work — an engine
+            failure, or a straggler past the recovery deadline. Scores
+            and speedups are 0.0 by construction.
+        slowdown: straggler slowdown factor in force (1.0 = healthy);
+            already folded into the scores.
     """
 
     epoch: int
@@ -159,6 +195,8 @@ class NodeEpochRecord:
     fairness_series: Tuple[float, ...] = ()
     budget: Optional[ResourceBudget] = None
     capacity: int = 0
+    failed: bool = False
+    slowdown: float = 1.0
 
     @property
     def n_jobs(self) -> int:
@@ -191,6 +229,38 @@ class ClusterResult:
     migrations: int = 0
     broker: str = "none"
     budget_transfers: int = 0
+    #: Jobs dropped by fleet disruption: drained with recovery disabled,
+    #: or displaced past ``max_queue_epochs``. Distinct from
+    #: ``rejected_jobs`` (admission control), which never entered.
+    jobs_lost: Tuple[int, ...] = ()
+    replacements: int = 0
+    resurrections: int = 0
+    node_downs: int = 0
+    node_rejoins: int = 0
+    quarantines: int = 0
+    node_epoch_failures: int = 0
+    #: Total epochs displaced jobs spent waiting in the re-placement
+    #: queue (0 when every drained job was re-placed the same epoch).
+    displaced_job_epochs: int = 0
+    fleet_events: Tuple[FleetEvent, ...] = ()
+
+    def epoch_fairness(self) -> Dict[int, float]:
+        """Per-epoch Jain index over every resident job's speedup.
+
+        The fleet-disruption view of fairness: unlike :attr:`fairness`
+        (long-term, per-job means), this shows the transient dip a
+        node crash causes and how many epochs the fleet needs to climb
+        back — what chaos sweeps report as recovery intervals.
+        """
+        by_epoch: Dict[int, List[float]] = {}
+        for record in self.records:
+            by_epoch.setdefault(record.epoch, []).extend(
+                record.job_speedups.values()
+            )
+        return {
+            epoch: jain_index(values) if values else float("nan")
+            for epoch, values in sorted(by_epoch.items())
+        }
 
     def node_records(self, node_id: int) -> List[NodeEpochRecord]:
         """One node's records in epoch order."""
@@ -288,6 +358,50 @@ class ClusterResult:
         return rows
 
 
+@dataclass
+class _Displaced:
+    """One drained job waiting in the re-placement queue."""
+
+    arrival: JobArrival  # base-named workload, ready for add_job
+    source: int          # node it was drained from
+    since_epoch: int     # epoch it was drained at
+
+
+@dataclass(frozen=True)
+class _Checkpoint:
+    """One node's last completed-epoch policy snapshot."""
+
+    epoch: int
+    membership: Tuple[int, ...]
+    catalog: ResourceCatalog  # effective catalog the state was learned under
+    state: PolicyState
+
+
+#: Monitoring-fault rates a flaky-telemetry node injects at intensity 1.
+_FLAKY_RATES = {
+    "sample_drop_rate": 0.25,
+    "sample_nan_rate": 0.2,
+    "sample_stuck_rate": 0.1,
+    "sample_outlier_rate": 0.25,
+}
+
+
+def _flaky_overlay(base: Optional[FaultPlan], intensity: float) -> FaultPlan:
+    """A node's fault plan with flaky-telemetry corruption folded in.
+
+    Scales the canonical monitoring-fault rates by ``intensity`` and
+    takes the max against any base plan's rates (a flaky episode never
+    *reduces* an already-faulty node's corruption). The overlay covers
+    the whole epoch — fleet weather is epoch-granular.
+    """
+    rates = {name: rate * intensity for name, rate in _FLAKY_RATES.items()}
+    if base is None:
+        return FaultPlan(**rates)
+    return dataclasses.replace(
+        base, **{name: max(getattr(base, name), rate) for name, rate in rates.items()}
+    )
+
+
 class ClusterSimulator:
     """N partitioned servers sharing one job arrival trace.
 
@@ -312,7 +426,24 @@ class ClusterSimulator:
         seed: cluster base seed; node-epoch seeds derive from it and
             the (node, epoch) coordinates only.
         node_fault_plans: optional ``node_id -> FaultPlan`` mapping
-            (node-keyed so plans pair across placement cells).
+            (node-keyed so plans pair across placement cells). A
+            plan's fault window must fit inside one node-epoch
+            (``epoch_config.duration_s``); a window that outlives it
+            raises :class:`~repro.errors.ClusterError` rather than
+            silently truncating.
+        fleet_plans: optional ``node_id -> NodeFaultPlan`` mapping —
+            fleet weather (crashes, blackouts, stragglers, flaky
+            telemetry) at placement-epoch granularity. Realized once
+            per node from ``derive_seed(seed, "fleet", node_id)``, so
+            every sweep arm sees identical weather. Deterministic
+            windows that outlive the trace raise
+            :class:`~repro.errors.ClusterError` naming the node.
+        recovery: optional :class:`~repro.cluster.recovery.RecoveryConfig`
+            enabling supervised recovery — drained jobs are re-placed
+            instead of lost, policy state is checkpointed and
+            resurrected, and the circuit breaker quarantines failing
+            nodes. ``None`` (the ablation) drops drained jobs and
+            disables the breaker.
         migration: optional :class:`MigrationConfig`; ``None`` disables
             job migration.
         node_capacity: cap on resident jobs per node; defaults to what
@@ -358,6 +489,8 @@ class ClusterSimulator:
         goals: Tuple[str, str] = ("sum_ips", "jain"),
         seed: int = 0,
         node_fault_plans: Optional[Mapping[int, FaultPlan]] = None,
+        fleet_plans: Optional[Mapping[int, NodeFaultPlan]] = None,
+        recovery: Optional[RecoveryConfig] = None,
         migration: Optional[MigrationConfig] = None,
         node_capacity: Optional[int] = None,
         node_budgets: Optional[Sequence[BudgetLike]] = None,
@@ -389,6 +522,38 @@ class ClusterSimulator:
             raise ClusterError(
                 f"fault plans reference unknown node ids {sorted(unknown)}"
             )
+        # A fault window reaching past the node-epoch would be silently
+        # truncated by FaultPlan.window(); reject it loudly instead.
+        epoch_s = self._epoch_config.duration_s
+        for node_id in sorted(self._fault_plans):
+            plan = self._fault_plans[node_id]
+            if plan.start_s >= epoch_s or (
+                plan.end_s is not None and plan.end_s > epoch_s
+            ):
+                raise ClusterError(
+                    f"node {node_id}: fault plan window "
+                    f"[{plan.start_s}, {plan.end_s}) outlives the {epoch_s}s "
+                    f"node-epoch; shrink the window or lengthen the epoch"
+                )
+        self._fleet_plans = dict(fleet_plans or {})
+        unknown = set(self._fleet_plans) - set(range(n_nodes))
+        if unknown:
+            raise ClusterError(
+                f"fleet fault plans reference unknown node ids {sorted(unknown)}"
+            )
+        # Fleet weather is realized here, once, from node-keyed seeds:
+        # identical across every sweep arm sharing (trace, seed).
+        self._fleet_schedules: Dict[int, NodeFaultSchedule] = {}
+        for node_id in sorted(self._fleet_plans):
+            try:
+                self._fleet_schedules[node_id] = NodeFaultSchedule.generate(
+                    self._fleet_plans[node_id],
+                    trace.n_epochs,
+                    seed=derive_seed(self._seed, "fleet", node_id),
+                )
+            except ExperimentError as error:
+                raise ClusterError(f"node {node_id}: {error}") from error
+        self._recovery = recovery
         self._migration = migration
         self._engine = engine or ExecutionEngine()
         if node_budgets is not None and len(node_budgets) != n_nodes:
@@ -436,6 +601,26 @@ class ClusterSimulator:
         self._prev_membership: Dict[int, Tuple[int, ...]] = {}
         self._node_states: Dict[int, PolicyState] = {}
         self._migrated_in: Dict[int, set] = {}
+        # Fleet fault-tolerance state: which nodes are down (and until
+        # when), their parked budgets, the re-placement queue, policy
+        # checkpoints awaiting resurrection, and the audit trail.
+        self._down_until: Dict[int, Optional[int]] = {}
+        self._parked: Dict[int, ResourceBudget] = {}
+        self._queue: List[_Displaced] = []
+        self._lost: List[int] = []
+        self._checkpoints: Dict[int, _Checkpoint] = {}
+        self._adoptable: List[_Checkpoint] = []
+        self._pending_restore: Dict[int, PolicyState] = {}
+        self._replaced_in: Dict[int, set] = {}
+        self._fail_streak: Dict[int, int] = {node.node_id: 0 for node in self._nodes}
+        self._fleet_events: List[FleetEvent] = []
+        self._node_downs = 0
+        self._node_rejoins = 0
+        self._replacements = 0
+        self._resurrections = 0
+        self._quarantines = 0
+        self._node_epoch_failures = 0
+        self._displaced_epochs = 0
 
     @property
     def nodes(self) -> List[ServerNode]:
@@ -455,19 +640,36 @@ class ClusterSimulator:
         """Cluster-wide per-resource unit totals (the conserved pool)."""
         return dict(self._pool)
 
+    @property
+    def recovery(self) -> Optional[RecoveryConfig]:
+        """The supervised-recovery policy (``None`` = ablation)."""
+        return self._recovery
+
+    @property
+    def fleet_schedules(self) -> Dict[int, NodeFaultSchedule]:
+        """Realized fleet weather per node (empty without fleet plans)."""
+        return dict(self._fleet_schedules)
+
+    @property
+    def down_nodes(self) -> Tuple[int, ...]:
+        """Nodes currently down (crashed, blacked out, or quarantined)."""
+        return tuple(sorted(self._down_until))
+
     # -- views ------------------------------------------------------------
 
     def _views(self, exclude: Optional[int] = None) -> List[NodeView]:
         """Current node views (previous-epoch telemetry), in id order.
 
         ``exclude`` presents one node as full — used to force a
-        migrating job *off* its source node.
+        migrating job *off* its source node. Down nodes are presented
+        as full too, so no placement policy can route onto them while
+        keeping every policy's view indexing stable.
         """
         views = []
         for node in self._nodes:
             mean_speedup, fairness = self._observed.get(node.node_id, (1.0, 1.0))
             n_jobs = node.n_jobs
-            if node.node_id == exclude:
+            if node.node_id == exclude or node.node_id in self._down_until:
                 n_jobs = node.capacity
             views.append(
                 NodeView(
@@ -484,11 +686,255 @@ class ClusterSimulator:
     # -- epoch phases ------------------------------------------------------
 
     def _apply_departures(self, epoch: int) -> None:
+        departing = set()
         for arrival in self._trace.departures_at(epoch):
+            departing.add(arrival.job_id)
             for node in self._nodes:
                 if node.has_job(arrival.job_id):
                     node.remove_job(arrival.job_id)
                     break
+        if departing and self._queue:
+            # A displaced job whose residency ends departs from the
+            # queue — it is not lost, but its wait epochs still count.
+            kept: List[_Displaced] = []
+            for item in self._queue:
+                if item.arrival.job_id in departing:
+                    self._displaced_epochs += epoch - item.since_epoch
+                else:
+                    kept.append(item)
+            self._queue = kept
+
+    # -- fleet weather and recovery ---------------------------------------
+
+    def _fleet_event(self, event: FleetEvent) -> None:
+        self._fleet_events.append(event)
+
+    def _apply_fleet_weather(self, epoch: int) -> None:
+        """Start of epoch: process rejoins, then new down windows.
+
+        Rejoins run first so a node whose blackout just ended is
+        placeable this very epoch — its parked budget returns before
+        re-placement and arrivals look at the fleet.
+        """
+        for node_id in sorted(self._down_until):
+            rejoin = self._down_until[node_id]
+            if rejoin is not None and epoch >= rejoin:
+                self._rejoin(epoch, node_id)
+        for node_id in sorted(self._fleet_schedules):
+            if node_id in self._down_until:
+                continue
+            schedule = self._fleet_schedules[node_id]
+            if schedule.down_at(epoch):
+                self._take_down(
+                    epoch, node_id, until=schedule.down_end(epoch), cause="fault"
+                )
+
+    def _take_down(
+        self, epoch: int, node_id: int, until: Optional[int], cause: str
+    ) -> None:
+        """Drain a node and park its budget until it rejoins.
+
+        With recovery enabled, drained jobs enter the re-placement
+        queue and the node's last checkpoint becomes adoptable;
+        without it, they are simply lost — the ablation the chaos
+        sweep measures against. The budget is *parked*, not destroyed:
+        the conserved pool is live budgets + parked budgets at every
+        epoch, so crash/rejoin cycles are conservation-neutral by
+        construction.
+        """
+        obs = active_collector()
+        node = self._nodes[node_id]
+        self._down_until[node_id] = until
+        self._parked[node_id] = node.budget
+        self._node_downs += 1
+        checkpoint = self._checkpoints.pop(node_id, None)
+        if self._recovery is not None and checkpoint is not None:
+            self._adoptable.append(checkpoint)
+        drained = node.job_ids
+        for job_id in drained:
+            workload = node.workload_of(job_id)
+            node.remove_job(job_id)
+            # Strip the instance rename; the adopting node re-applies it.
+            base_name = workload.name.rsplit("#", 1)[0]
+            arrival = JobArrival(
+                job_id=job_id,
+                workload=dataclasses.replace(workload, name=base_name),
+                arrival_epoch=0,
+            )
+            if self._recovery is None:
+                self._lost.append(job_id)
+                obs.event("job_lost", "cluster", job_id=job_id, node=node_id, epoch=epoch)
+                obs.metrics.counter("cluster.jobs_lost").inc()
+                self._fleet_event(
+                    FleetEvent(epoch, EVT_JOB_LOST, node_id, job_id, detail=cause)
+                )
+            else:
+                self._queue.append(_Displaced(arrival, node_id, epoch))
+        kind = "node_quarantined" if cause == "quarantine" else "node_down"
+        obs.event(
+            kind, "cluster",
+            node=node_id, epoch=epoch, until=until, jobs=len(drained), cause=cause,
+        )
+        obs.metrics.counter(f"cluster.{kind}s").inc()
+        self._fleet_event(
+            FleetEvent(
+                epoch,
+                EVT_NODE_QUARANTINED if cause == "quarantine" else EVT_NODE_DOWN,
+                node_id,
+                detail=f"until={until} jobs={len(drained)} cause={cause}",
+            )
+        )
+        # The node's telemetry, learned state, and failure streak died
+        # with it.
+        self._observed.pop(node_id, None)
+        self._node_states.pop(node_id, None)
+        self._prev_membership.pop(node_id, None)
+        self._pending_restore.pop(node_id, None)
+        self._unfair_streak[node_id] = 0
+        self._fail_streak[node_id] = 0
+
+    def _rejoin(self, epoch: int, node_id: int) -> None:
+        """Return a down node to service with its parked budget."""
+        obs = active_collector()
+        del self._down_until[node_id]
+        budget = self._parked.pop(node_id)
+        node = self._nodes[node_id]
+        if node.budget != budget:
+            node.set_budget(budget)
+        self._node_rejoins += 1
+        obs.event("node_rejoined", "cluster", node=node_id, epoch=epoch)
+        obs.metrics.counter("cluster.node_rejoins").inc()
+        self._fleet_event(FleetEvent(epoch, EVT_NODE_REJOINED, node_id))
+
+    def _replace_queued(self, epoch: int) -> None:
+        """Re-place displaced jobs ahead of this epoch's arrivals."""
+        if not self._queue:
+            return
+        obs = active_collector()
+        still: List[_Displaced] = []
+        for item in self._queue:
+            job_id = item.arrival.job_id
+            waited = epoch - item.since_epoch
+            try:
+                target = self._placement.place(self._views())
+            except ClusterError:
+                target = None
+            if target is None or not self._nodes[target].has_capacity:
+                if (
+                    self._recovery is not None
+                    and self._recovery.max_queue_epochs is not None
+                    and waited >= self._recovery.max_queue_epochs
+                ):
+                    self._lost.append(job_id)
+                    self._displaced_epochs += waited
+                    obs.event(
+                        "job_lost", "cluster",
+                        job_id=job_id, node=item.source, epoch=epoch,
+                    )
+                    obs.metrics.counter("cluster.jobs_lost").inc()
+                    self._fleet_event(
+                        FleetEvent(
+                            epoch, EVT_JOB_LOST, item.source, job_id,
+                            detail=f"queued {waited} epoch(s), gave up",
+                        )
+                    )
+                else:
+                    still.append(item)
+                continue
+            self._nodes[target].add_job(item.arrival)
+            self._replacements += 1
+            self._displaced_epochs += waited
+            self._replaced_in.setdefault(target, set()).add(job_id)
+            obs.event(
+                "job_replaced", "cluster",
+                job_id=job_id, source=item.source, target=target,
+                epoch=epoch, waited=waited,
+            )
+            obs.metrics.counter("cluster.replacements").inc()
+            self._fleet_event(
+                FleetEvent(
+                    epoch, EVT_JOB_REPLACED, item.source, job_id,
+                    detail=f"target={target} waited={waited}",
+                )
+            )
+        self._queue = still
+
+    def _match_resurrections(self, epoch: int) -> None:
+        """Restore crashed controllers whose job group reassembled.
+
+        Runs after re-placement *and* arrivals, when epoch membership
+        is final: an adoptable checkpoint is resurrected onto a live
+        node holding exactly the checkpoint's job group under the same
+        effective catalog (a different catalog means the learned
+        partitionings no longer describe the hardware). Groups that
+        scattered stay adoptable — they may yet reassemble — but cold
+        membership simply cold-starts, which is the checkpoint-lag
+        contract: resurrection is an optimization, never a correctness
+        requirement.
+        """
+        if not self._adoptable:
+            return
+        obs = active_collector()
+        for checkpoint in list(self._adoptable):
+            for node in self._nodes:
+                if node.node_id in self._down_until:
+                    continue
+                if node.node_id in self._pending_restore:
+                    continue
+                if node.job_ids != checkpoint.membership:
+                    continue
+                if node.effective_catalog != checkpoint.catalog:
+                    continue
+                self._pending_restore[node.node_id] = checkpoint.state
+                self._adoptable.remove(checkpoint)
+                self._resurrections += 1
+                obs.event(
+                    "session_resurrected", "cluster",
+                    node=node.node_id, epoch=epoch,
+                    snapshot_epoch=checkpoint.epoch,
+                    lag_epochs=epoch - checkpoint.epoch,
+                )
+                obs.metrics.counter("cluster.resurrections").inc()
+                self._fleet_event(
+                    FleetEvent(
+                        epoch, EVT_SESSION_RESURRECTED, node.node_id,
+                        detail=f"snapshot_epoch={checkpoint.epoch}",
+                    )
+                )
+                break
+
+    def _maybe_quarantine(self, epoch: int) -> None:
+        """Circuit breaker: drain nodes with too many consecutive failures."""
+        if self._recovery is None:
+            return
+        for node in self._nodes:
+            if node.node_id in self._down_until:
+                continue
+            if self._fail_streak[node.node_id] < self._recovery.failure_threshold:
+                continue
+            self._quarantines += 1
+            self._take_down(
+                epoch,
+                node.node_id,
+                until=epoch + 1 + self._recovery.quarantine_epochs,
+                cause="quarantine",
+            )
+
+    def _audit_pool(self, epoch: int) -> None:
+        """Assert bit-exact budget conservation: live + parked == pool."""
+        totals = pool_totals(
+            node.budget
+            for node in self._nodes
+            if node.node_id not in self._down_until
+        )
+        for budget in self._parked.values():
+            for name in budget.names:
+                totals[name] = totals.get(name, 0) + budget.get(name)
+        if totals != self._pool:
+            raise ClusterError(
+                f"budget leak at epoch {epoch}: live + parked totals {totals} "
+                f"!= pool {self._pool}"
+            )
 
     def _maybe_migrate(self, records_by_node: Dict[int, NodeEpochRecord]) -> int:
         """Evict the worst-treated job from persistently unfair nodes."""
@@ -562,7 +1008,11 @@ class ClusterSimulator:
         return rejected
 
     def _epoch_records(self, epoch: int) -> List[NodeEpochRecord]:
-        """Run (or synthesize) every node's epoch and score it."""
+        """Run (or synthesize) every live node's epoch and score it."""
+        obs = active_collector()
+        # Membership is final for this epoch — now crashed controllers
+        # whose job groups reassembled can be matched for resurrection.
+        self._match_resurrections(epoch)
         config = RunConfig(
             duration_s=self._epoch_config.duration_s,
             interval_s=self._epoch_config.interval_s,
@@ -574,12 +1024,60 @@ class ClusterSimulator:
         )
         specs: List[RunSpec] = []
         spec_nodes: List[ServerNode] = []
+        spec_slowdowns: List[float] = []
         warm_nodes: set = set()
+        records: List[NodeEpochRecord] = []
+
+        def _failed_record(node: ServerNode, slowdown: float, why: str) -> None:
+            self._fail_streak[node.node_id] += 1
+            self._node_epoch_failures += 1
+            obs.event(
+                "node_epoch_failed", "cluster",
+                node=node.node_id, epoch=epoch,
+                streak=self._fail_streak[node.node_id], why=why,
+            )
+            obs.metrics.counter("cluster.node_epoch_failures").inc()
+            self._fleet_event(
+                FleetEvent(epoch, EVT_NODE_EPOCH_FAILED, node.node_id, detail=why)
+            )
+            records.append(
+                NodeEpochRecord(
+                    epoch=epoch,
+                    node_id=node.node_id,
+                    job_ids=node.job_ids,
+                    synthesized=False,
+                    throughput=0.0,
+                    fairness=0.0,
+                    job_speedups={job_id: 0.0 for job_id in node.job_ids},
+                    budget=node.budget,
+                    capacity=node.capacity,
+                    failed=True,
+                    slowdown=slowdown,
+                )
+            )
+
         for node in self._nodes:
+            if node.node_id in self._down_until:
+                continue
+            schedule = self._fleet_schedules.get(node.node_id)
+            slowdown = schedule.slowdown_at(epoch) if schedule else 1.0
+            flaky = schedule.flaky_at(epoch) if schedule else 0.0
             if node.n_jobs < 2:
                 continue
-            initial_state = None
+            initial_state = self._pending_restore.pop(node.node_id, None)
             if (
+                self._recovery is not None
+                and slowdown >= self._recovery.straggler_deadline_factor
+            ):
+                # The straggler misses its deadline outright: the
+                # node-epoch fails with zero useful work (a consumed
+                # resurrection is wasted — the controller never ran).
+                _failed_record(
+                    node, slowdown,
+                    f"straggler slowdown {slowdown:.2f}x missed deadline",
+                )
+                continue
+            if initial_state is None and (
                 self._warm_start
                 and self._prev_membership.get(node.node_id) == node.job_ids
             ):
@@ -587,12 +1085,15 @@ class ClusterSimulator:
                 # controller's learned model still describes this mix,
                 # so hand the prior epoch's snapshot back to it.
                 initial_state = self._node_states.get(node.node_id)
-            if initial_state is not None:
-                warm_nodes.add(node.node_id)
-                active_collector().event(
-                    "warm_start", "cluster", node=node.node_id, epoch=epoch
-                )
-                active_collector().metrics.counter("cluster.warm_starts").inc()
+                if initial_state is not None:
+                    warm_nodes.add(node.node_id)
+                    obs.event(
+                        "warm_start", "cluster", node=node.node_id, epoch=epoch
+                    )
+                    obs.metrics.counter("cluster.warm_starts").inc()
+            fault_plan = self._fault_plans.get(node.node_id)
+            if flaky > 0.0:
+                fault_plan = _flaky_overlay(fault_plan, flaky)
             specs.append(
                 node.epoch_spec(
                     policy=self._policy,
@@ -600,31 +1101,45 @@ class ClusterSimulator:
                     seed=derive_seed(self._seed, "node", node.node_id, "epoch", epoch),
                     policy_kwargs=self._policy_kwargs,
                     goals=self._goals,
-                    fault_plan=self._fault_plans.get(node.node_id),
+                    fault_plan=fault_plan,
                     initial_state=initial_state,
                 )
             )
             spec_nodes.append(node)
+            spec_slowdowns.append(slowdown)
 
-        results = self._engine.run(specs) if specs else []
+        on_error = "record" if self._recovery is not None else "raise"
+        results = self._engine.run(specs, on_error=on_error) if specs else []
 
         penalty = (
             self._migration.warmup_penalty_intervals if self._migration is not None else 0
         )
-        records: List[NodeEpochRecord] = []
+        replace_penalty = (
+            self._recovery.warmup_penalty_intervals if self._recovery is not None else 0
+        )
         simulated = {node.node_id for node in spec_nodes}
-        for node, result in zip(spec_nodes, results):
+        for node, result, slowdown in zip(spec_nodes, results, spec_slowdowns):
+            if isinstance(result, RunError):
+                _failed_record(node, slowdown, f"engine: {result.error}")
+                self._node_states.pop(node.node_id, None)
+                continue
             assert isinstance(result, RunResult)
+            self._fail_streak[node.node_id] = 0
             speedups = result.scored.mean_job_speedups()
             job_speedups = {
-                job_id: float(speedup)
+                job_id: float(speedup) / slowdown
                 for job_id, speedup in zip(node.job_ids, speedups)
             }
-            if penalty:
-                # Jobs that just migrated here lose `penalty` control
+            for intervals, arrived in (
+                (penalty, self._migrated_in.get(node.node_id, ())),
+                (replace_penalty, self._replaced_in.get(node.node_id, ())),
+            ):
+                if not intervals:
+                    continue
+                # Jobs that just moved here lose `intervals` control
                 # intervals of useful work this epoch (pro-rata).
-                scale = max(0.0, 1.0 - penalty / config.n_steps)
-                for job_id in self._migrated_in.get(node.node_id, ()):
+                scale = max(0.0, 1.0 - intervals / config.n_steps)
+                for job_id in arrived:
                     if job_id in job_speedups:
                         job_speedups[job_id] *= scale
             records.append(
@@ -633,7 +1148,7 @@ class ClusterSimulator:
                     node_id=node.node_id,
                     job_ids=node.job_ids,
                     synthesized=False,
-                    throughput=result.throughput,
+                    throughput=result.throughput / slowdown,
                     fairness=result.fairness,
                     job_speedups=job_speedups,
                     warm_started=node.node_id in warm_nodes,
@@ -642,14 +1157,18 @@ class ClusterSimulator:
                     ),
                     budget=node.budget,
                     capacity=node.capacity,
+                    slowdown=slowdown,
                 )
             )
             if result.final_state is not None:
                 self._node_states[node.node_id] = result.final_state
             else:
                 self._node_states.pop(node.node_id, None)
+        failed = {record.node_id for record in records if record.failed}
         for node in self._nodes:
-            if node.node_id in simulated:
+            if node.node_id in simulated or node.node_id in failed:
+                continue
+            if node.node_id in self._down_until:
                 continue
             # 0/1-job nodes: an uncontended job retains its isolation
             # performance by construction — nothing to simulate. No
@@ -670,8 +1189,31 @@ class ClusterSimulator:
                 )
             )
         for node in self._nodes:
+            if node.node_id in self._down_until:
+                continue
             self._prev_membership[node.node_id] = node.job_ids
         self._migrated_in.clear()
+        self._replaced_in.clear()
+        if (
+            self._recovery is not None
+            and (epoch + 1) % self._recovery.snapshot_cadence_epochs == 0
+        ):
+            # Checkpoint cadence: snapshot every live controller's
+            # state as of this completed epoch. A crash before the
+            # next checkpoint resurrects from *this* one (checkpoint
+            # lag).
+            for node in self._nodes:
+                if node.node_id in self._down_until:
+                    continue
+                state = self._node_states.get(node.node_id)
+                if state is None:
+                    continue
+                self._checkpoints[node.node_id] = _Checkpoint(
+                    epoch=epoch,
+                    membership=node.job_ids,
+                    catalog=node.effective_catalog,
+                    state=state,
+                )
         records.sort(key=lambda r: r.node_id)
         return records
 
@@ -683,10 +1225,15 @@ class ClusterSimulator:
             return
         from repro.broker import BrokerView  # lazy: see __init__
 
+        live = [
+            node for node in self._nodes if node.node_id not in self._down_until
+        ]
+        if not live:
+            return
         obs = active_collector()
         by_node = {record.node_id: record for record in records}
         views = []
-        for node in self._nodes:
+        for node in live:
             record = by_node[node.node_id]
             views.append(
                 BrokerView(
@@ -714,6 +1261,10 @@ class ClusterSimulator:
     ) -> None:
         """Validate a broker decision, emit its transfers, and adopt it.
 
+        The broker only sees (and may only reassign) *live* nodes; a
+        down node's budget is parked and its units are subtracted from
+        the conservation target until it rejoins.
+
         Raises:
             ClusterError: on an incomplete mapping, a conservation
                 violation (per-resource totals drifted from the pool),
@@ -721,20 +1272,27 @@ class ClusterSimulator:
                 resident jobs). Broker bugs fail loudly — a silent leak
                 of capacity would invalidate every downstream metric.
         """
-        missing = {node.node_id for node in self._nodes} - set(decision)
+        live = [
+            node for node in self._nodes if node.node_id not in self._down_until
+        ]
+        missing = {node.node_id for node in live} - set(decision)
         if missing:
             raise ClusterError(
                 f"broker {self._broker.name!r} omitted node(s) {sorted(missing)} "
                 f"at epoch {epoch}"
             )
-        totals = pool_totals(decision[node.node_id] for node in self._nodes)
-        if totals != self._pool:
+        expected = dict(self._pool)
+        for budget in self._parked.values():
+            for name in budget.names:
+                expected[name] -= budget.get(name)
+        totals = pool_totals(decision[node.node_id] for node in live)
+        if totals != expected:
             raise ClusterError(
                 f"broker {self._broker.name!r} broke conservation at epoch "
-                f"{epoch}: pool {self._pool} became {totals}"
+                f"{epoch}: live pool {expected} became {totals}"
             )
         floors = {view.node_id: view.floor for view in views}
-        for node in self._nodes:
+        for node in live:
             new = decision[node.node_id]
             floor = floors[node.node_id]
             for name in floor.names:
@@ -746,7 +1304,7 @@ class ClusterSimulator:
                     )
         obs = active_collector()
         for resource, source, target, units in _transfer_ledger(
-            {node.node_id: node.budget for node in self._nodes}, decision
+            {node.node_id: node.budget for node in live}, decision
         ):
             obs.event(
                 "budget_transfer", "broker",
@@ -755,7 +1313,7 @@ class ClusterSimulator:
             )
             obs.metrics.counter("cluster.budget_transfers").inc()
             self._budget_transfers += 1
-        for node in self._nodes:
+        for node in live:
             if decision[node.node_id] != node.budget:
                 node.set_budget(decision[node.node_id])
 
@@ -778,8 +1336,10 @@ class ClusterSimulator:
         previous: Dict[int, NodeEpochRecord] = {}
         for epoch in range(self._trace.n_epochs):
             with obs.span("epoch", "cluster", epoch=epoch):
+                self._apply_fleet_weather(epoch)
                 self._apply_departures(epoch)
                 migrations += self._maybe_migrate(previous)
+                self._replace_queued(epoch)
                 rejected.extend(self._place_arrivals(epoch))
                 records = self._epoch_records(epoch)
             for record in records:
@@ -792,7 +1352,9 @@ class ClusterSimulator:
                     obs.metrics.series(f"{node_prefix}.budget_units").append(
                         record.budget.total_units
                     )
+            self._maybe_quarantine(epoch)
             self._broker_step(epoch, records)
+            self._audit_pool(epoch)
             previous = {record.node_id: record for record in records}
             all_records.extend(records)
         return ClusterResult(
@@ -805,6 +1367,15 @@ class ClusterSimulator:
             migrations=migrations,
             broker=self._broker.name if self._broker is not None else "none",
             budget_transfers=self._budget_transfers,
+            jobs_lost=tuple(self._lost),
+            replacements=self._replacements,
+            resurrections=self._resurrections,
+            node_downs=self._node_downs,
+            node_rejoins=self._node_rejoins,
+            quarantines=self._quarantines,
+            node_epoch_failures=self._node_epoch_failures,
+            displaced_job_epochs=self._displaced_epochs,
+            fleet_events=tuple(self._fleet_events),
         )
 
 

@@ -30,7 +30,7 @@ from repro.engine.cache import RunCache
 from repro.engine.spec import RunSpec, derive_seed
 from repro.errors import EngineError
 from repro.experiments.runner import RunResult, run_policy
-from repro.obs import active_collector
+from repro.obs import TraceCollector, TraceEvent, active_collector, use_collector
 from repro.policies.registry import make_policy
 
 
@@ -72,17 +72,28 @@ def _execute_run_payload(spec: RunSpec) -> dict:
     return execute_run(spec).to_dict()
 
 
-def _execute_run_timed(spec: RunSpec) -> Tuple[dict, float]:
-    """Worker entry point that also reports the run's wall time.
+def _execute_run_traced(
+    spec: RunSpec, collect: bool = False
+) -> Tuple[dict, float, Optional[List[dict]]]:
+    """Worker entry point reporting wall time and (optionally) spans.
 
     Worker processes have their own memory, so spans recorded inside
-    them never reach the parent's collector; shipping the measured
-    duration alongside the payload is how the pool path still feeds
-    per-spec run timing and worker-utilization metrics parent-side.
+    them never reach the parent's collector directly. With ``collect``
+    set, the worker records its spans into a local collector and ships
+    them back serialized alongside the payload; the parent adopts them
+    onto its own timeline (:meth:`TraceCollector.adopt`) under a
+    per-worker lane. Without it, only the measured duration crosses
+    the pipe — enough for run timing and worker-utilization metrics.
     """
     started = time.perf_counter()
-    payload = _execute_run_payload(spec)
-    return payload, time.perf_counter() - started
+    if not collect:
+        return _execute_run_payload(spec), time.perf_counter() - started, None
+    local = TraceCollector()
+    with use_collector(local):
+        with local.span("run_spec", "engine"):
+            payload = _execute_run_payload(spec)
+    events = [event.to_dict() for event in local.events]
+    return payload, time.perf_counter() - started, events
 
 
 @dataclass(frozen=True)
@@ -179,6 +190,19 @@ class ExecutionEngine:
             specs still running when it expires are recorded as
             straggler failures (and retried if ``retries`` allows).
             ``None`` waits indefinitely; the serial path ignores it.
+        spec_timeout_s: per-spec deadline in seconds for the
+            worker-pool path, measured from when the spec is first
+            observed *running* (queue time doesn't count). A spec past
+            its deadline is abandoned as a straggler without waiting
+            for the rest of the batch. ``None`` disables it; the
+            serial path ignores it (a serial run can't be abandoned).
+        backoff_base_s: base delay for exponential backoff between
+            retry rounds; round *r* waits ``backoff_base_s * 2**(r-1)``
+            seconds. ``0`` (the default) retries immediately.
+        backoff_jitter: fractional jitter added to each backoff delay,
+            drawn deterministically from the retried spec's digest so
+            reruns sleep identically (``0.25`` stretches delays by up
+            to 25%).
     """
 
     def __init__(
@@ -187,6 +211,9 @@ class ExecutionEngine:
         cache: Optional[RunCache] = None,
         retries: int = 0,
         timeout_s: Optional[float] = None,
+        spec_timeout_s: Optional[float] = None,
+        backoff_base_s: float = 0.0,
+        backoff_jitter: float = 0.0,
     ):
         if workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
@@ -194,10 +221,21 @@ class ExecutionEngine:
             raise EngineError(f"retries must be >= 0, got {retries}")
         if timeout_s is not None and timeout_s <= 0:
             raise EngineError(f"timeout_s must be positive, got {timeout_s}")
+        if spec_timeout_s is not None and spec_timeout_s <= 0:
+            raise EngineError(
+                f"spec_timeout_s must be positive, got {spec_timeout_s}"
+            )
+        if backoff_base_s < 0:
+            raise EngineError(f"backoff_base_s must be >= 0, got {backoff_base_s}")
+        if backoff_jitter < 0:
+            raise EngineError(f"backoff_jitter must be >= 0, got {backoff_jitter}")
         self._workers = int(workers)
         self._cache = cache
         self._retries = int(retries)
         self._timeout_s = timeout_s
+        self._spec_timeout_s = spec_timeout_s
+        self._backoff_base_s = float(backoff_base_s)
+        self._backoff_jitter = float(backoff_jitter)
         self._stats = EngineStats()
 
     @property
@@ -215,6 +253,10 @@ class ExecutionEngine:
     @property
     def timeout_s(self) -> Optional[float]:
         return self._timeout_s
+
+    @property
+    def spec_timeout_s(self) -> Optional[float]:
+        return self._spec_timeout_s
 
     @property
     def stats(self) -> EngineStats:
@@ -318,6 +360,7 @@ class ExecutionEngine:
                 break
             if round_number:
                 self._stats.retried += len(todo)
+                self._backoff(round_number, todo)
             failed: List[RunSpec] = []
             for spec, (payload, error) in zip(todo, self._execute_batch(todo)):
                 outcomes[spec] = (payload, error, round_number + 1)
@@ -325,6 +368,26 @@ class ExecutionEngine:
                     failed.append(spec)
             todo = failed
         return outcomes
+
+    def _backoff(self, round_number: int, todo: Sequence[RunSpec]) -> None:
+        """Sleep before retry round ``round_number`` (exponential + jitter).
+
+        The jitter fraction derives from the first retried spec's
+        digest and the round number, so identical reruns back off
+        identically — determinism extends to the retry schedule.
+        """
+        if self._backoff_base_s <= 0:
+            return
+        delay = self._backoff_base_s * 2 ** (round_number - 1)
+        if self._backoff_jitter > 0:
+            unit = derive_seed(todo[0].digest, "backoff", round_number) % 10**6 / 10**6
+            delay *= 1.0 + self._backoff_jitter * unit
+        obs = active_collector()
+        obs.event(
+            "retry_backoff", "engine",
+            round=round_number, delay_s=delay, specs=len(todo),
+        )
+        time.sleep(delay)
 
     def _execute_batch(self, pending: Sequence[RunSpec]) -> List[_Outcome]:
         """Run ``pending`` specs, returning per-spec outcomes in order.
@@ -357,35 +420,83 @@ class ExecutionEngine:
         batch_started = time.perf_counter()
         busy_seconds = 0.0
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
-        not_done: set = set()
+        abandoned = False
         try:
             futures = {
-                pool.submit(_execute_run_timed, spec): index
+                pool.submit(_execute_run_traced, spec, obs.enabled): index
                 for index, spec in enumerate(pending)
             }
-            done, not_done = concurrent.futures.wait(futures, timeout=self._timeout_s)
-            for future in done:
-                index = futures[future]
-                try:
-                    payload, duration_s = future.result()
-                except Exception as error:  # noqa: BLE001 - reported per spec
-                    outcomes[index] = (None, f"{type(error).__name__}: {error}")
+            remaining = set(futures)
+            batch_deadline = (
+                None if self._timeout_s is None
+                else batch_started + self._timeout_s
+            )
+            # When any spec was first seen *running* (queue time does
+            # not count against its deadline).
+            first_running: Dict[concurrent.futures.Future, float] = {}
+            while remaining:
+                if self._spec_timeout_s is not None:
+                    # Poll often enough that an overdue spec is caught
+                    # within a quarter of its deadline.
+                    poll: Optional[float] = min(0.05, self._spec_timeout_s / 4)
+                elif batch_deadline is not None:
+                    poll = max(0.0, batch_deadline - time.perf_counter())
                 else:
-                    outcomes[index] = (payload, None)
-                    busy_seconds += duration_s
-                    obs.metrics.histogram("engine.run_seconds").observe(duration_s)
-                    obs.event("run_spec", "engine", duration_s=duration_s)
-            for future in not_done:
-                future.cancel()
-                outcomes[futures[future]] = (
-                    None,
-                    f"straggler: no result within the {self._timeout_s}s batch deadline",
-                )
+                    poll = None
+                done, _ = concurrent.futures.wait(remaining, timeout=poll)
+                now = time.perf_counter()
+                for future in done:
+                    remaining.discard(future)
+                    index = futures[future]
+                    try:
+                        payload, duration_s, events = future.result()
+                    except Exception as error:  # noqa: BLE001 - reported per spec
+                        outcomes[index] = (None, f"{type(error).__name__}: {error}")
+                    else:
+                        outcomes[index] = (payload, None)
+                        busy_seconds += duration_s
+                        obs.metrics.histogram("engine.run_seconds").observe(duration_s)
+                        obs.event("run_spec", "engine", duration_s=duration_s)
+                        if events:
+                            # Rebase the worker's spans so they end now
+                            # (completion instant parent-side) and keep
+                            # their internal nesting/parenting intact.
+                            obs.adopt(
+                                [TraceEvent.from_dict(d) for d in events],
+                                at_ns=obs.now_ns() - int(duration_s * 1e9),
+                                lane=f"worker:{index}",
+                            )
+                for future in list(remaining):
+                    if future not in first_running and future.running():
+                        first_running[future] = now
+                if self._spec_timeout_s is not None:
+                    for future in list(remaining):
+                        started = first_running.get(future)
+                        if started is None or now - started < self._spec_timeout_s:
+                            continue
+                        remaining.discard(future)
+                        future.cancel()  # running futures won't cancel; abandon
+                        abandoned = True
+                        outcomes[futures[future]] = (
+                            None,
+                            f"straggler: no result within the "
+                            f"{self._spec_timeout_s}s per-spec deadline",
+                        )
+                if batch_deadline is not None and time.perf_counter() >= batch_deadline:
+                    for future in remaining:
+                        future.cancel()
+                        outcomes[futures[future]] = (
+                            None,
+                            f"straggler: no result within the "
+                            f"{self._timeout_s}s batch deadline",
+                        )
+                    abandoned = abandoned or bool(remaining)
+                    remaining = set()
         finally:
             # With stragglers outstanding, don't block the whole batch
             # on them: abandon the pool without waiting (its processes
             # exit once their current task finishes or is killed).
-            pool.shutdown(wait=not not_done, cancel_futures=True)
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
         wall = time.perf_counter() - batch_started
         if wall > 0:
             obs.metrics.gauge("engine.worker_utilization").set(

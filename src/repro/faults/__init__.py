@@ -31,6 +31,14 @@ experiment that measures the difference is
 """
 
 from repro.faults.msr import FaultyMsrFile
+from repro.faults.nodes import (
+    NODE_DOWN,
+    NODE_FLAKY,
+    NODE_STRAGGLER,
+    NodeFaultEvent,
+    NodeFaultPlan,
+    NodeFaultSchedule,
+)
 from repro.faults.plan import FaultPlan
 from repro.faults.schedule import (
     ACTUATION,
@@ -55,6 +63,12 @@ __all__ = [
     "FaultyMsrFile",
     "HANG",
     "NAN",
+    "NODE_DOWN",
+    "NODE_FLAKY",
+    "NODE_STRAGGLER",
+    "NodeFaultEvent",
+    "NodeFaultPlan",
+    "NodeFaultSchedule",
     "OUTAGE_ATTEMPTS",
     "OUTLIER",
     "STUCK",

@@ -23,17 +23,20 @@ reads collector state, so instrumented and uninstrumented runs produce
 bit-identical results.
 
 Worker processes have separate memory, so spans recorded inside an
-engine worker never reach the parent's collector; instrumented
-pipelines run the engine serially (``n_workers=1``) or accept
-parent-side-only data.
+engine worker never reach the parent's collector directly; the engine
+ships each worker's serialized events back across the result pipe and
+the parent :meth:`TraceCollector.adopt`\\ s them onto its own timeline
+under a per-worker lane, so pool runs still produce complete Chrome
+traces.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
 
 from repro.obs.metrics import MetricRegistry, NullRegistry
 
@@ -155,6 +158,38 @@ class TraceCollector:
             args=tuple(sorted(args.items())) if args else (),
         ))
 
+    def now_ns(self) -> int:
+        """Current tick on this collector's clock."""
+        return self._clock()
+
+    def adopt(
+        self,
+        events: Iterable[TraceEvent],
+        *,
+        at_ns: int,
+        lane: str = "",
+    ) -> None:
+        """Graft events recorded on a *foreign* clock onto this timeline.
+
+        Worker processes time spans on their own monotonic clocks,
+        which are not comparable to the parent's. ``adopt`` rebases a
+        batch so its earliest start lands at ``at_ns`` (relative
+        offsets within the batch are preserved) and tags every event
+        with ``lane`` — exporters map lanes to separate threads so
+        adopted worker spans don't overlap the parent's own.
+        """
+        batch = list(events)
+        if not batch:
+            return
+        shift = at_ns - min(event.start_ns for event in batch)
+        for event in batch:
+            args = event.args + (("lane", lane),) if lane else event.args
+            self._events.append(
+                dataclasses.replace(
+                    event, start_ns=event.start_ns + shift, args=args
+                )
+            )
+
     @property
     def events(self) -> Tuple[TraceEvent, ...]:
         return tuple(self._events)
@@ -199,6 +234,15 @@ class NullCollector(TraceCollector):
         return _NULL_SPAN  # type: ignore[return-value]
 
     def event(self, name: str, category: str = "", **args: Any) -> None:
+        pass
+
+    def adopt(
+        self,
+        events: Iterable[TraceEvent],
+        *,
+        at_ns: int,
+        lane: str = "",
+    ) -> None:
         pass
 
 

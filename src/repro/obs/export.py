@@ -64,6 +64,12 @@ def chrome_trace(events: Iterable[TraceEvent], process_name: str = "repro") -> D
     events; timestamps and durations are microseconds as the format
     requires. Events are sorted by start time so the viewer's
     begin/end pairing never sees out-of-order data.
+
+    Events carrying a ``lane`` argument (worker spans adopted across
+    the engine's result pipe) render on their own thread rows — the
+    main timeline is tid 1, each distinct lane gets the next tid in
+    first-seen order — so a pool run's per-worker activity reads like
+    a real multi-threaded trace.
     """
     trace_events: List[Dict[str, Any]] = [{
         "name": "process_name",
@@ -72,13 +78,17 @@ def chrome_trace(events: Iterable[TraceEvent], process_name: str = "repro") -> D
         "tid": 1,
         "args": {"name": process_name},
     }]
+    lanes: Dict[str, int] = {}
     for event in sorted(events, key=lambda e: e.start_ns):
+        args = dict(event.args)
+        lane = args.pop("lane", "")
+        tid = lanes.setdefault(lane, len(lanes) + 2) if lane else 1
         entry: Dict[str, Any] = {
             "name": event.name,
             "cat": event.category or "default",
             "ts": event.start_ns / 1000.0,
             "pid": 1,
-            "tid": 1,
+            "tid": tid,
         }
         if event.kind == INSTANT:
             entry["ph"] = "i"
@@ -86,9 +96,19 @@ def chrome_trace(events: Iterable[TraceEvent], process_name: str = "repro") -> D
         else:
             entry["ph"] = "X"
             entry["dur"] = event.duration_ns / 1000.0
-        if event.args:
-            entry["args"] = dict(event.args)
+        if args:
+            entry["args"] = args
         trace_events.append(entry)
+    if lanes:
+        thread_names = [("main", 1)] + sorted(lanes.items(), key=lambda kv: kv[1])
+        for name, tid in thread_names:
+            trace_events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            })
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 

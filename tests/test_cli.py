@@ -23,6 +23,7 @@ COMMANDS = (
     "cluster",
     "broker",
     "warmstart",
+    "chaos",
     "report",
     "figure",
 )
@@ -47,6 +48,9 @@ TINY_INVOCATIONS = {
                "--brokers", "static", "harvest"],
     "warmstart": ["warmstart", "--duration", "3", "--units", "4", "--suite", "ecp",
                   "--mixes", "2", "--nodes", "2", "--epochs", "4"],
+    "chaos": ["chaos", "--nodes", "2", "--epochs", "4", "--duration", "1",
+              "--units", "4", "--suite", "ecp", "--policy", "EqualPartition",
+              "--crash-node", "0", "--crash-epoch", "1", "--outage", "2"],
     "report": ["report", "--duration", "2", "--units", "4", "--suite", "ecp", "--mixes", "1"],
     "figure": ["figure", "--list"],
 }
@@ -78,6 +82,16 @@ class TestParser:
                 continue
             args = parser.parse_args([command, "--duration", "2"])
             assert args.command == command
+
+    def test_every_command_accepts_trace_dir(self):
+        # --trace-dir is a common option: every subcommand except
+        # workloads must parse it (the PR 5 carry-over audit).
+        parser = build_parser()
+        for command in COMMANDS:
+            if command == "workloads":
+                continue
+            args = parser.parse_args([command, "--trace-dir", "/tmp/t"])
+            assert args.trace_dir == "/tmp/t"
 
 
 class TestTinyInvocations:
@@ -166,6 +180,35 @@ class TestTinyInvocations:
     def test_cluster_warm_start_flag(self, capsys):
         assert main(TINY_INVOCATIONS["cluster"] + ["--warm-start"]) == 0
         capsys.readouterr()  # drain
+
+    def test_chaos_output_and_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "chaos.json"
+        assert main(
+            TINY_INVOCATIONS["chaos"]
+            + ["--json", str(out_path), "--assert-recovery"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "no_recovery" in out
+        assert "chaos assertions passed" in out
+        report = json.loads(out_path.read_text())
+        assert set(report["arms"]) == {"recovery", "no_recovery"}
+        assert report["arms"]["recovery"]["jobs_lost"] == 0
+        assert report["arms"]["recovery"]["pool_conserved"] is True
+
+    def test_common_trace_dir_exports_artifacts(self, capsys, tmp_path):
+        # A command *without* its own collector still exports trace
+        # artifacts through the shared --trace-dir path in main().
+        trace_dir = tmp_path / "trace"
+        assert main(
+            TINY_INVOCATIONS["quickstart"] + ["--trace-dir", str(trace_dir)]
+        ) == 0
+        capsys.readouterr()  # drain
+        assert (trace_dir / "trace.jsonl").exists()
+        assert (trace_dir / "trace.chrome.json").exists()
+        assert (trace_dir / "metrics.prom").exists()
 
     def test_cluster_rejects_unknown_placement(self):
         from repro.errors import ClusterError

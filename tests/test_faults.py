@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 
 import numpy as np
 import pytest
@@ -576,3 +577,88 @@ class TestFaultedRunPolicy:
         trail = result.telemetry.series("faults_active")
         assert len(trail) == FAST.n_steps
         assert trail.max() > 0
+
+
+class TestEngineHardening:
+    """Deadlines, backoff, and the knobs the fleet recovery layer uses."""
+
+    def test_constructor_validation(self):
+        with pytest.raises(EngineError):
+            ExecutionEngine(spec_timeout_s=0)
+        with pytest.raises(EngineError):
+            ExecutionEngine(backoff_base_s=-0.1)
+        with pytest.raises(EngineError):
+            ExecutionEngine(backoff_jitter=-0.5)
+
+    def test_backoff_is_exponential_and_deterministic(self, fault_batch, monkeypatch):
+        from repro.obs import TraceCollector, use_collector
+
+        real = engine_module._execute_run_payload
+        failures = {"left": 2}
+
+        def flaky(spec):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise RuntimeError("transient worker loss")
+            return real(spec)
+
+        slept = []
+        monkeypatch.setattr(engine_module, "_execute_run_payload", flaky)
+        monkeypatch.setattr(engine_module.time, "sleep", slept.append)
+        engine = ExecutionEngine(retries=2, backoff_base_s=0.2, backoff_jitter=0.25)
+        collector = TraceCollector()
+        with use_collector(collector):
+            engine.run(fault_batch[:1])
+        # Round r sleeps base * 2**(r-1), stretched by a jitter
+        # fraction derived from the retried spec's digest — the exact
+        # delays are reproducible, not merely bounded.
+        spec = fault_batch[0]
+        expected = [
+            0.2 * 2 ** (r - 1)
+            * (1.0 + 0.25 * (derive_seed(spec.digest, "backoff", r) % 10**6 / 10**6))
+            for r in (1, 2)
+        ]
+        assert slept == pytest.approx(expected)
+        backoffs = [e for e in collector.events if e.name == "retry_backoff"]
+        assert [dict(e.args)["round"] for e in backoffs] == [1, 2]
+        assert [dict(e.args)["delay_s"] for e in backoffs] == pytest.approx(expected)
+
+    def test_zero_base_skips_sleep(self, fault_batch, monkeypatch):
+        def boom(spec):
+            raise RuntimeError("always")
+
+        slept = []
+        monkeypatch.setattr(engine_module, "_execute_run_payload", boom)
+        monkeypatch.setattr(engine_module.time, "sleep", slept.append)
+        engine = ExecutionEngine(retries=2)  # backoff_base_s defaults to 0
+        engine.run(fault_batch[:1], on_error="record")
+        assert slept == []
+
+    def test_per_spec_deadline_abandons_straggler(self, fault_batch, monkeypatch):
+        # Worker pools fork on this platform, so the monkeypatched
+        # payload function is inherited by the children: the first spec
+        # outlives its deadline, the second finishes normally.
+        real = engine_module._execute_run_payload
+        hang_spec = fault_batch[0]
+
+        def selective(spec):
+            if spec == hang_spec:
+                time.sleep(2.5)
+            return real(spec)
+
+        monkeypatch.setattr(engine_module, "_execute_run_payload", selective)
+        engine = ExecutionEngine(workers=2, spec_timeout_s=0.4)
+        started = time.perf_counter()
+        results = engine.run(fault_batch, on_error="record")
+        assert isinstance(results[0], RunError)
+        assert "per-spec deadline" in results[0].error
+        assert not isinstance(results[1], RunError)
+        # The batch did not wait out the straggler's full 2.5s sleep.
+        assert time.perf_counter() - started < 2.5
+        assert engine.stats.failed == 1
+
+    def test_no_deadlines_is_single_wait(self, fault_batch):
+        # Without timeouts the pool path produces complete results and
+        # preserves order (the historical behavior).
+        results = ExecutionEngine(workers=2).run(fault_batch)
+        assert all(not isinstance(r, RunError) for r in results)

@@ -1,0 +1,267 @@
+"""Tests for the fleet-weather substrate (node-scoped fault plans and
+their deterministic schedules).
+
+Covers the plan/schedule contract the chaos sweep depends on:
+serialization round-trips (hypothesis-driven over the full parameter
+space), bit-identical realization from identical ``(plan, n_epochs,
+seed)`` inputs, stream independence (a busy blackout stream never
+shifts the straggler stream), and the horizon discipline — plans whose
+deterministic windows outlive the trace raise rather than silently
+truncate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.faults import (
+    NODE_DOWN,
+    NODE_FLAKY,
+    NODE_STRAGGLER,
+    NodeFaultEvent,
+    NodeFaultPlan,
+    NodeFaultSchedule,
+)
+
+#: A plan exercising every fleet fault family.
+BUSY_PLAN = NodeFaultPlan(
+    crash_epoch=3,
+    crash_rejoin_epochs=2,
+    blackout_rate=0.3,
+    blackout_epochs=2,
+    straggler_rate=0.3,
+    straggler_epochs=1,
+    straggler_slowdown=2.5,
+    flaky_rate=0.3,
+    flaky_epochs=1,
+    flaky_intensity=0.6,
+)
+
+
+def node_fault_plans_strategy():
+    """Valid NodeFaultPlan instances across the whole parameter space."""
+    crash = st.one_of(st.none(), st.integers(min_value=0, max_value=50))
+    return crash.flatmap(
+        lambda crash_epoch: st.builds(
+            NodeFaultPlan,
+            crash_epoch=st.just(crash_epoch),
+            crash_rejoin_epochs=(
+                st.none()
+                if crash_epoch is None
+                else st.one_of(st.none(), st.integers(min_value=1, max_value=10))
+            ),
+            blackout_rate=st.floats(min_value=0.0, max_value=0.99),
+            blackout_epochs=st.integers(min_value=1, max_value=8),
+            straggler_rate=st.floats(min_value=0.0, max_value=0.99),
+            straggler_epochs=st.integers(min_value=1, max_value=8),
+            straggler_slowdown=st.floats(min_value=1.01, max_value=16.0),
+            flaky_rate=st.floats(min_value=0.0, max_value=0.99),
+            flaky_epochs=st.integers(min_value=1, max_value=8),
+            flaky_intensity=st.floats(min_value=0.01, max_value=1.0),
+            start_epoch=st.integers(min_value=0, max_value=20),
+            end_epoch=st.none(),
+        )
+    )
+
+
+class TestNodeFaultPlan:
+    def test_round_trip(self):
+        rebuilt = NodeFaultPlan.from_dict(BUSY_PLAN.to_dict())
+        assert rebuilt == BUSY_PLAN
+
+    def test_round_trip_through_json(self):
+        data = json.loads(json.dumps(BUSY_PLAN.to_dict()))
+        assert NodeFaultPlan.from_dict(data) == BUSY_PLAN
+
+    def test_hashable_frozen(self):
+        assert hash(BUSY_PLAN) == hash(NodeFaultPlan.from_dict(BUSY_PLAN.to_dict()))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            BUSY_PLAN.blackout_rate = 0.5
+
+    @settings(max_examples=50, deadline=None)
+    @given(plan=node_fault_plans_strategy())
+    def test_round_trip_property(self, plan):
+        data = json.loads(json.dumps(plan.to_dict()))
+        assert NodeFaultPlan.from_dict(data) == plan
+
+    def test_is_empty(self):
+        assert NodeFaultPlan().is_empty
+        assert not NodeFaultPlan(crash_epoch=1).is_empty
+        assert not NodeFaultPlan(blackout_rate=0.1).is_empty
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(crash_epoch=-1),
+        dict(crash_rejoin_epochs=2),            # rejoin without a crash
+        dict(crash_epoch=1, crash_rejoin_epochs=0),
+        dict(blackout_rate=1.0),
+        dict(straggler_rate=-0.1),
+        dict(flaky_rate=1.5),
+        dict(blackout_epochs=0),
+        dict(straggler_slowdown=1.0),
+        dict(flaky_intensity=0.0),
+        dict(flaky_intensity=1.5),
+        dict(start_epoch=-1),
+        dict(start_epoch=3, end_epoch=3),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ExperimentError):
+            NodeFaultPlan(**kwargs)
+
+
+class TestHorizonDiscipline:
+    """A plan whose deterministic windows outlive the trace raises —
+    silent truncation would quietly turn a chaos run fair-weather."""
+
+    def test_crash_past_horizon_raises(self):
+        with pytest.raises(ExperimentError, match="outlives"):
+            NodeFaultPlan(crash_epoch=5).validate_horizon(5)
+
+    def test_rejoin_past_horizon_raises(self):
+        plan = NodeFaultPlan(crash_epoch=3, crash_rejoin_epochs=4)
+        with pytest.raises(ExperimentError, match="rejoin"):
+            plan.validate_horizon(6)
+        plan.validate_horizon(7)  # rejoin == n_epochs observed exactly
+
+    def test_window_past_horizon_raises(self):
+        with pytest.raises(ExperimentError, match="past the"):
+            NodeFaultPlan(blackout_rate=0.5, start_epoch=8).validate_horizon(8)
+        with pytest.raises(ExperimentError, match="outlives"):
+            NodeFaultPlan(blackout_rate=0.5, end_epoch=9).validate_horizon(8)
+
+    def test_empty_plan_window_is_not_checked(self):
+        # An all-zero plan has no observable faults: a late start_epoch
+        # is vacuous, not an error.
+        NodeFaultPlan(start_epoch=100).validate_horizon(4)
+
+    def test_generate_enforces_horizon(self):
+        with pytest.raises(ExperimentError, match="outlives"):
+            NodeFaultSchedule.generate(NodeFaultPlan(crash_epoch=9), n_epochs=6)
+
+    def test_generate_rejects_empty_trace(self):
+        with pytest.raises(ExperimentError, match="n_epochs"):
+            NodeFaultSchedule.generate(NodeFaultPlan(), n_epochs=0)
+
+    def test_stochastic_windows_clamp_at_horizon(self):
+        # Stochastic windows are clamped, never rejected: the down
+        # epochs inside the trace are realized, the tail is
+        # unobservable by construction.
+        plan = NodeFaultPlan(blackout_rate=0.9, blackout_epochs=50)
+        schedule = NodeFaultSchedule.generate(plan, n_epochs=6, seed=1)
+        assert any(e.kind == NODE_DOWN for e in schedule)
+        assert all(e.end_epoch is not None and e.end_epoch <= 6 for e in schedule)
+
+
+class TestNodeFaultEvent:
+    def test_round_trip(self):
+        event = NodeFaultEvent(NODE_STRAGGLER, 2, 5, magnitude=3.0)
+        data = json.loads(json.dumps(event.to_dict()))
+        assert NodeFaultEvent.from_dict(data) == event
+
+    def test_open_ended_round_trip(self):
+        event = NodeFaultEvent(NODE_DOWN, 4)          # crash, no rejoin
+        assert NodeFaultEvent.from_dict(event.to_dict()) == event
+
+    def test_active_is_half_open(self):
+        event = NodeFaultEvent(NODE_DOWN, 2, 4)
+        assert not event.active(1)
+        assert event.active(2) and event.active(3)
+        assert not event.active(4)
+
+    def test_open_ended_lasts_forever(self):
+        assert NodeFaultEvent(NODE_DOWN, 2).active(10**6)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="unknown node fault kind"):
+            NodeFaultEvent("meteor", 0)
+        with pytest.raises(ExperimentError):
+            NodeFaultEvent(NODE_DOWN, -1)
+        with pytest.raises(ExperimentError, match="empty"):
+            NodeFaultEvent(NODE_DOWN, 3, 3)
+
+
+class TestNodeFaultSchedule:
+    def test_round_trip(self):
+        schedule = NodeFaultSchedule.generate(BUSY_PLAN, n_epochs=10, seed=3)
+        data = json.loads(json.dumps(schedule.to_dict()))
+        assert NodeFaultSchedule.from_dict(data) == schedule
+
+    @settings(max_examples=30, deadline=None)
+    @given(plan=node_fault_plans_strategy(), seed=st.integers(0, 2**31))
+    def test_round_trip_property(self, plan, seed):
+        n_epochs = 60  # past every strategy-generated deterministic window
+        schedule = NodeFaultSchedule.generate(plan, n_epochs=n_epochs, seed=seed)
+        data = json.loads(json.dumps(schedule.to_dict()))
+        assert NodeFaultSchedule.from_dict(data) == schedule
+
+    @settings(max_examples=30, deadline=None)
+    @given(plan=node_fault_plans_strategy(), seed=st.integers(0, 2**31))
+    def test_same_inputs_bit_identical(self, plan, seed):
+        a = NodeFaultSchedule.generate(plan, n_epochs=60, seed=seed)
+        b = NodeFaultSchedule.generate(plan, n_epochs=60, seed=seed)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        plan = NodeFaultPlan(blackout_rate=0.5)
+        a = NodeFaultSchedule.generate(plan, n_epochs=40, seed=1)
+        b = NodeFaultSchedule.generate(plan, n_epochs=40, seed=2)
+        assert a != b
+
+    def test_crash_fires_at_exact_epoch(self):
+        plan = NodeFaultPlan(crash_epoch=4, crash_rejoin_epochs=3)
+        schedule = NodeFaultSchedule.generate(plan, n_epochs=10, seed=0)
+        assert not schedule.down_at(3)
+        assert schedule.down_at(4) and schedule.down_at(6)
+        assert not schedule.down_at(7)
+        assert schedule.down_end(4) == 7
+
+    def test_crash_without_rejoin_is_permanent(self):
+        schedule = NodeFaultSchedule.generate(
+            NodeFaultPlan(crash_epoch=2), n_epochs=8, seed=0
+        )
+        assert schedule.down_at(7)
+        assert schedule.down_end(2) is None
+
+    def test_stream_independence(self):
+        # Straggler windows must be a function of the straggler stream
+        # only: turning the blackout family on must not move them.
+        quiet = NodeFaultPlan(straggler_rate=0.4, straggler_slowdown=3.0)
+        noisy = dataclasses.replace(quiet, blackout_rate=0.8, blackout_epochs=2)
+        pick = lambda sched: [e for e in sched if e.kind == NODE_STRAGGLER]
+        assert pick(
+            NodeFaultSchedule.generate(quiet, n_epochs=40, seed=11)
+        ) == pick(NodeFaultSchedule.generate(noisy, n_epochs=40, seed=11))
+
+    def test_window_confines_stochastic_faults(self):
+        plan = NodeFaultPlan(flaky_rate=0.9, start_epoch=5, end_epoch=10)
+        schedule = NodeFaultSchedule.generate(plan, n_epochs=20, seed=2)
+        assert len(schedule) > 0
+        assert all(5 <= e.start_epoch < 10 for e in schedule)
+
+    def test_lookups_report_magnitudes(self):
+        schedule = NodeFaultSchedule(
+            events=(
+                NodeFaultEvent(NODE_STRAGGLER, 1, 3, magnitude=2.0),
+                NodeFaultEvent(NODE_STRAGGLER, 2, 4, magnitude=4.0),
+                NodeFaultEvent(NODE_FLAKY, 1, 2, magnitude=0.7),
+            ),
+            n_epochs=5,
+        )
+        assert schedule.slowdown_at(0) == 1.0
+        assert schedule.slowdown_at(1) == 2.0
+        assert schedule.slowdown_at(2) == 4.0     # overlapping -> max
+        assert schedule.slowdown_at(3) == 4.0
+        assert schedule.flaky_at(1) == 0.7
+        assert schedule.flaky_at(2) == 0.0
+
+    def test_empty_plan_empty_schedule(self):
+        schedule = NodeFaultSchedule.generate(NodeFaultPlan(), n_epochs=12, seed=9)
+        assert len(schedule) == 0
+        assert not schedule.down_at(0)
+        assert schedule.slowdown_at(0) == 1.0
+        assert schedule.flaky_at(0) == 0.0

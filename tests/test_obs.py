@@ -288,3 +288,112 @@ class TestPrometheusExport:
 
     def test_empty_registry_is_empty_text(self):
         assert prometheus_text(MetricRegistry()) == ""
+
+
+class TestAdoption:
+    """Grafting worker-process spans onto the parent timeline."""
+
+    def foreign_events(self):
+        # Spans from a "worker" clock whose epoch is unrelated to the
+        # parent's: a 1000 ns outer span containing a later inner one.
+        return [
+            TraceEvent("outer", "engine", 500_000, 1000),
+            TraceEvent("inner", "engine", 500_200, 100),
+        ]
+
+    def test_adopt_rebases_and_preserves_offsets(self):
+        collector = manual_collector()
+        collector.adopt(self.foreign_events(), at_ns=10_000)
+        outer, inner = collector.events
+        assert outer.start_ns == 10_000          # earliest lands at at_ns
+        assert inner.start_ns == 10_200          # +200 offset preserved
+        assert outer.duration_ns == 1000         # durations untouched
+        assert inner.duration_ns == 100
+
+    def test_adopt_tags_lane(self):
+        collector = manual_collector()
+        collector.adopt(self.foreign_events(), at_ns=0, lane="worker:3")
+        assert all(dict(e.args)["lane"] == "worker:3" for e in collector.events)
+
+    def test_adopt_without_lane_leaves_args_alone(self):
+        collector = manual_collector()
+        collector.adopt([TraceEvent("e", "", 5, 1, args=(("k", 1),))], at_ns=0)
+        (event,) = collector.events
+        assert event.args == (("k", 1),)
+
+    def test_adopt_empty_batch_is_noop(self):
+        collector = manual_collector()
+        collector.adopt([], at_ns=0)
+        assert collector.events == ()
+
+    def test_null_collector_adopt_is_noop(self):
+        NULL_COLLECTOR.adopt(self.foreign_events(), at_ns=0, lane="w")
+        assert NULL_COLLECTOR.events == ()
+
+    def test_now_ns_reads_the_collector_clock(self):
+        collector = TraceCollector(clock=ManualClock(start_ns=42, step_ns=0))
+        assert collector.now_ns() == 42
+
+
+class TestChromeLanes:
+    def test_lanes_map_to_threads(self):
+        events = [
+            TraceEvent("main_work", "engine", 0, 10),
+            TraceEvent("w0", "engine", 5, 10, args=(("lane", "worker:0"),)),
+            TraceEvent("w1", "engine", 6, 10, args=(("lane", "worker:1"),)),
+            TraceEvent("w0b", "engine", 7, 10, args=(("lane", "worker:0"),)),
+        ]
+        trace = chrome_trace(events)
+        by_name = {e["name"]: e for e in trace["traceEvents"] if e.get("ph") == "X"}
+        assert by_name["main_work"]["tid"] == 1
+        assert by_name["w0"]["tid"] == by_name["w0b"]["tid"] == 2
+        assert by_name["w1"]["tid"] == 3
+        # The lane arg is consumed by the tid mapping, not re-emitted.
+        assert "args" not in by_name["w0"]
+        names = {
+            entry["tid"]: entry["args"]["name"]
+            for entry in trace["traceEvents"]
+            if entry["ph"] == "M" and entry["name"] == "thread_name"
+        }
+        assert names == {1: "main", 2: "worker:0", 3: "worker:1"}
+
+    def test_no_lanes_no_thread_metadata(self):
+        # Lane-free traces keep the historical single-thread shape —
+        # no trailing thread_name entries.
+        events = [TraceEvent("solo", "", 0, 1)]
+        entries = chrome_trace(events)["traceEvents"]
+        assert [e["name"] for e in entries] == ["process_name", "solo"]
+
+
+class TestWorkerSpanPropagation:
+    def test_pool_run_adopts_worker_spans(self):
+        from repro.engine import ExecutionEngine, RunSpec
+        from repro.experiments.runner import RunConfig, experiment_catalog
+        from repro.workloads.mixes import mix_from_names
+
+        specs = [
+            RunSpec(
+                mix=mix_from_names(names),
+                policy="EqualPartition",
+                catalog=experiment_catalog(4),
+                run_config=RunConfig(duration_s=1.0, baseline_reset_s=0.5),
+                seed=1,
+            )
+            for names in (["canneal", "streamcluster"], ["vips", "freqmine"])
+        ]
+        collector = TraceCollector()
+        with use_collector(collector):
+            ExecutionEngine(workers=2).run(specs)
+        worker_spans = [
+            e for e in collector.spans_named("run_spec")
+            if dict(e.args).get("lane", "").startswith("worker:")
+        ]
+        lanes = {dict(e.args)["lane"] for e in worker_spans}
+        assert lanes == {"worker:0", "worker:1"}
+        # And the chrome export renders them on their own threads.
+        tids = {
+            entry["tid"]
+            for entry in chrome_trace(collector.events)["traceEvents"]
+            if entry.get("ph") == "X" and entry["name"] == "run_spec"
+        }
+        assert tids == {2, 3}
