@@ -1,0 +1,136 @@
+"""Compare BENCH_*.json perf artifacts against a previous run.
+
+CI calls this after the benchmark steps with the previous successful
+run's artifacts downloaded into a directory::
+
+    python benchmarks/diff_bench.py previous-bench/ . --threshold 0.2
+
+Every known artifact present on both sides is diffed metric by metric;
+a change worse than the threshold (default 20%) prints a warning (and
+a ``::warning`` annotation under GitHub Actions). The exit code is 0
+unless ``--strict`` is given — perf numbers from shared CI runners are
+too noisy to gate merges on, so regressions warn rather than fail.
+
+Stdlib-only on purpose: runnable before the package is installed, or
+against artifact directories on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+#: Artifact file -> (metric path, direction). ``*`` in a path fans out
+#: over the keys of a dict (e.g. one row per broker scheme). Direction
+#: says which way is better, so "regression" always means "worse".
+ARTIFACTS = {
+    "BENCH_cluster.json": [
+        ("schemes.*.epochs_per_s", "higher"),
+        ("schemes.*.decide_ms.mean", "lower"),
+        ("schemes.*.decide_ms.max", "lower"),
+    ],
+    "BENCH_chaos.json": [
+        ("epochs_per_s", "higher"),
+    ],
+    "BENCH_serve.json": [
+        ("sessions_per_sec", "higher"),
+        ("steps_per_sec", "higher"),
+        ("decision_latency_p50_ms", "lower"),
+        ("decision_latency_p99_ms", "lower"),
+    ],
+}
+
+
+def extract(data, path: str) -> Iterator[Tuple[str, float]]:
+    """Yield ``(label, value)`` for a dotted path; ``*`` fans out."""
+    head, _, rest = path.partition(".")
+    if head == "*":
+        if isinstance(data, dict):
+            for key in sorted(data):
+                for label, value in extract(data[key], rest):
+                    yield (f"{key}.{label}" if label else key), value
+        return
+    if isinstance(data, dict) and head in data:
+        if rest:
+            for label, value in extract(data[head], rest):
+                yield (f"{head}.{label}" if label else head), value
+        elif isinstance(data[head], (int, float)) and not isinstance(data[head], bool):
+            yield head, float(data[head])
+
+
+def regression(previous: float, current: float, direction: str) -> float:
+    """Fractional change in the *worse* direction (negative = improved)."""
+    if previous == 0:
+        return 0.0
+    delta = (current - previous) / abs(previous)
+    return -delta if direction == "higher" else delta
+
+
+def diff_artifact(name: str, previous: dict, current: dict,
+                  threshold: float) -> List[str]:
+    """Return warning lines for metrics regressing past the threshold."""
+    warnings = []
+    for path, direction in ARTIFACTS[name]:
+        prev_values = dict(extract(previous, path))
+        for label, cur in extract(current, path):
+            if label not in prev_values:
+                continue
+            prev = prev_values[label]
+            worse = regression(prev, cur, direction)
+            arrow = "worse" if worse > 0 else "better"
+            line = (f"{name}: {label} {prev:.4g} -> {cur:.4g} "
+                    f"({abs(worse):.1%} {arrow})")
+            if worse > threshold:
+                warnings.append(line)
+            else:
+                print(f"  ok    {line}")
+    return warnings
+
+
+def load(path: str):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_*.json artifacts against a previous run")
+    parser.add_argument("previous", help="directory with the previous run's artifacts")
+    parser.add_argument("current", nargs="?", default=".",
+                        help="directory with this run's artifacts (default: .)")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="warn when a metric is this fraction worse (default 0.2)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any metric regresses")
+    args = parser.parse_args(argv)
+
+    warnings: List[str] = []
+    compared = 0
+    for name in ARTIFACTS:
+        previous = load(os.path.join(args.previous, name))
+        current = load(os.path.join(args.current, name))
+        if previous is None or current is None:
+            side = "previous" if previous is None else "current"
+            print(f"  skip  {name}: no {side} artifact")
+            continue
+        compared += 1
+        warnings.extend(diff_artifact(name, previous, current, args.threshold))
+
+    for line in warnings:
+        message = f"perf regression >{args.threshold:.0%}: {line}"
+        print(f"  WARN  {message}")
+        if os.environ.get("GITHUB_ACTIONS"):
+            print(f"::warning title=bench regression::{message}")
+
+    print(f"compared {compared} artifact(s), {len(warnings)} regression(s)")
+    return 1 if (args.strict and warnings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

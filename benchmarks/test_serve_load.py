@@ -1,0 +1,136 @@
+"""Control-plane load: sessions/sec and decision latency under replay.
+
+Home of the ``BENCH_serve.json`` perf artifact: a fast, non-slow-marked
+run that boots an in-process :class:`ControlPlaneServer`, floods it
+with a 100-plus-session arrival trace through the JSON-lines load
+generator, and records sessions/sec, steps/sec, and the server's p50 /
+p99 decision latency. Written on every tier-1 CI run so the serve
+layer's perf trajectory is visible across PRs (override the path with
+``BENCH_SERVE_JSON``).
+
+The fast artifact run uses ``EqualPartition`` sessions (decide cost is
+negligible, so the numbers isolate control-plane overhead); the
+slow-marked companion drives real ``SATORI`` sessions, where BO decide
+dominates — the pair separates transport cost from controller cost.
+"""
+
+import asyncio
+import json
+import math
+import os
+
+import pytest
+
+from repro.experiments import format_table
+from repro.serve import ControlPlaneServer, LoadGenerator, SessionSpec
+from repro.workloads.arrivals import poisson_trace
+
+#: Fast-artifact scale: one burst of 100 resident sessions plus churn.
+BENCH_SESSIONS = 100
+BENCH_EPOCHS = 8
+BENCH_EPOCH_S = 0.25
+
+#: Slow-run scale: fewer sessions, real SATORI controllers.
+SLOW_SESSIONS = 24
+SLOW_EPOCHS = 6
+SLOW_EPOCH_S = 0.5
+
+
+def _bench_path():
+    return os.environ.get("BENCH_SERVE_JSON", "BENCH_serve.json")
+
+
+def _replay(policy: str, initial_sessions: int, epochs: int, epoch_s: float,
+            steps_per_epoch: int = 1):
+    """Boot a server, replay a trace against it, return the report."""
+
+    async def _run():
+        server = ControlPlaneServer()
+        await server.start()
+        try:
+            host, port = server.address
+            trace = poisson_trace(
+                n_epochs=epochs,
+                arrival_rate=2.0,
+                mean_residency=10 * epochs,  # essentially nobody departs
+                suites=("ecp",),
+                seed=0,
+                initial_jobs=initial_sessions,
+            )
+            generator = LoadGenerator(
+                host,
+                port,
+                trace,
+                base_spec=SessionSpec(policy=policy, suite="ecp", units=4, seed=0),
+                epoch_s=epoch_s,
+                steps_per_epoch=steps_per_epoch,
+                connections=16,
+                mix_cycle=8,
+            )
+            return await generator.run()
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())
+
+
+def test_bench_serve_artifact():
+    """Measure control-plane throughput + decision latency, emit JSON.
+
+    Deliberately not ``slow``-marked: tier-1 CI invokes this by path
+    after the main suite and uploads the artifact. Wall-clock numbers
+    are environment-dependent; the assertions gate sanity (>= 100
+    concurrent sessions actually hosted, zero request errors, latency
+    percentiles recorded), never absolute speed.
+    """
+    report = _replay("EqualPartition", BENCH_SESSIONS, BENCH_EPOCHS, BENCH_EPOCH_S)
+
+    assert report.errors == 0
+    assert report.peak_concurrent >= BENCH_SESSIONS
+    assert report.sessions_created >= BENCH_SESSIONS
+    assert report.steps_total > 0
+    assert report.sessions_per_sec > 0.0
+    assert math.isfinite(report.decision_latency_p99_ms)
+    assert report.decision_latency_p99_ms > 0.0
+
+    payload = {
+        "benchmark": "serve_load",
+        "policy": "EqualPartition",
+        "concurrent_sessions": report.peak_concurrent,
+        **report.to_dict(),
+    }
+    with open(_bench_path(), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {_bench_path()}")
+    print(format_table(
+        ["measure", "value"],
+        [
+            ["peak concurrent sessions", report.peak_concurrent],
+            ["sessions/sec", round(report.sessions_per_sec, 1)],
+            ["steps/sec", round(report.steps_per_sec, 1)],
+            ["decision p50 (ms)", round(report.decision_latency_p50_ms, 3)],
+            ["decision p99 (ms)", round(report.decision_latency_p99_ms, 3)],
+            ["lagging epochs", report.lagging_epochs],
+        ],
+    ))
+
+
+@pytest.mark.slow
+def test_serve_load_satori():
+    """Real SATORI sessions under live load: BO decide cost end to end."""
+    report = _replay("SATORI", SLOW_SESSIONS, SLOW_EPOCHS, SLOW_EPOCH_S)
+    assert report.errors == 0
+    assert report.peak_concurrent >= SLOW_SESSIONS
+    assert report.steps_total > 0
+    assert math.isfinite(report.decision_latency_p99_ms)
+    print(format_table(
+        ["measure", "value"],
+        [
+            ["peak concurrent sessions", report.peak_concurrent],
+            ["steps/sec", round(report.steps_per_sec, 1)],
+            ["decision p50 (ms)", round(report.decision_latency_p50_ms, 3)],
+            ["decision p99 (ms)", round(report.decision_latency_p99_ms, 3)],
+        ],
+        title="SATORI sessions under live load:",
+    ))

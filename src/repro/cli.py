@@ -18,6 +18,8 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``broker``       — cluster budget-broker sweep (static/harvest/trade/bo).
 * ``warmstart``    — warm-vs-cold controller continuation (policy-state value).
 * ``chaos``        — paired fleet-fault sweep: recovery protocol vs ablation.
+* ``serve``        — long-lived control-plane server (sessions as a service).
+* ``loadgen``      — replay an arrival trace against a running ``serve``.
 * ``workloads``    — list the benchmark workload models (Tables I-III).
 
 Every command (except ``workloads``) accepts ``--trace-dir`` to export
@@ -719,6 +721,103 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ControlPlaneServer
+
+    async def _serve() -> None:
+        server = ControlPlaneServer(host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        print(f"control plane listening on {host}:{port}", flush=True)
+        print("dialects: newline-delimited JSON ops, minimal REST "
+              "(GET /healthz, GET /metrics, GET /sessions, POST /sessions, "
+              "POST /sessions/<id>/step, GET /sessions/<id>/snapshot, "
+              "DELETE /sessions/<id>)", flush=True)
+        if args.exit_after is not None:
+            try:
+                await asyncio.wait_for(server.serve_forever(), args.exit_after)
+            except asyncio.TimeoutError:
+                pass
+            finally:
+                await server.stop()
+        else:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ControlPlaneServer, LoadGenerator, SessionSpec
+    from repro.workloads.arrivals import poisson_trace
+
+    trace = poisson_trace(
+        n_epochs=args.epochs,
+        arrival_rate=args.arrival_rate,
+        mean_residency=args.residency,
+        suites=(args.suite,),
+        seed=args.seed,
+    )
+    base_spec = SessionSpec(
+        policy=args.policy, suite=args.suite, units=args.units, seed=args.seed
+    )
+
+    async def _drive():
+        server = None
+        host, port = args.host, args.port
+        if args.self_host:
+            server = ControlPlaneServer()
+            await server.start()
+            host, port = server.address
+        try:
+            generator = LoadGenerator(
+                host,
+                port,
+                trace,
+                base_spec=base_spec,
+                epoch_s=args.epoch_s,
+                steps_per_epoch=args.steps_per_epoch,
+                connections=args.connections,
+                snapshot_on_kill=args.snapshot_on_kill,
+            )
+            return await generator.run()
+        finally:
+            if server is not None:
+                await server.stop()
+
+    report = asyncio.run(_drive())
+    rows = [
+        ["epochs replayed", report.epochs],
+        ["wall time (s)", f"{report.wall_s:.2f}"],
+        ["sessions created", report.sessions_created],
+        ["sessions killed", report.sessions_killed],
+        ["peak concurrent", report.peak_concurrent],
+        ["control steps", report.steps_total],
+        ["sessions/sec", f"{report.sessions_per_sec:.1f}"],
+        ["steps/sec", f"{report.steps_per_sec:.1f}"],
+        ["decision p50 (ms)", f"{report.decision_latency_p50_ms:.3f}"],
+        ["decision p99 (ms)", f"{report.decision_latency_p99_ms:.3f}"],
+        ["request errors", report.errors],
+        ["lagging epochs", report.lagging_epochs],
+    ]
+    target = "self-hosted server" if args.self_host else f"{args.host}:{args.port}"
+    print(format_table(["measure", "value"],
+                       rows, title=f"load replay against {target}:"))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nJSON report written to {args.json}")
+    return 1 if report.errors else 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.figures import FigureScale, figure_names, run_figure
 
@@ -778,11 +877,13 @@ def build_parser() -> argparse.ArgumentParser:
         ("broker", cmd_broker, "broker"),
         ("warmstart", cmd_warmstart, "warmstart"),
         ("chaos", cmd_chaos, "chaos"),
+        ("serve", cmd_serve, "serve"),
+        ("loadgen", cmd_loadgen, "loadgen"),
         ("report", cmd_report, "report"),
         ("figure", cmd_figure, "figure"),
     ):
         p = sub.add_parser(name, help=func.__doc__)
-        if name != "workloads":
+        if name not in ("workloads", "serve", "loadgen"):
             _add_common(p)
         if extra == "compare":
             p.add_argument("--all-mixes", action="store_true", help="run every suite mix")
@@ -898,6 +999,42 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the JSON report to this path")
             # for chaos, --duration is the per-epoch length
             p.set_defaults(duration=3.0)
+        if extra == "serve":
+            p.add_argument("--host", default="127.0.0.1", help="bind address")
+            p.add_argument("--port", type=int, default=7300,
+                           help="bind port (0 picks a free one)")
+            p.add_argument("--exit-after", type=float, default=None,
+                           help="stop after this many seconds (smoke tests; "
+                                "default: serve forever)")
+        if extra == "loadgen":
+            p.add_argument("--host", default="127.0.0.1", help="server address")
+            p.add_argument("--port", type=int, default=7300, help="server port")
+            p.add_argument("--self-host", action="store_true",
+                           help="boot an in-process server and replay against "
+                                "it (ignores --host/--port)")
+            p.add_argument("--suite", default="parsec",
+                           choices=("parsec", "cloudsuite", "ecp"))
+            p.add_argument("--policy", default="SATORI",
+                           help="partitioning policy every session runs")
+            p.add_argument("--units", type=int, default=8,
+                           help="allocation units per resource")
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--epochs", type=int, default=20,
+                           help="trace length in wall-clock ticks")
+            p.add_argument("--arrival-rate", type=float, default=2.0,
+                           help="mean session arrivals per tick (Poisson)")
+            p.add_argument("--residency", type=float, default=4.0,
+                           help="mean resident ticks per session (geometric)")
+            p.add_argument("--epoch-s", type=float, default=0.05,
+                           help="wall-clock seconds per tick")
+            p.add_argument("--steps-per-epoch", type=int, default=1,
+                           help="control intervals per resident session per tick")
+            p.add_argument("--connections", type=int, default=16,
+                           help="client connection-pool size")
+            p.add_argument("--snapshot-on-kill", action="store_true",
+                           help="snapshot each departing session before killing it")
+            p.add_argument("--json", default="",
+                           help="write the JSON load report to this path")
         if extra == "report":
             p.add_argument("--mixes", type=int, default=4, help="mixes to include")
             p.add_argument("--out", default="", help="write markdown to this path")

@@ -103,6 +103,7 @@ class ServerNode:
                 )
         self._max_jobs = None if capacity is None else int(capacity)
         self._jobs: Dict[int, Workload] = {}
+        self._kinds: Dict[int, str] = {}
 
     # -- budget -----------------------------------------------------------
 
@@ -162,6 +163,22 @@ class ServerNode:
         """Resident job ids in ascending order (the mix's job order)."""
         return tuple(sorted(self._jobs))
 
+    @property
+    def job_kinds(self) -> Tuple[str, ...]:
+        """Resident job kinds, aligned with :attr:`job_ids`."""
+        return tuple(self._kinds.get(job_id, "batch") for job_id in self.job_ids)
+
+    def kind_of(self, job_id: int) -> str:
+        """The type label a resident job arrived with."""
+        if job_id not in self._jobs:
+            raise ClusterError(f"job {job_id} is not on node {self.node_id}")
+        return self._kinds.get(job_id, "batch")
+
+    @property
+    def qos_jobs(self) -> int:
+        """Resident jobs tagged latency-sensitive (``kind == "qos"``)."""
+        return sum(1 for kind in self._kinds.values() if kind == "qos")
+
     def add_job(self, arrival: JobArrival) -> None:
         """Place a job instance on this node."""
         if not self.has_capacity:
@@ -174,6 +191,7 @@ class ServerNode:
             arrival.workload,
             name=instance_name(arrival.workload.name, arrival.job_id),
         )
+        self._kinds[arrival.job_id] = arrival.kind
 
     def remove_job(self, job_id: int) -> None:
         """Remove a departed (or migrating) job instance."""
@@ -181,6 +199,7 @@ class ServerNode:
             del self._jobs[job_id]
         except KeyError:
             raise ClusterError(f"job {job_id} is not on node {self.node_id}") from None
+        self._kinds.pop(job_id, None)
 
     def has_job(self, job_id: int) -> bool:
         return job_id in self._jobs

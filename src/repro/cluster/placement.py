@@ -49,6 +49,10 @@ class NodeView:
             summed across resources (0 when the caller did not thread
             budgets through — placement decisions key off ``capacity``,
             which already reflects the budget).
+        qos_jobs: resident jobs tagged latency-sensitive (``"qos"``
+            arrivals). Informational for now — no built-in placement
+            branches on it — but the plumbing lets QoS-aware policies
+            spread latency-sensitive jobs without new surface.
     """
 
     node_id: int
@@ -57,6 +61,7 @@ class NodeView:
     mean_speedup: float = 1.0
     fairness: float = 1.0
     budget_units: int = 0
+    qos_jobs: int = 0
 
     @property
     def has_capacity(self) -> bool:

@@ -182,6 +182,9 @@ class NodeEpochRecord:
             and speedups are 0.0 by construction.
         slowdown: straggler slowdown factor in force (1.0 = healthy);
             already folded into the scores.
+        job_kinds: per-job type labels aligned with ``job_ids``
+            (``"batch"`` / ``"qos"``); empty for records built before
+            typed traces existed.
     """
 
     epoch: int
@@ -197,6 +200,7 @@ class NodeEpochRecord:
     capacity: int = 0
     failed: bool = False
     slowdown: float = 1.0
+    job_kinds: Tuple[str, ...] = ()
 
     @property
     def n_jobs(self) -> int:
@@ -621,6 +625,16 @@ class ClusterSimulator:
         self._quarantines = 0
         self._node_epoch_failures = 0
         self._displaced_epochs = 0
+        # Incremental stepping state: :meth:`run` is a loop over
+        # :meth:`step_epoch`, and external callers may interleave
+        # epochs with their own work (the serve layer, speculative
+        # batching). ``_previous`` holds the last epoch's records —
+        # the placement policy's information set.
+        self._epoch = 0
+        self._all_records: List[NodeEpochRecord] = []
+        self._rejected: List[int] = []
+        self._migrations = 0
+        self._previous: Dict[int, NodeEpochRecord] = {}
 
     @property
     def nodes(self) -> List[ServerNode]:
@@ -679,6 +693,7 @@ class ClusterSimulator:
                     mean_speedup=mean_speedup,
                     fairness=fairness,
                     budget_units=node.budget.total_units,
+                    qos_jobs=node.qos_jobs,
                 )
             )
         return views
@@ -965,6 +980,7 @@ class ClusterSimulator:
             if target == node.node_id or not self._nodes[target].has_capacity:
                 continue
             workload = node.workload_of(victim)
+            kind = node.kind_of(victim)
             active_collector().event(
                 "migration", "cluster",
                 job_id=victim, source=node.node_id, target=target,
@@ -980,6 +996,7 @@ class ClusterSimulator:
                     job_id=victim,
                     workload=dataclasses.replace(workload, name=base_name),
                     arrival_epoch=0,
+                    kind=kind,
                 )
             )
             self._migrated_in.setdefault(target, set()).add(victim)
@@ -1053,6 +1070,7 @@ class ClusterSimulator:
                     capacity=node.capacity,
                     failed=True,
                     slowdown=slowdown,
+                    job_kinds=node.job_kinds,
                 )
             )
 
@@ -1158,6 +1176,7 @@ class ClusterSimulator:
                     budget=node.budget,
                     capacity=node.capacity,
                     slowdown=slowdown,
+                    job_kinds=node.job_kinds,
                 )
             )
             if result.final_state is not None:
@@ -1186,6 +1205,7 @@ class ClusterSimulator:
                     job_speedups={job_id: 1.0 for job_id in node.job_ids},
                     budget=node.budget,
                     capacity=node.capacity,
+                    job_kinds=node.job_kinds,
                 )
             )
         for node in self._nodes:
@@ -1319,52 +1339,95 @@ class ClusterSimulator:
 
     # -- the run -----------------------------------------------------------
 
-    def run(self) -> ClusterResult:
-        """Replay the whole trace and return the cluster-level result."""
-        obs = active_collector()
+    @property
+    def epoch(self) -> int:
+        """Epochs stepped so far (the next :meth:`step_epoch` runs this one)."""
+        return self._epoch
+
+    @property
+    def finished(self) -> bool:
+        """Whether the arrival trace has been fully replayed."""
+        return self._epoch >= self._trace.n_epochs
+
+    @property
+    def _series_prefix(self) -> str:
         # Sweep cells run sequentially under one collector, so series
         # names carry the cell coordinates to keep nodes from
         # interleaving across cells. Broker sweeps share placement and
         # policy across cells, so the broker name joins the coordinate
         # (no-broker runs keep the historical prefix).
-        series_prefix = f"cluster.{self._placement.name}.{self._policy}"
+        prefix = f"cluster.{self._placement.name}.{self._policy}"
         if self._broker is not None:
-            series_prefix += f"@{self._broker.name}"
-        all_records: List[NodeEpochRecord] = []
-        rejected: List[int] = []
-        migrations = 0
-        previous: Dict[int, NodeEpochRecord] = {}
-        for epoch in range(self._trace.n_epochs):
-            with obs.span("epoch", "cluster", epoch=epoch):
-                self._apply_fleet_weather(epoch)
-                self._apply_departures(epoch)
-                migrations += self._maybe_migrate(previous)
-                self._replace_queued(epoch)
-                rejected.extend(self._place_arrivals(epoch))
-                records = self._epoch_records(epoch)
-            for record in records:
-                self._observed[record.node_id] = (record.mean_speedup, record.fairness)
-                node_prefix = f"{series_prefix}.node{record.node_id}"
-                obs.metrics.series(f"{node_prefix}.throughput").append(record.throughput)
-                obs.metrics.series(f"{node_prefix}.fairness").append(record.fairness)
-                obs.metrics.series(f"{node_prefix}.occupancy").append(record.n_jobs)
-                if record.budget is not None:
-                    obs.metrics.series(f"{node_prefix}.budget_units").append(
-                        record.budget.total_units
-                    )
-            self._maybe_quarantine(epoch)
-            self._broker_step(epoch, records)
-            self._audit_pool(epoch)
-            previous = {record.node_id: record for record in records}
-            all_records.extend(records)
+            prefix += f"@{self._broker.name}"
+        return prefix
+
+    def step_epoch(self) -> List[NodeEpochRecord]:
+        """Advance the cluster by exactly one placement epoch.
+
+        The epoch runs as explicit sub-steps, in order: fleet weather
+        (down/rejoin + budget parking), trace departures, optional
+        fairness-driven migration, re-placement of drained jobs, new
+        arrivals, node-epoch spec execution through the engine,
+        scoring (per-node series + the placement policy's view),
+        quarantine, brokering, and the conservation audit.
+
+        Callers may interleave their own work between epochs — inspect
+        :attr:`nodes`, read the accumulated records, or snapshot
+        policies — and :meth:`run` is exactly a loop over this method,
+        so a manually stepped replay is bit-identical to a batch one.
+
+        Returns the epoch's node records (down nodes produce none).
+
+        Raises:
+            ClusterError: when the trace is already fully replayed.
+        """
+        if self.finished:
+            raise ClusterError(
+                f"trace exhausted: all {self._trace.n_epochs} epochs already stepped"
+            )
+        epoch = self._epoch
+        obs = active_collector()
+        with obs.span("epoch", "cluster", epoch=epoch):
+            self._apply_fleet_weather(epoch)
+            self._apply_departures(epoch)
+            self._migrations += self._maybe_migrate(self._previous)
+            self._replace_queued(epoch)
+            self._rejected.extend(self._place_arrivals(epoch))
+            records = self._epoch_records(epoch)
+        self._score_epoch(records)
+        self._maybe_quarantine(epoch)
+        self._broker_step(epoch, records)
+        self._audit_pool(epoch)
+        self._previous = {record.node_id: record for record in records}
+        self._all_records.extend(records)
+        self._epoch += 1
+        return records
+
+    def _score_epoch(self, records: Sequence[NodeEpochRecord]) -> None:
+        """Fold an epoch's records into observed views and metric series."""
+        obs = active_collector()
+        series_prefix = self._series_prefix
+        for record in records:
+            self._observed[record.node_id] = (record.mean_speedup, record.fairness)
+            node_prefix = f"{series_prefix}.node{record.node_id}"
+            obs.metrics.series(f"{node_prefix}.throughput").append(record.throughput)
+            obs.metrics.series(f"{node_prefix}.fairness").append(record.fairness)
+            obs.metrics.series(f"{node_prefix}.occupancy").append(record.n_jobs)
+            if record.budget is not None:
+                obs.metrics.series(f"{node_prefix}.budget_units").append(
+                    record.budget.total_units
+                )
+
+    def result(self) -> ClusterResult:
+        """The cluster-level result over the epochs stepped so far."""
         return ClusterResult(
             n_nodes=len(self._nodes),
             policy=self._policy,
             placement=self._placement.name,
-            n_epochs=self._trace.n_epochs,
-            records=tuple(all_records),
-            rejected_jobs=tuple(rejected),
-            migrations=migrations,
+            n_epochs=self._epoch,
+            records=tuple(self._all_records),
+            rejected_jobs=tuple(self._rejected),
+            migrations=self._migrations,
             broker=self._broker.name if self._broker is not None else "none",
             budget_transfers=self._budget_transfers,
             jobs_lost=tuple(self._lost),
@@ -1377,6 +1440,19 @@ class ClusterSimulator:
             displaced_job_epochs=self._displaced_epochs,
             fleet_events=tuple(self._fleet_events),
         )
+
+    def run(self) -> ClusterResult:
+        """Replay the remaining trace and return the cluster-level result.
+
+        A thin loop over :meth:`step_epoch`; on a fresh simulator this
+        reproduces the historical whole-trace behavior bit-identically
+        (same spec digests, same telemetry series). After manual
+        stepping it finishes the replay from wherever the caller
+        stopped.
+        """
+        while not self.finished:
+            self.step_epoch()
+        return self.result()
 
 
 def _transfer_ledger(

@@ -19,11 +19,18 @@ layout contracts.
 """
 
 from repro.engine.cache import CACHE_SCHEMA_VERSION, RunCache, default_cache_salt
-from repro.engine.engine import EngineStats, ExecutionEngine, RunError, execute_run
+from repro.engine.engine import (
+    EngineFuture,
+    EngineStats,
+    ExecutionEngine,
+    RunError,
+    execute_run,
+)
 from repro.engine.spec import RunSpec, derive_seed
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "EngineFuture",
     "EngineStats",
     "ExecutionEngine",
     "RunCache",

@@ -83,6 +83,20 @@ class PqosMonitor:
         """Length of one nominal sampling interval in seconds."""
         return 1.0 / self._sample_hz
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The monitor's private noise stream.
+
+        Exposed for snapshot/restore: resuming a server bit-identically
+        requires resuming this stream at its exact position
+        (:func:`repro.rng.rng_state` / :func:`repro.rng.rng_from_state`).
+        """
+        return self._rng
+
+    @rng.setter
+    def rng(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
     def observe(
         self,
         true_ips: Sequence[float],

@@ -1,0 +1,31 @@
+"""The live control plane: sessions as a service.
+
+Every other entry point in the repo replays a workload to completion
+and exits. This package inverts that: a :class:`SessionManager` owns
+many concurrent :class:`~repro.system.session.ControlSession`s with a
+full lifecycle — create, step, snapshot, kill, resume (bit-identical,
+via the PR 4 ``PolicyState`` protocol plus server/session state
+capture) — and :class:`ControlPlaneServer` exposes the manager as a
+long-lived asyncio server speaking both newline-delimited JSON and a
+minimal REST surface on one port, with a Prometheus ``/metrics``
+scrape endpoint reusing the ``repro.obs`` exporters.
+
+:class:`LoadGenerator` is the matching client: it replays a
+``workloads.arrivals`` trace at wall-clock speed (arrivals create
+sessions, departures kill them, resident sessions step every epoch)
+and reports sessions/sec and decision-latency percentiles — the
+numbers behind the ``BENCH_serve.json`` CI artifact.
+"""
+
+from repro.serve.loadgen import LoadGenerator, LoadReport
+from repro.serve.manager import SessionInfo, SessionManager, SessionSpec
+from repro.serve.server import ControlPlaneServer
+
+__all__ = [
+    "ControlPlaneServer",
+    "LoadGenerator",
+    "LoadReport",
+    "SessionInfo",
+    "SessionManager",
+    "SessionSpec",
+]

@@ -176,6 +176,48 @@ class ControlSession:
         """
         return self._policy.snapshot()
 
+    # -- snapshot / restore ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The session's loop state as JSON-compatible data.
+
+        Covers everything :meth:`step` reads besides the policy and the
+        server themselves: the held isolation baseline, the pending
+        policy view, the next baseline-reset deadline, and the scored
+        telemetry so far. Pair it with the policy's
+        :meth:`policy_state` snapshot and the server's own state
+        capture (:meth:`~repro.system.simulation.CoLocationSimulator.snapshot_state`)
+        for a complete resumable session image — infinities (a session
+        that never resets its baseline) encode as ``None``.
+        """
+        return {
+            "baseline": (
+                None if self._baseline is None else [float(b) for b in self._baseline]
+            ),
+            "next_reset": None if math.isinf(self._next_reset) else float(self._next_reset),
+            "policy_view": (
+                None if self._policy_view is None else self._policy_view.to_dict()
+            ),
+            "telemetry": self._telemetry.to_dict(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Resume the loop state captured by :meth:`export_state`.
+
+        The session must have been constructed around a
+        policy/server pair already restored to the matching instant;
+        this call only rehydrates the loop bookkeeping (so the first
+        post-restore :meth:`step` skips the initial baseline
+        measurement and continues mid-stream, bit-identically).
+        """
+        baseline = state.get("baseline")
+        self._baseline = None if baseline is None else np.array(baseline, dtype=float)
+        next_reset = state.get("next_reset")
+        self._next_reset = math.inf if next_reset is None else float(next_reset)
+        view = state.get("policy_view")
+        self._policy_view = None if view is None else Observation.from_dict(view)
+        self._telemetry = TelemetryLog.from_dict(state["telemetry"])
+
     # -- baseline management -------------------------------------------------
 
     def refresh_baseline(self) -> np.ndarray:

@@ -38,7 +38,7 @@ from repro.resources.types import (
     ResourceCatalog,
     default_catalog,
 )
-from repro.rng import SeedLike, make_rng, spawn_rng
+from repro.rng import SeedLike, make_rng, rng_from_state, rng_state, spawn_rng
 from repro.system.contention import effective_allocations, evaluate_system, isolation_ips
 from repro.workloads.mixes import JobMix
 
@@ -98,6 +98,40 @@ class Observation:
     @property
     def n_jobs(self) -> int:
         return len(self.ips)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (exact float round-trip)."""
+        return {
+            "time_s": self.time_s,
+            "interval_s": self.interval_s,
+            "ips": list(self.ips),
+            "isolation_ips": list(self.isolation_ips),
+            "config": self.config.to_dict() if self.config is not None else None,
+            "completed_runs": list(self.completed_runs),
+            "memory_bandwidth_bytes_s": list(self.memory_bandwidth_bytes_s),
+            "llc_occupancy_bytes": list(self.llc_occupancy_bytes),
+            "actuation_ok": self.actuation_ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Observation":
+        """Rebuild an observation from :meth:`to_dict` output."""
+        config = data.get("config")
+        return cls(
+            time_s=float(data["time_s"]),
+            interval_s=float(data["interval_s"]),
+            ips=tuple(float(v) for v in data["ips"]),
+            isolation_ips=tuple(float(v) for v in data["isolation_ips"]),
+            config=None if config is None else Configuration.from_dict(config),
+            completed_runs=tuple(int(v) for v in data["completed_runs"]),
+            memory_bandwidth_bytes_s=tuple(
+                float(v) for v in data.get("memory_bandwidth_bytes_s", ())
+            ),
+            llc_occupancy_bytes=tuple(
+                float(v) for v in data.get("llc_occupancy_bytes", ())
+            ),
+            actuation_ok=bool(data.get("actuation_ok", True)),
+        )
 
 
 class CoLocationSimulator:
@@ -468,6 +502,97 @@ class CoLocationSimulator:
         """The tuple of active phase indices (Oracle cache key)."""
         t = self._time_s if at_time is None else at_time
         return tuple(w.phase_index_at(t) for w in self._mix)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The server's complete dynamic state as JSON-compatible data.
+
+        Everything :meth:`step` reads or advances: wall time, both RNG
+        stream positions (substrate + monitor), the installed
+        configuration, per-job progress, the previous-interval
+        allocations (reconfiguration-penalty memory), and the fault
+        bookkeeping. Together with the construction arguments (mix,
+        catalog, interval, noise) this is sufficient for
+        :meth:`restore_state` to resume the server bit-identically —
+        the property the ``repro.serve`` session snapshot/resume
+        round-trip is built on.
+
+        NaN is not valid JSON, so the last-reported-IPS slots (which
+        start as NaN before a job's first sample) encode NaN as
+        ``None``.
+        """
+        return {
+            "time_s": float(self._time_s),
+            "rng": rng_state(self._rng),
+            "monitor_rng": rng_state(self._monitor.rng),
+            "config": self._config.to_dict() if self._config is not None else None,
+            "instructions": [float(v) for v in self._instructions],
+            "completed_runs": [int(v) for v in self._completed_runs],
+            "prev_allocations": (
+                None
+                if self._prev_allocations is None
+                else {
+                    name: [float(v) for v in values]
+                    for name, values in self._prev_allocations.items()
+                }
+            ),
+            "pending_failed_attempts": int(self._pending_failed_attempts),
+            "triggered_events": sorted(self._triggered_events),
+            "last_reported_ips": [
+                float(v) if np.isfinite(v) else None for v in self._last_reported_ips
+            ],
+            "last_true_ips": [float(v) for v in self._last_true_ips],
+            "fault_counters": dict(self._fault_counters),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume the server at the exact instant of a prior snapshot.
+
+        The simulator must have been constructed with the same mix,
+        catalog, and knobs as the one that produced the snapshot (the
+        snapshot holds dynamic state only). The installed configuration
+        is re-programmed through the actuators so the register file
+        matches; RNG streams resume at their recorded positions.
+
+        Raises:
+            ExperimentError: if the snapshot's job count does not match
+                this server's mix.
+        """
+        if len(state["instructions"]) != self.n_jobs:
+            raise ExperimentError(
+                f"snapshot covers {len(state['instructions'])} jobs, "
+                f"mix has {self.n_jobs}"
+            )
+        self._time_s = float(state["time_s"])
+        self._rng = rng_from_state(state["rng"])
+        self._monitor.rng = rng_from_state(state["monitor_rng"])
+        config = state.get("config")
+        if config is not None:
+            restored = Configuration.from_dict(config)
+            restored.validate(self._catalog.subset(restored.resource_names))
+            self._program(restored)
+            self._config = restored
+        else:
+            self._config = None
+        self._instructions = np.array(state["instructions"], dtype=float)
+        self._completed_runs = np.array(state["completed_runs"], dtype=np.int64)
+        prev = state.get("prev_allocations")
+        self._prev_allocations = (
+            None
+            if prev is None
+            else {name: np.array(values, dtype=float) for name, values in prev.items()}
+        )
+        self._pending_failed_attempts = int(state.get("pending_failed_attempts", 0))
+        self._triggered_events = set(state.get("triggered_events", ()))
+        self._last_reported_ips = np.array(
+            [np.nan if v is None else float(v) for v in state["last_reported_ips"]],
+            dtype=float,
+        )
+        self._last_true_ips = tuple(float(v) for v in state.get("last_true_ips", ()))
+        self._fault_counters = {
+            str(k): int(v) for k, v in state.get("fault_counters", {}).items()
+        }
 
     def _workload_fault_factors(self, t: float) -> np.ndarray:
         """Per-job IPS multipliers from crash / hang events at time ``t``.

@@ -61,6 +61,15 @@ def workload_from_dict(data: Dict[str, Any]) -> Workload:
     )
 
 
+#: The default job type: throughput-oriented work with no latency SLO.
+KIND_BATCH = "batch"
+
+#: Latency-sensitive jobs; today a label only, plumbed end to end
+#: (traces → placement views → node-epoch records) so QoS-aware
+#: placement and partitioning policies can key off it.
+KIND_QOS = "qos"
+
+
 @dataclass(frozen=True)
 class JobArrival:
     """One job instance in a cluster trace.
@@ -72,12 +81,16 @@ class JobArrival:
         arrival_epoch: first epoch the job is resident.
         departure_epoch: first epoch the job is *gone* (exclusive
             bound); ``None`` means the job stays until the trace ends.
+        kind: job type label (``"batch"`` / ``"qos"``); carried
+            through placement and per-epoch records unchanged — no
+            current policy branches on it.
     """
 
     job_id: int
     workload: Workload
     arrival_epoch: int
     departure_epoch: Optional[int] = None
+    kind: str = KIND_BATCH
 
     def __post_init__(self) -> None:
         if self.job_id < 0:
@@ -88,6 +101,10 @@ class JobArrival:
             raise ClusterError(
                 f"job {self.job_id}: departure epoch {self.departure_epoch} must "
                 f"exceed arrival epoch {self.arrival_epoch}"
+            )
+        if not self.kind or not isinstance(self.kind, str):
+            raise ClusterError(
+                f"job {self.job_id}: kind must be a non-empty string, got {self.kind!r}"
             )
 
     def resident_at(self, epoch: int) -> bool:
@@ -102,6 +119,7 @@ class JobArrival:
             "workload": workload_to_dict(self.workload),
             "arrival_epoch": self.arrival_epoch,
             "departure_epoch": self.departure_epoch,
+            "kind": self.kind,
         }
 
     @classmethod
@@ -113,6 +131,7 @@ class JobArrival:
             departure_epoch=(
                 None if data.get("departure_epoch") is None else int(data["departure_epoch"])
             ),
+            kind=str(data.get("kind", KIND_BATCH)),
         )
 
 
@@ -196,6 +215,7 @@ def _rate_trace(
     registry: Optional[WorkloadRegistry],
     seed: SeedLike,
     initial_jobs: int,
+    qos_fraction: float = 0.0,
 ) -> ArrivalTrace:
     """The shared generator behind every stochastic trace: Poisson
     arrivals at a per-epoch rate, geometric stays.
@@ -204,7 +224,9 @@ def _rate_trace(
     counts with per-arrival workload + residency draws) is the
     contract: every public generator delegates here, so a constant
     rate curve reproduces :func:`poisson_trace`'s historical traces
-    draw-for-draw.
+    draw-for-draw. The per-arrival kind draw happens only when
+    ``qos_fraction > 0``, so the default keeps historical traces
+    draw-identical.
     """
     if n_epochs < 1:
         raise ClusterError(f"a trace needs at least one epoch, got {n_epochs}")
@@ -214,6 +236,8 @@ def _rate_trace(
         raise ClusterError("arrival rates must be >= 0")
     if mean_residency < 1:
         raise ClusterError(f"mean_residency must be >= 1, got {mean_residency}")
+    if not 0.0 <= qos_fraction <= 1.0:
+        raise ClusterError(f"qos_fraction must be in [0, 1], got {qos_fraction}")
     registry = registry or default_registry()
     pool: List[Workload] = []
     for suite in suites:
@@ -234,12 +258,18 @@ def _rate_trace(
         departure: Optional[int] = epoch + stay
         if departure >= n_epochs:
             departure = None
+        # The kind draw is guarded so qos_fraction=0 makes no extra RNG
+        # draws — historical traces stay draw-identical.
+        kind = KIND_BATCH
+        if qos_fraction > 0 and rng.random() < qos_fraction:
+            kind = KIND_QOS
         jobs.append(
             JobArrival(
                 job_id=next_id,
                 workload=workload,
                 arrival_epoch=epoch,
                 departure_epoch=departure,
+                kind=kind,
             )
         )
         next_id += 1
@@ -268,6 +298,7 @@ def poisson_trace(
     registry: Optional[WorkloadRegistry] = None,
     seed: SeedLike = 0,
     initial_jobs: int = 0,
+    qos_fraction: float = 0.0,
 ) -> ArrivalTrace:
     """A deterministic random trace: Poisson arrivals, geometric stays.
 
@@ -285,6 +316,9 @@ def poisson_trace(
         initial_jobs: jobs already resident at epoch 0 (drawn before
             any Poisson arrivals, so warm-start traces stay paired with
             cold-start ones for the shared prefix of draws).
+        qos_fraction: probability each arrival is tagged ``"qos"``
+            instead of ``"batch"``; 0 adds no RNG draws, so untyped
+            traces reproduce historical ones exactly.
     """
     if n_epochs < 1:
         raise ClusterError(f"a trace needs at least one epoch, got {n_epochs}")
@@ -299,6 +333,7 @@ def poisson_trace(
         registry,
         seed,
         initial_jobs,
+        qos_fraction,
     )
 
 
@@ -313,6 +348,7 @@ def diurnal_trace(
     registry: Optional[WorkloadRegistry] = None,
     seed: SeedLike = 0,
     initial_jobs: int = 0,
+    qos_fraction: float = 0.0,
 ) -> ArrivalTrace:
     """Non-stationary arrivals on a day/night cycle.
 
@@ -338,7 +374,8 @@ def diurnal_trace(
         for epoch in range(max(n_epochs, 1))
     ]
     return _rate_trace(
-        n_epochs, rates, mean_residency, max_jobs, suites, registry, seed, initial_jobs
+        n_epochs, rates, mean_residency, max_jobs, suites, registry, seed,
+        initial_jobs, qos_fraction,
     )
 
 
@@ -354,6 +391,7 @@ def flash_crowd_trace(
     registry: Optional[WorkloadRegistry] = None,
     seed: SeedLike = 0,
     initial_jobs: int = 0,
+    qos_fraction: float = 0.0,
 ) -> ArrivalTrace:
     """A quiet stream with one flash-crowd burst.
 
@@ -376,5 +414,6 @@ def flash_crowd_trace(
         for epoch in range(max(n_epochs, 1))
     ]
     return _rate_trace(
-        n_epochs, rates, mean_residency, max_jobs, suites, registry, seed, initial_jobs
+        n_epochs, rates, mean_residency, max_jobs, suites, registry, seed,
+        initial_jobs, qos_fraction,
     )

@@ -1,8 +1,33 @@
-"""Shared fixtures: small-scale servers, mixes, and spaces for fast tests."""
+"""Shared fixtures: small-scale servers, mixes, and spaces for fast tests.
+
+Also home of the ``asyncio`` marker's runner: the serve-layer tests are
+coroutines, and the container deliberately has no ``pytest-asyncio`` —
+the hook below runs marked coroutine tests through ``asyncio.run`` so
+the dependency surface stays numpy/scipy/pytest only.
+"""
 
 from __future__ import annotations
 
+import asyncio
+import inspect
+
 import pytest
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    """Run ``@pytest.mark.asyncio`` coroutine tests via ``asyncio.run``."""
+    if pyfuncitem.get_closest_marker("asyncio") is None:
+        return None
+    func = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(func):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(func(**kwargs))
+    return True
 
 from repro.experiments.runner import experiment_catalog
 from repro.metrics.goals import GoalSet

@@ -24,9 +24,14 @@ COMMANDS = (
     "broker",
     "warmstart",
     "chaos",
+    "serve",
+    "loadgen",
     "report",
     "figure",
 )
+
+#: Server/client commands: no experiment to run, so no common options.
+SERVE_COMMANDS = ("serve", "loadgen")
 
 #: Tiny-budget invocation per subcommand (fast enough for tier-1).
 TINY_INVOCATIONS = {
@@ -51,6 +56,10 @@ TINY_INVOCATIONS = {
     "chaos": ["chaos", "--nodes", "2", "--epochs", "4", "--duration", "1",
               "--units", "4", "--suite", "ecp", "--policy", "EqualPartition",
               "--crash-node", "0", "--crash-epoch", "1", "--outage", "2"],
+    "serve": ["serve", "--port", "0", "--exit-after", "0.2"],
+    "loadgen": ["loadgen", "--self-host", "--suite", "ecp", "--units", "4",
+                "--policy", "EqualPartition", "--epochs", "3",
+                "--epoch-s", "0.02", "--connections", "4"],
     "report": ["report", "--duration", "2", "--units", "4", "--suite", "ecp", "--mixes", "1"],
     "figure": ["figure", "--list"],
 }
@@ -78,17 +87,19 @@ class TestParser:
     def test_known_commands_accept_common_options(self):
         parser = build_parser()
         for command in COMMANDS:
-            if command in ("workloads", "figure"):
+            if command in ("workloads", "figure") + SERVE_COMMANDS:
                 continue
             args = parser.parse_args([command, "--duration", "2"])
             assert args.command == command
 
     def test_every_command_accepts_trace_dir(self):
-        # --trace-dir is a common option: every subcommand except
-        # workloads must parse it (the PR 5 carry-over audit).
+        # --trace-dir is a common option: every experiment subcommand
+        # except workloads must parse it (the PR 5 carry-over audit).
+        # serve/loadgen are excluded: the server exports through
+        # /metrics, not a one-shot trace dump.
         parser = build_parser()
         for command in COMMANDS:
-            if command == "workloads":
+            if command == "workloads" or command in SERVE_COMMANDS:
                 continue
             args = parser.parse_args([command, "--trace-dir", "/tmp/t"])
             assert args.trace_dir == "/tmp/t"

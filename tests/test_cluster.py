@@ -311,6 +311,47 @@ class TestClusterSimulator:
         assert first.job_mean_speedups() == second.job_mean_speedups()
         assert first.records == second.records
 
+    def test_step_epoch_loop_matches_run(self):
+        """The control-flow inversion's acceptance test: ``run()`` is a
+        thin loop over ``step_epoch()``, so driving the epochs manually
+        must reproduce the monolithic result bit-identically."""
+        monolithic = self.run_tiny()
+
+        sim = ClusterSimulator(
+            trace=tiny_trace(),
+            n_nodes=2,
+            placement="round_robin",
+            policy="EqualPartition",
+            catalog=experiment_catalog(4),
+            epoch_config=TINY,
+            seed=1,
+        )
+        records = []
+        while not sim.finished:
+            assert sim.epoch == len(records) // 2  # two nodes per epoch
+            records.extend(sim.step_epoch())
+        stepped = sim.result()
+
+        assert tuple(records) == stepped.records
+        assert stepped.records == monolithic.records
+        assert stepped == monolithic
+
+    def test_run_resumes_after_manual_steps(self):
+        """Mixed driving — step one epoch by hand, then ``run()`` the
+        rest — still lands on the monolithic result."""
+        monolithic = self.run_tiny()
+        sim = ClusterSimulator(
+            trace=tiny_trace(),
+            n_nodes=2,
+            placement="round_robin",
+            policy="EqualPartition",
+            catalog=experiment_catalog(4),
+            epoch_config=TINY,
+            seed=1,
+        )
+        sim.step_epoch()
+        assert sim.run() == monolithic
+
     def test_node_epoch_seeds_are_placement_independent(self):
         # The seed is a function of (cluster seed, node, epoch) only —
         # the pairing guarantee across placement cells.

@@ -1,0 +1,91 @@
+"""Tests for the bench-regression differ (``benchmarks/diff_bench.py``).
+
+The differ is a standalone stdlib script (not part of the ``repro``
+package), so it is loaded here by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SPEC = importlib.util.spec_from_file_location(
+    "diff_bench", os.path.join(_ROOT, "benchmarks", "diff_bench.py")
+)
+diff_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(diff_bench)
+
+
+def _write(directory, name, payload):
+    directory.mkdir(exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+class TestExtract:
+    def test_plain_path(self):
+        assert list(diff_bench.extract({"a": {"b": 2.5}}, "a.b")) == [("a.b", 2.5)]
+
+    def test_wildcard_fans_out_sorted(self):
+        data = {"schemes": {"trade": {"eps": 2.0}, "static": {"eps": 1.0}}}
+        assert list(diff_bench.extract(data, "schemes.*.eps")) == [
+            ("schemes.static.eps", 1.0),
+            ("schemes.trade.eps", 2.0),
+        ]
+
+    def test_missing_and_non_numeric_yield_nothing(self):
+        assert list(diff_bench.extract({"a": 1.0}, "b")) == []
+        assert list(diff_bench.extract({"a": "text"}, "a")) == []
+        assert list(diff_bench.extract({"a": True}, "a")) == []
+
+
+class TestRegression:
+    def test_direction_aware(self):
+        # Throughput halved: 50% worse.
+        assert diff_bench.regression(10.0, 5.0, "higher") == pytest.approx(0.5)
+        # Latency halved: 50% better.
+        assert diff_bench.regression(10.0, 5.0, "lower") == pytest.approx(-0.5)
+        assert diff_bench.regression(0.0, 5.0, "higher") == 0.0
+
+
+class TestMain:
+    def test_warns_on_regression_but_exits_zero(self, tmp_path, capsys):
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        _write(prev, "BENCH_serve.json",
+               {"sessions_per_sec": 100.0, "decision_latency_p99_ms": 1.0})
+        _write(cur, "BENCH_serve.json",
+               {"sessions_per_sec": 50.0, "decision_latency_p99_ms": 0.9})
+        code = diff_bench.main([str(prev), str(cur)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARN" in out and "sessions_per_sec" in out
+        assert "1 regression(s)" in out
+
+    def test_strict_exits_nonzero(self, tmp_path, capsys):
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        _write(prev, "BENCH_chaos.json", {"epochs_per_s": 10.0})
+        _write(cur, "BENCH_chaos.json", {"epochs_per_s": 1.0})
+        assert diff_bench.main([str(prev), str(cur), "--strict"]) == 1
+
+    def test_within_threshold_is_quiet(self, tmp_path, capsys):
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        payload = {"sessions_per_sec": 100.0, "steps_per_sec": 1000.0,
+                   "decision_latency_p50_ms": 0.5, "decision_latency_p99_ms": 2.0}
+        _write(prev, "BENCH_serve.json", payload)
+        _write(cur, "BENCH_serve.json", {**payload, "sessions_per_sec": 90.0})
+        code = diff_bench.main([str(prev), str(cur), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARN" not in out
+        assert "0 regression(s)" in out
+
+    def test_missing_artifacts_skip(self, tmp_path, capsys):
+        (tmp_path / "prev").mkdir()
+        (tmp_path / "cur").mkdir()
+        code = diff_bench.main([str(tmp_path / "prev"), str(tmp_path / "cur")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compared 0 artifact(s)" in out
