@@ -20,6 +20,7 @@ import time
 import pytest
 
 from repro.cluster.simulator import ClusterSimulator
+from repro.engine import ExecutionEngine
 from repro.experiments import format_table
 from repro.experiments.cluster import cluster_sweep, default_trace
 from repro.experiments.runner import RunConfig, experiment_catalog
@@ -32,14 +33,39 @@ N_EPOCHS = 6
 EPOCH_SECONDS = 8.0
 
 #: Scale of the fast BENCH_cluster run — small enough for tier-1 CI.
+#: Epochs are long enough (simulated seconds -> control intervals) that
+#: per-node-epoch compute dominates the pool's per-spec IPC, so the
+#: batched path's parallel speedup is visible rather than drowned in
+#: dispatch overhead.
 BENCH_NODES = 3
 BENCH_EPOCHS = 4
-BENCH_EPOCH_SECONDS = 2.0
+BENCH_EPOCH_SECONDS = 6.0
 BENCH_BROKERS = ("static", "harvest", "trade", "bo")
 
 
 def _bench_path():
     return os.environ.get("BENCH_CLUSTER_JSON", "BENCH_cluster.json")
+
+
+def _bench_workers():
+    return max(2, min(BENCH_NODES, os.cpu_count() or 1))
+
+
+def _timed_cluster_run(trace, catalog, epoch_config, broker=None,
+                       engine=None, speculate=False):
+    """One measured cluster run; returns (result, wall_s, collector)."""
+    collector = TraceCollector()
+    simulator = ClusterSimulator(
+        trace, n_nodes=BENCH_NODES, catalog=catalog,
+        epoch_config=epoch_config, policy="SATORI", seed=0,
+        broker=broker, engine=engine, speculate=speculate,
+    )
+    started = time.perf_counter()
+    with use_collector(collector):
+        result = simulator.run()
+    elapsed = time.perf_counter() - started
+    assert elapsed > 0.0
+    return result, elapsed, collector
 
 
 def test_bench_cluster_artifact():
@@ -49,6 +75,13 @@ def test_bench_cluster_artifact():
     after the main suite and uploads the artifact. Wall-clock numbers
     are environment-dependent; the assertions only gate sanity (ran,
     positive rates, latencies recorded), never absolute speed.
+
+    The broker schemes run through the batched data path (worker pool
+    with blob spec transport + cross-epoch speculation); the
+    ``batched`` section reruns one configuration through the scalar
+    path (serial engine, no speculation) so every artifact carries its
+    own batch-vs-scalar speedup — the number CI surfaces in the job
+    summary and ``diff_bench.py`` tracks across runs.
     """
     catalog = experiment_catalog()
     trace = default_trace(
@@ -58,33 +91,58 @@ def test_bench_cluster_artifact():
     epoch_config = RunConfig(duration_s=BENCH_EPOCH_SECONDS)
 
     schemes = {}
-    for broker in BENCH_BROKERS:
-        collector = TraceCollector()
-        simulator = ClusterSimulator(
-            trace, n_nodes=BENCH_NODES, catalog=catalog,
-            epoch_config=epoch_config, policy="SATORI", seed=0,
-            broker=broker,
+    # trace_workers=False: the bench only reads parent-side decide
+    # spans; shipping every worker-interior span across the pool pipe
+    # would swamp the measurement.
+    with ExecutionEngine(
+        workers=_bench_workers(), spec_transport="blob", trace_workers=False
+    ) as engine:
+        for broker in BENCH_BROKERS:
+            result, elapsed, collector = _timed_cluster_run(
+                trace, catalog, epoch_config, broker=broker,
+                engine=engine, speculate=True,
+            )
+            decides = collector.spans_named("broker.decide")
+            latencies_ms = sorted(e.duration_ns / 1e6 for e in decides)
+            assert len(decides) == BENCH_EPOCHS
+            schemes[broker] = {
+                "wall_s": round(elapsed, 4),
+                "epochs_per_s": round(BENCH_EPOCHS / elapsed, 3),
+                "node_epochs_per_s": round(BENCH_NODES * BENCH_EPOCHS / elapsed, 3),
+                "budget_transfers": result.budget_transfers,
+                "decide_ms": {
+                    "mean": round(sum(latencies_ms) / len(latencies_ms), 4),
+                    "max": round(latencies_ms[-1], 4),
+                    "total": round(sum(latencies_ms), 4),
+                },
+            }
+            assert schemes[broker]["epochs_per_s"] > 0.0
+
+        # Paired batch-vs-scalar comparison on one configuration: the
+        # batched leg reuses the warm pool, the scalar leg is the
+        # serial in-process engine the bench used before this path
+        # existed. Results are bit-identical (tests/test_batched_eval
+        # pins that); only the wall clock differs.
+        batched_result, batched_s, batched_obs = _timed_cluster_run(
+            trace, catalog, epoch_config, engine=engine, speculate=True,
         )
-        started = time.perf_counter()
-        with use_collector(collector):
-            result = simulator.run()
-        elapsed = time.perf_counter() - started
-        decides = collector.spans_named("broker.decide")
-        latencies_ms = sorted(e.duration_ns / 1e6 for e in decides)
-        assert len(decides) == BENCH_EPOCHS
-        assert elapsed > 0.0
-        schemes[broker] = {
-            "wall_s": round(elapsed, 4),
-            "epochs_per_s": round(BENCH_EPOCHS / elapsed, 3),
-            "node_epochs_per_s": round(BENCH_NODES * BENCH_EPOCHS / elapsed, 3),
-            "budget_transfers": result.budget_transfers,
-            "decide_ms": {
-                "mean": round(sum(latencies_ms) / len(latencies_ms), 4),
-                "max": round(latencies_ms[-1], 4),
-                "total": round(sum(latencies_ms), 4),
-            },
-        }
-        assert schemes[broker]["epochs_per_s"] > 0.0
+    scalar_result, scalar_s, _ = _timed_cluster_run(trace, catalog, epoch_config)
+    assert scalar_result.mean_speedup == batched_result.mean_speedup
+    assert scalar_result.fairness == batched_result.fairness
+    counters = batched_obs.metrics.counters()
+    batched = {
+        "workers": _bench_workers(),
+        "scalar_wall_s": round(scalar_s, 4),
+        "batched_wall_s": round(batched_s, 4),
+        "scalar_epochs_per_s": round(BENCH_EPOCHS / scalar_s, 3),
+        "batched_epochs_per_s": round(BENCH_EPOCHS / batched_s, 3),
+        "speedup": round(scalar_s / batched_s, 3),
+        "speculative_submitted": int(counters.get("cluster.speculative_submitted", 0)),
+        "speculative_hits": int(counters.get("cluster.speculative_hits", 0)),
+        "speculative_cancelled": int(counters.get("cluster.speculative_cancelled", 0)),
+        "blob_cache_hits": int(counters.get("engine.blob_cache_hits", 0)),
+        "blob_cache_misses": int(counters.get("engine.blob_cache_misses", 0)),
+    }
 
     report = {
         "benchmark": "cluster_broker",
@@ -94,6 +152,7 @@ def test_bench_cluster_artifact():
         "policy": "SATORI",
         "n_jobs": len(trace),
         "schemes": schemes,
+        "batched": batched,
     }
     with open(_bench_path(), "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -108,6 +167,11 @@ def test_bench_cluster_artifact():
         ],
         precision=3,
     ))
+    print(
+        f"batched vs scalar: {batched['batched_epochs_per_s']} vs "
+        f"{batched['scalar_epochs_per_s']} epochs/s "
+        f"({batched['speedup']}x, {batched['workers']} workers)"
+    )
 
 
 @pytest.mark.slow

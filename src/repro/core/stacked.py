@@ -1,0 +1,167 @@
+"""Stacked (batched) Cholesky linear algebra across many GPs.
+
+The fleet runs one Gaussian process per node and the BO length-scale
+search factorizes one kernel matrix per grid point — both are stacks
+of same-shaped positive-definite matrices. LAPACK's ``dpotrf`` is
+applied per matrix either way; handing numpy the whole ``(B, n, n)``
+stack in one gufunc call removes B-1 Python round trips and dispatch
+overheads without changing a single result bit (the batched gufunc
+runs the identical routine on each stack element).
+
+:func:`stacked_cholesky` is the shared primitive;
+:class:`StackedGP` builds on it to fit B independent same-shape GPs —
+one per node — in one factorization call, with per-task predictions
+bit-identical to a loop of :class:`~repro.core.gp.GaussianProcess`
+fits (``tests/test_stacked.py`` pins the pairing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kernels import Kernel, Matern52
+from repro.errors import ModelError
+from repro.obs import active_collector
+
+#: Jitter added to kernel diagonals, kept equal to the scalar GP's.
+_JITTER = 1e-8
+
+
+def stacked_cholesky(matrices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Factor a ``(B, n, n)`` stack of matrices in one gufunc call.
+
+    Returns ``(chols, ok)``: the lower Cholesky factors and a boolean
+    mask of which stack entries factorized. numpy's batched
+    ``cholesky`` raises if *any* entry fails, so on failure the stack
+    is re-factored entry by entry — successful entries produce the
+    identical factors either way — and failed entries hold zeros with
+    ``ok[i] = False``.
+    """
+    matrices = np.asarray(matrices, dtype=float)
+    if matrices.ndim != 3 or matrices.shape[1] != matrices.shape[2]:
+        raise ModelError(f"expected a (B, n, n) stack, got shape {matrices.shape}")
+    size = matrices.shape[0]
+    active_collector().metrics.histogram("gp.stacked_cholesky_batch").observe(float(size))
+    try:
+        return np.linalg.cholesky(matrices), np.ones(size, dtype=bool)
+    except np.linalg.LinAlgError:
+        chols = np.zeros_like(matrices)
+        ok = np.zeros(size, dtype=bool)
+        for i in range(size):
+            try:
+                chols[i] = np.linalg.cholesky(matrices[i])
+            except np.linalg.LinAlgError:
+                continue
+            ok[i] = True
+        return chols, ok
+
+
+class StackedGP:
+    """B independent GPs with shared hyperparameters, one factorization.
+
+    The across-nodes batching primitive: every task (node) has its own
+    inputs, targets, and standardization, but the kernel and noise are
+    shared, so the B kernel matrices factor as one stacked Cholesky.
+    Per-task posteriors are bit-identical to fitting B separate
+    :class:`~repro.core.gp.GaussianProcess` instances — the stack only
+    removes per-task dispatch, it never reorders arithmetic.
+
+    Args:
+        kernel: shared covariance function (default Matérn 5/2).
+        noise: shared observation-noise variance (standardized units).
+    """
+
+    def __init__(self, kernel: Optional[Kernel] = None, noise: float = 5e-2):
+        if noise < 0:
+            raise ModelError(f"noise must be >= 0, got {noise}")
+        self.kernel = kernel or Matern52()
+        self.noise = float(noise)
+        self._xs: Optional[List[np.ndarray]] = None
+        self._chols: Optional[np.ndarray] = None
+        self._alphas: Optional[List[np.ndarray]] = None
+        self._y_means: Optional[np.ndarray] = None
+        self._y_stds: Optional[np.ndarray] = None
+
+    @property
+    def n_tasks(self) -> int:
+        return 0 if self._xs is None else len(self._xs)
+
+    def fit(self, xs: Sequence[np.ndarray], ys: Sequence[Sequence[float]]) -> "StackedGP":
+        """Condition every task's GP; one stacked factorization.
+
+        Args:
+            xs: per-task ``(n, d)`` input matrices; every task must
+                have the same sample count ``n`` (pad or window
+                upstream — the fleet's GoalRecords windows pin ``n``).
+            ys: per-task target sequences of length ``n``.
+        """
+        if len(xs) != len(ys) or not xs:
+            raise ModelError(f"need matching non-empty task lists, got {len(xs)}/{len(ys)}")
+        xs = [np.atleast_2d(np.asarray(x, dtype=float)) for x in xs]
+        shape = xs[0].shape
+        if any(x.shape != shape for x in xs):
+            raise ModelError("stacked fitting needs same-shape inputs across tasks")
+        if shape[0] == 0:
+            raise ModelError("cannot fit a GP on zero samples")
+
+        zs = []
+        y_means = np.empty(len(xs))
+        y_stds = np.empty(len(xs))
+        for i, y in enumerate(ys):
+            y = np.asarray(y, dtype=float)
+            if y.shape[0] != shape[0]:
+                raise ModelError(f"task {i}: {shape[0]} inputs but {y.shape[0]} targets")
+            y_means[i] = float(np.mean(y))
+            y_stds[i] = float(np.std(y))
+            if y_stds[i] < 1e-12:
+                y_stds[i] = 1.0
+            zs.append((y - y_means[i]) / y_stds[i])
+
+        stack = np.empty((len(xs), shape[0], shape[0]))
+        for i, x in enumerate(xs):
+            k = self.kernel(x, x)
+            k[np.diag_indices_from(k)] += self.noise + _JITTER
+            stack[i] = k
+        chols, ok = stacked_cholesky(stack)
+        if not np.all(ok):
+            bad = [i for i, good in enumerate(ok) if not good]
+            raise ModelError(f"kernel matrix not positive definite for tasks {bad}")
+
+        from repro.core.gp import _cho_solve
+
+        self._xs = xs
+        self._chols = chols
+        self._alphas = [_cho_solve(chols[i], zs[i]) for i in range(len(xs))]
+        self._y_means = y_means
+        self._y_stds = y_stds
+        return self
+
+    def predict(self, x_query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and std of every task at shared query points.
+
+        Args:
+            x_query: ``(m, d)`` query matrix, scored by every task's
+                posterior (the common case: one candidate set, many
+                nodes).
+
+        Returns:
+            ``(mean, std)`` arrays of shape ``(n_tasks, m)`` in each
+            task's original target units.
+        """
+        if self._xs is None:
+            raise ModelError("predict() before fit()")
+        x_query = np.atleast_2d(np.asarray(x_query, dtype=float))
+        m = x_query.shape[0]
+        means = np.empty((len(self._xs), m))
+        stds = np.empty((len(self._xs), m))
+        for i, x in enumerate(self._xs):
+            k_star = self.kernel(x_query, x)
+            mean_z = k_star @ self._alphas[i]
+            v = np.linalg.solve(self._chols[i], k_star.T)
+            var_z = self.kernel.diagonal(m) - np.sum(v**2, axis=0)
+            var_z = np.maximum(var_z, 1e-12)
+            means[i] = mean_z * self._y_stds[i] + self._y_means[i]
+            stds[i] = np.sqrt(var_z) * self._y_stds[i]
+        return means, stds

@@ -1,0 +1,191 @@
+"""Digest-addressed workload-model transport for pool workers.
+
+Pickling a :class:`~repro.engine.spec.RunSpec` ships the full analytic
+workload models — phase schedules, roofline parameters, arrival
+metadata — across the process boundary on *every* submission. A
+cluster epoch submits one spec per node, and every one of them carries
+the same handful of mixes; the persistent pool workers then unpickle
+identical models thousands of times per sweep.
+
+This module splits the spec at its heavy seam:
+
+* the parent :class:`BlobStore` spools each mix once, content-addressed
+  by :attr:`RunSpec.mix_digest` (write-once, atomic rename);
+* submissions carry a :class:`SpecRef` — every spec field *except* the
+  mix, plus the mix digest, the blob path, and the spec's precomputed
+  content digests;
+* workers hydrate the mix through a per-process LRU keyed by digest
+  (:func:`hydrate_mix`), so each worker reads and unpickles a given
+  mix at most once per cache generation, no matter how many specs
+  reference it.
+
+Because the worker rebuilds the spec from the identical mix object and
+the content digests ride along precomputed, every derived RNG stream —
+policy, noise, faults — is bit-identical to the pickle-the-whole-spec
+transport; ``tests/test_batched_eval.py`` pins the pairing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from repro.engine.spec import RunSpec
+from repro.experiments.runner import RunConfig
+from repro.faults.plan import FaultPlan
+from repro.obs import active_collector
+from repro.resources.types import ResourceCatalog
+from repro.state import PolicyState
+from repro.workloads.mixes import JobMix
+
+#: Hydrated mixes kept alive per worker process. Sweeps cycle through
+#: the 21 PARSEC mixes plus synthetic variants; 64 holds any realistic
+#: working set while bounding worker memory.
+_MIX_CACHE_SIZE = 64
+
+#: Per-process hydration cache: mix digest -> JobMix (insertion = LRU).
+_MIX_CACHE: "OrderedDict[str, JobMix]" = OrderedDict()
+
+
+class BlobStore:
+    """Parent-side content-addressed spool of pickled job mixes.
+
+    Each mix is written at most once per store, keyed by its content
+    digest; concurrent engines sharing a root are safe because writes
+    go to a temp file and ``os.replace`` into place (equal digests mean
+    equal bytes, so a lost race is harmless).
+
+    Args:
+        root: spool directory. ``None`` (the default) creates a private
+            temp directory owned — and deleted on :meth:`close` — by
+            this store.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self._owned = root is None
+        if root is None:
+            self._root = Path(tempfile.mkdtemp(prefix="repro-blobs-"))
+        else:
+            self._root = Path(root)
+            self._root.mkdir(parents=True, exist_ok=True)
+        self._known: set = set()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def put_mix(self, spec: RunSpec) -> str:
+        """Spool ``spec``'s mix (write-once) and return the blob path."""
+        digest = spec.mix_digest
+        path = self._root / f"{digest}.pkl"
+        obs = active_collector()
+        if digest in self._known or path.exists():
+            self._known.add(digest)
+            obs.metrics.counter("engine.blob_store_reuses").inc()
+            return str(path)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            pickle.dump(spec.mix, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self._known.add(digest)
+        obs.metrics.counter("engine.blob_store_writes").inc()
+        return str(path)
+
+    def close(self) -> None:
+        """Delete an owned spool directory (idempotent)."""
+        self._known.clear()
+        if self._owned:
+            shutil.rmtree(self._root, ignore_errors=True)
+
+
+def hydrate_mix(blob_path: str, mix_digest: str) -> Tuple[JobMix, bool]:
+    """The mix for ``mix_digest``, from this process's cache or disk.
+
+    Returns ``(mix, cache_hit)``. Mixes are immutable (frozen workload
+    dataclasses), so sharing one object across every spec that
+    references it is safe.
+    """
+    mix = _MIX_CACHE.get(mix_digest)
+    if mix is not None:
+        _MIX_CACHE.move_to_end(mix_digest)
+        return mix, True
+    with open(blob_path, "rb") as handle:
+        mix = pickle.load(handle)
+    _MIX_CACHE[mix_digest] = mix
+    while len(_MIX_CACHE) > _MIX_CACHE_SIZE:
+        _MIX_CACHE.popitem(last=False)
+    return mix, False
+
+
+@dataclass(frozen=True)
+class SpecRef:
+    """A :class:`RunSpec` with the workload models replaced by an address.
+
+    Everything the worker needs rides along: the light spec fields, the
+    blob coordinates, and the three precomputed content digests — so
+    the worker neither unpickles the mix per submission nor re-hashes
+    the full mix payload to derive its RNG streams.
+    """
+
+    blob_path: str
+    mix_digest: str
+    policy: str
+    catalog: ResourceCatalog
+    policy_kwargs: Tuple[Tuple[str, Any], ...]
+    run_config: RunConfig
+    goals: Tuple[str, str]
+    seed: int
+    fault_plan: Optional[FaultPlan]
+    initial_state: Optional[PolicyState]
+    digest: str
+    cold_digest: str
+    environment_digest: str
+
+    @classmethod
+    def from_spec(cls, spec: RunSpec, blob_path: str) -> "SpecRef":
+        return cls(
+            blob_path=blob_path,
+            mix_digest=spec.mix_digest,
+            policy=spec.policy,
+            catalog=spec.catalog,
+            policy_kwargs=spec.policy_kwargs,
+            run_config=spec.run_config,
+            goals=spec.goals,
+            seed=spec.seed,
+            fault_plan=spec.fault_plan,
+            initial_state=spec.initial_state,
+            digest=spec.digest,
+            cold_digest=spec.cold_digest,
+            environment_digest=spec.environment_digest,
+        )
+
+    def hydrate(self) -> Tuple[RunSpec, bool]:
+        """Rebuild the full spec in this process.
+
+        Returns ``(spec, mix_cache_hit)``. The precomputed digests are
+        seeded into the rebuilt spec's ``cached_property`` storage, so
+        no worker ever re-renders the mix payload just to derive seeds.
+        """
+        mix, hit = hydrate_mix(self.blob_path, self.mix_digest)
+        spec = RunSpec(
+            mix=mix,
+            policy=self.policy,
+            catalog=self.catalog,
+            policy_kwargs=self.policy_kwargs,
+            run_config=self.run_config,
+            goals=self.goals,
+            seed=self.seed,
+            fault_plan=self.fault_plan,
+            initial_state=self.initial_state,
+        )
+        spec.__dict__["digest"] = self.digest
+        spec.__dict__["cold_digest"] = self.cold_digest
+        spec.__dict__["environment_digest"] = self.environment_digest
+        spec.__dict__["mix_digest"] = self.mix_digest
+        return spec, hit

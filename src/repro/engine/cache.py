@@ -53,7 +53,12 @@ from repro.experiments.runner import RunResult
 #: are constructed from the identical catalog object and keep their
 #: v4 digests, but the schema bump retires v4 artifacts anyway as
 #: cheap insurance against serving a pre-budget result.
-CACHE_SCHEMA_VERSION = 5
+#: v6: batched evaluation core. ``smoothmin`` now keeps its outer
+#: power on the array-ufunc path (numpy's scalar-math ``**`` rounds
+#: 1 ulp differently), so every modeled IPS value can shift by 1 ulp
+#: relative to v5 artifacts; digests are unchanged but v5 results
+#: must not be served next to freshly computed ones.
+CACHE_SCHEMA_VERSION = 6
 
 
 def default_cache_salt() -> str:

@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.blobs import BlobStore, SpecRef
 from repro.engine.cache import RunCache
 from repro.engine.spec import RunSpec, derive_seed
 from repro.errors import EngineError
@@ -111,6 +112,23 @@ def _execute_run_traced(
             payload = _execute_run_payload(spec)
     events = [event.to_dict() for event in local.events]
     return payload, time.perf_counter() - started, events
+
+
+def _execute_run_traced_blob(
+    ref: SpecRef, collect: bool = False
+) -> Tuple[dict, float, Optional[List[dict]], bool]:
+    """Worker entry point for digest-addressed spec transport.
+
+    The submission carries a :class:`~repro.engine.blobs.SpecRef`
+    instead of a pickled spec; the worker hydrates the mix from its
+    per-process blob cache (at most one disk read + unpickle per mix
+    per worker) and runs the rebuilt spec exactly as the pickle
+    transport would. The extra tuple element reports whether the mix
+    came from the cache, for the parent's hit/miss counters.
+    """
+    spec, blob_hit = ref.hydrate()
+    payload, duration_s, events = _execute_run_traced(spec, collect)
+    return payload, duration_s, events, blob_hit
 
 
 @dataclass(frozen=True)
@@ -299,6 +317,21 @@ class ExecutionEngine:
             drawn deterministically from the retried spec's digest so
             reruns sleep identically (``0.25`` stretches delays by up
             to 25%).
+        spec_transport: how specs cross the pool boundary. ``"blob"``
+            (the default) ships a light :class:`~repro.engine.blobs.SpecRef`
+            and spools each distinct mix once into a content-addressed
+            :class:`~repro.engine.blobs.BlobStore`, so workers stop
+            unpickling identical workload models per submission;
+            ``"pickle"`` is the historical whole-spec pickle. Results
+            are bit-identical either way — only transport cost changes.
+        trace_workers: when the active collector is enabled, workers
+            normally record their spans locally and ship them back for
+            replay into the parent's collector. Set ``False`` to skip
+            that — parent-side spans (engine rounds, broker decides)
+            are still recorded, but worker-interior traces are
+            dropped at the source. Long runs emit thousands of events
+            per spec, and pickling them across the pool boundary can
+            dominate a benchmark that only reads parent-side spans.
 
     The worker pool is created lazily on first parallel work and then
     reused for the engine's lifetime (no per-batch spin-up); call
@@ -317,6 +350,8 @@ class ExecutionEngine:
         spec_timeout_s: Optional[float] = None,
         backoff_base_s: float = 0.0,
         backoff_jitter: float = 0.0,
+        spec_transport: str = "blob",
+        trace_workers: bool = True,
     ):
         if workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
@@ -332,6 +367,10 @@ class ExecutionEngine:
             raise EngineError(f"backoff_base_s must be >= 0, got {backoff_base_s}")
         if backoff_jitter < 0:
             raise EngineError(f"backoff_jitter must be >= 0, got {backoff_jitter}")
+        if spec_transport not in ("blob", "pickle"):
+            raise EngineError(
+                f"spec_transport must be 'blob' or 'pickle', got {spec_transport!r}"
+            )
         self._workers = int(workers)
         self._cache = cache
         self._retries = int(retries)
@@ -340,8 +379,11 @@ class ExecutionEngine:
         self._backoff_base_s = float(backoff_base_s)
         self._backoff_jitter = float(backoff_jitter)
         self._stats = EngineStats()
+        self._spec_transport = spec_transport
+        self._trace_workers = bool(trace_workers)
         self._slots: Dict[RunSpec, _Slot] = {}
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._blobs: Optional[BlobStore] = None
         self._inflight: Dict[concurrent.futures.Future, _Slot] = {}
         self._lane_counter = 0
 
@@ -386,6 +428,9 @@ class ExecutionEngine:
         self._inflight.clear()
         if pool is not None:
             pool.shutdown(wait=wait, cancel_futures=True)
+        blobs, self._blobs = self._blobs, None
+        if blobs is not None:
+            blobs.close()
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -467,6 +512,34 @@ class ExecutionEngine:
         or a later :meth:`run` that includes the same spec.
         """
         return EngineFuture(self, self._submit_slot(spec, active_collector()))
+
+    def cancel(self, future: EngineFuture) -> bool:
+        """Withdraw a submitted spec that has not started executing.
+
+        Returns ``True`` if the spec was still queued: its slot is
+        removed from the dedup map (a later equal submit starts fresh)
+        and the future resolves to a :class:`RunError` — ``result()``
+        raises, ``outcome()`` returns the error. Returns ``False`` for
+        specs already running, resolved, or in retry backoff: started
+        work is never abandoned mid-flight, so a failed cancel simply
+        means the result will arrive.
+
+        Futures for equal specs share one execution, so cancelling one
+        cancels them all — callers juggling speculative work (the
+        cluster's cross-epoch batching) should track one future per
+        spec and cancel only futures they own.
+        """
+        slot = future._slot
+        if slot.state != _QUEUED:
+            return False
+        existing = self._slots.get(slot.spec)
+        if existing is slot:
+            del self._slots[slot.spec]
+        slot.resolve(
+            RunError(spec=slot.spec, error="cancelled before execution", attempts=0)
+        )
+        active_collector().metrics.counter("engine.cancelled").inc()
+        return True
 
     def poll(self, timeout_s: float = 0.0) -> int:
         """Make bounded progress and return the number of unresolved specs.
@@ -597,6 +670,19 @@ class ExecutionEngine:
             )
         return self._pool
 
+    def _pool_submit(
+        self, pool: concurrent.futures.ProcessPoolExecutor, slot: _Slot, obs
+    ) -> concurrent.futures.Future:
+        """Submit one slot to the pool via the configured transport."""
+        collect = obs.enabled and self._trace_workers
+        if self._spec_transport == "blob":
+            if self._blobs is None:
+                self._blobs = BlobStore()
+            blob_path = self._blobs.put_mix(slot.spec)
+            ref = SpecRef.from_spec(slot.spec, blob_path)
+            return pool.submit(_execute_run_traced_blob, ref, collect)
+        return pool.submit(_execute_run_traced, slot.spec, collect)
+
     def _retire_pool(self) -> None:
         """Abandon the pool without waiting (a straggler may be stuck)."""
         pool, self._pool = self._pool, None
@@ -612,10 +698,17 @@ class ExecutionEngine:
         utilization gauge), ``None`` on failure.
         """
         try:
-            payload, duration_s, events = future.result()
+            outcome = future.result()
         except Exception as error:  # noqa: BLE001 - reported per spec
             self._note_failure(slot, f"{type(error).__name__}: {error}", obs)
             return None
+        if len(outcome) == 4:  # blob transport reports its cache fate
+            payload, duration_s, events, blob_hit = outcome
+            obs.metrics.counter(
+                "engine.blob_cache_hits" if blob_hit else "engine.blob_cache_misses"
+            ).inc()
+        else:
+            payload, duration_s, events = outcome
         obs.metrics.histogram("engine.run_seconds").observe(duration_s)
         obs.event("run_spec", "engine", duration_s=duration_s)
         if events:
@@ -696,9 +789,7 @@ class ExecutionEngine:
         futures: Dict[concurrent.futures.Future, Tuple[int, _Slot]] = {}
         for index, slot in enumerate(round_slots):
             slot.state = _RUNNING
-            futures[pool.submit(_execute_run_traced, slot.spec, obs.enabled)] = (
-                index, slot,
-            )
+            futures[self._pool_submit(pool, slot, obs)] = (index, slot)
         remaining = set(futures)
         batch_deadline = (
             None if self._timeout_s is None else round_started + self._timeout_s
@@ -806,7 +897,7 @@ class ExecutionEngine:
             slot.state = _RUNNING
             slot.lane = self._lane_counter
             self._lane_counter += 1
-            self._inflight[pool.submit(_execute_run_traced, slot.spec, obs.enabled)] = slot
+            self._inflight[self._pool_submit(pool, slot, obs)] = slot
         if not self._inflight:
             return
         done, _ = concurrent.futures.wait(

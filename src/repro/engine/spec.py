@@ -156,10 +156,7 @@ class RunSpec:
         collide with its cold twin.
         """
         content = {
-            "mix": {
-                "label": self.mix.label,
-                "workloads": [_listify(dataclasses.asdict(w)) for w in self.mix],
-            },
+            "mix": self.mix_payload,
             "policy": self.policy,
             "policy_kwargs": _jsonable(self.policy_kwargs),
             "catalog": [
@@ -181,10 +178,55 @@ class RunSpec:
         return content
 
     @cached_property
+    def mix_payload(self) -> Dict[str, Any]:
+        """The mix's canonical JSON form — the heavy part of the spec.
+
+        Cached because every digest (and every cache write) needs it,
+        and rendering the full analytic workload models dominates
+        :meth:`to_dict`. Treat the returned dict as read-only; it is
+        shared across calls.
+        """
+        return {
+            "label": self.mix.label,
+            "workloads": [_listify(dataclasses.asdict(w)) for w in self.mix],
+        }
+
+    @cached_property
+    def mix_digest(self) -> str:
+        """SHA-256 digest of the mix alone — the blob-transport address.
+
+        Specs differing only in policy, seed, or methodology share one
+        mix digest, so pool workers hydrate the workload models once
+        per mix rather than once per submission (see
+        :mod:`repro.engine.blobs`).
+        """
+        payload = json.dumps(self.mix_payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @cached_property
     def digest(self) -> str:
         """SHA-256 hex digest of the canonical representation."""
         payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode()).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        """Content equality via digests.
+
+        Semantically identical to the field-tuple comparison a frozen
+        dataclass would generate (the digest covers every field), but
+        after the first comparison it is a single cached-string check —
+        the engine's dedup map and the cluster's speculative-future
+        table key on specs, and hashing the full workload models on
+        every lookup dominated submission cost.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+        return self.digest == other.digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest)
 
     @cached_property
     def cold_digest(self) -> str:

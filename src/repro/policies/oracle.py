@@ -24,7 +24,7 @@ changes phase.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.resources.space import ConfigurationSpace
 from repro.resources.types import CORES, LLC_WAYS, MEMORY_BANDWIDTH, ResourceCatalog
 from repro.system.simulation import Observation
 from repro.workloads.mixes import JobMix
-from repro.workloads.model import smoothmin
+from repro.workloads.model import PhaseVector, smoothmin
 
 #: Guard against accidentally launching an infeasible exhaustive search.
 DEFAULT_MAX_CONFIGS = 5_000_000
@@ -124,21 +124,40 @@ class OracleSearch:
         return result
 
     def evaluate(self, config: Configuration, t: float) -> Tuple[float, float]:
-        """True (throughput, fairness) scores of one configuration at ``t``."""
-        cores = np.asarray(config.units(CORES), dtype=float)
-        ways = np.asarray(config.units(LLC_WAYS), dtype=float)
-        bw = np.asarray(config.units(MEMORY_BANDWIDTH), dtype=float)
+        """True (throughput, fairness) scores of one configuration at ``t``.
+
+        Thin wrapper over :meth:`evaluate_batch` — the batched core is
+        the single evaluation path, and the batch of one is bit-identical
+        to the historical per-job scalar loop.
+        """
+        throughput, fairness = self.evaluate_batch([config], t)
+        return float(throughput[0]), float(fairness[0])
+
+    def evaluate_batch(
+        self, configs: Sequence[Configuration], t: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """True (throughput, fairness) scores for many configurations.
+
+        One vectorized pass: the per-job phase parameters are stacked
+        into a :class:`PhaseVector` and all ``(n_configs, n_jobs)``
+        allocations are pushed through the roofline model at once, then
+        scored row-wise with :meth:`GoalSet.scores_batch`. Each row is
+        bit-identical to :meth:`evaluate` on that configuration alone.
+
+        Returns:
+            ``(throughput, fairness)`` arrays of shape ``(n_configs,)``.
+        """
+        if not configs:
+            return np.zeros(0), np.zeros(0)
+        cores = np.array([config.units(CORES) for config in configs], dtype=float)
+        ways = np.array([config.units(LLC_WAYS) for config in configs], dtype=float)
+        bw = np.array([config.units(MEMORY_BANDWIDTH) for config in configs], dtype=float)
         way_bytes = self._catalog.get(LLC_WAYS).unit_capacity
         bw_bytes = self._catalog.get(MEMORY_BANDWIDTH).unit_capacity
-        ips = np.array(
-            [
-                w.phase_at(t).ips(cores[j], ways[j] * way_bytes, bw[j] * bw_bytes)
-                for j, w in enumerate(self._mix)
-            ]
-        )
+        phases = PhaseVector.from_phases([w.phase_at(t) for w in self._mix])
+        ips = phases.ips(cores, ways * way_bytes, bw * bw_bytes)
         iso = np.array([w.isolation_ips(self._catalog, t) for w in self._mix])
-        scores = self._goals.scores(ips, iso)
-        return scores.throughput, scores.fairness
+        return self._goals.scores_batch(ips, iso)
 
     # -- internals ---------------------------------------------------------
 

@@ -111,6 +111,20 @@ class ConfigurationSpace:
                 )
         self._catalog = catalog
         self._n_jobs = n_jobs
+        # Column layout of the random-key block behind sample() /
+        # sample_batch(): per resource, one key per stars-and-bars slot
+        # (resources in catalog order). A configuration always consumes
+        # exactly one row of keys, so a loop of scalar sample() calls
+        # reads the identical RNG stream as one batched draw.
+        self._key_columns: List[Tuple[int, int, int]] = []
+        start = 0
+        for resource in catalog:
+            slots = 0
+            if n_jobs > 1:
+                slots = resource.units - n_jobs * resource.min_units + n_jobs - 1
+            self._key_columns.append((slots, start, start + slots))
+            start += slots
+        self._total_key_columns = start
 
     @property
     def catalog(self) -> ResourceCatalog:
@@ -185,18 +199,58 @@ class ConfigurationSpace:
         return equal_partition(self._catalog, self._n_jobs)
 
     def sample(self, rng: SeedLike = None) -> Configuration:
-        """Draw one configuration uniformly at random."""
-        rng = make_rng(rng)
-        allocations = {
-            r.name: sample_composition(r.units, self._n_jobs, rng, r.min_units)
-            for r in self._catalog
-        }
-        return Configuration(allocations)
+        """Draw one configuration uniformly at random.
+
+        Thin wrapper over :meth:`sample_batch` (a batch of one); the
+        paired tests in ``tests/test_batched_eval.py`` assert a loop of
+        scalar calls is bit-identical to one batched draw.
+        """
+        return self.sample_batch(1, rng)[0]
 
     def sample_batch(self, n: int, rng: SeedLike = None) -> List[Configuration]:
-        """Draw ``n`` configurations uniformly (duplicates possible)."""
+        """Draw ``n`` configurations uniformly (duplicates possible).
+
+        One vectorized pass: a single ``(n, total_slots)`` block of
+        uniform keys, one row per configuration, then a batched
+        stars-and-bars decode per resource. Choosing the ``parts - 1``
+        smallest keys of a slot range is a uniform random cut-point
+        subset, so the distribution matches the classical per-config
+        ``rng.choice(..., replace=False)`` draw — and because numpy
+        fills the block row-major from the bit stream, splitting the
+        batch (or looping :meth:`sample`) consumes the identical
+        stream and yields the identical configurations.
+        """
         rng = make_rng(rng)
-        return [self.sample(rng) for _ in range(n)]
+        if n <= 0:
+            return []
+        keys = rng.random((n, self._total_key_columns))
+        shares: List[np.ndarray] = []
+        for resource, (slots, start, stop) in zip(self._catalog, self._key_columns):
+            if self._n_jobs == 1:
+                shares.append(np.full((n, 1), resource.units, dtype=np.int64))
+                continue
+            cut_count = self._n_jobs - 1
+            order = np.argsort(keys[:, start:stop], axis=1, kind="stable")
+            cuts = np.sort(order[:, :cut_count], axis=1)
+            bounds = np.concatenate(
+                [
+                    np.full((n, 1), -1, dtype=np.int64),
+                    cuts,
+                    np.full((n, 1), slots, dtype=np.int64),
+                ],
+                axis=1,
+            )
+            shares.append(np.diff(bounds, axis=1) - 1 + resource.min_units)
+        names = self.resource_names
+        return [
+            Configuration(
+                {
+                    name: tuple(int(u) for u in share[i])
+                    for name, share in zip(names, shares)
+                }
+            )
+            for i in range(n)
+        ]
 
     def contains(self, config: Configuration) -> bool:
         """Whether ``config`` is a valid member of this space."""
@@ -253,7 +307,30 @@ class ConfigurationSpace:
         return np.asarray(parts, dtype=float)
 
     def encode_batch(self, configs: Sequence[Configuration]) -> np.ndarray:
-        """Encode many configurations as an ``(n, dimensions)`` array."""
+        """Encode many configurations as an ``(n, dimensions)`` array.
+
+        Validation and the share division are batched per resource;
+        rows are bit-identical to :meth:`encode` (same per-element
+        ``units / total`` division, same column order).
+        """
         if not configs:
             return np.empty((0, self.dimensions), dtype=float)
-        return np.stack([self.encode(c) for c in configs])
+        names = set(self.resource_names)
+        for config in configs:
+            if config.n_jobs != self._n_jobs or set(config.resource_names) != names:
+                raise SpaceError(f"{config!r} is not a member of {self!r}")
+        columns = []
+        for resource in self._catalog:
+            block = np.asarray(
+                [config.units(resource.name) for config in configs], dtype=np.int64
+            )
+            if (block.sum(axis=1) != resource.units).any() or (
+                block < resource.min_units
+            ).any():
+                bad = np.flatnonzero(
+                    (block.sum(axis=1) != resource.units)
+                    | (block < resource.min_units).any(axis=1)
+                )[0]
+                raise SpaceError(f"{configs[bad]!r} is not a member of {self!r}")
+            columns.append(block / resource.units)
+        return np.concatenate(columns, axis=1)

@@ -25,11 +25,12 @@ reproduction exactly as the paper measures (CoPart > dCAT, Sec. V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.resources.allocation import Configuration
 from repro.resources.types import (
     CORES,
@@ -39,6 +40,7 @@ from repro.resources.types import (
     ResourceCatalog,
 )
 from repro.workloads.mixes import JobMix
+from repro.workloads.model import PhaseVector
 
 #: Relative interference strength of sharing each resource kind,
 #: multiplied by the workload's contention_sensitivity per co-runner.
@@ -67,11 +69,55 @@ _LATENCY_PENALTY_SCALE = 0.55
 
 @dataclass(frozen=True)
 class SystemState:
-    """True (noise-free) per-job state for one interval."""
+    """True (noise-free) per-job state for one interval.
+
+    Arrays are ``(n_jobs,)`` for a scalar evaluation and
+    ``(n_configs, n_jobs)`` for a batched one.
+    """
 
     ips: np.ndarray
     llc_occupancy_bytes: np.ndarray
     memory_bandwidth_bytes_s: np.ndarray
+
+
+@dataclass(frozen=True)
+class ConfigBatch:
+    """A stack of configurations with a common partition signature.
+
+    The batched-evaluation protocol's allocation side: per partitioned
+    resource, a ``(n_configs, n_jobs)`` float array of unit counts.
+    All configurations in a batch must partition the *same* resources
+    (the contention model branches on which resources are shared, so a
+    mixed batch has no single vectorizable shape); callers with mixed
+    signatures group via :func:`evaluate_system_batch`.
+    """
+
+    partitioned: Tuple[str, ...]
+    units: Dict[str, np.ndarray] = field(compare=False)
+    size: int = 0
+
+    @classmethod
+    def from_configs(cls, configs: Sequence[Optional[Configuration]]) -> "ConfigBatch":
+        """Stack configurations; raises on mixed partition signatures."""
+        if not configs:
+            raise ConfigurationError("a configuration batch needs at least one entry")
+        signature = partition_signature(configs[0])
+        for config in configs[1:]:
+            if partition_signature(config) != signature:
+                raise ConfigurationError(
+                    "configurations in a batch must partition the same resources; "
+                    f"got {signature} and {partition_signature(config)}"
+                )
+        units = {
+            name: np.array([config.units(name) for config in configs], dtype=float)
+            for name in signature
+        }
+        return cls(partitioned=signature, units=units, size=len(configs))
+
+
+def partition_signature(config: Optional[Configuration]) -> Tuple[str, ...]:
+    """The sorted resource names a configuration partitions (``None`` → none)."""
+    return () if config is None else config.resource_names
 
 
 def effective_allocations(
@@ -99,19 +145,39 @@ def effective_allocations(
       work-conserving fixed point in :func:`evaluate_system` is what
       actually arbitrates a shared bus.
     """
+    batch = ConfigBatch.from_configs([config])
+    stacked = _batch_allocations(mix, catalog, batch, t)
+    return {name: np.array(values[0], dtype=float) for name, values in stacked.items()}
+
+
+def _batch_allocations(
+    mix: JobMix,
+    catalog: ResourceCatalog,
+    batch: ConfigBatch,
+    t: float,
+) -> Dict[str, np.ndarray]:
+    """Stacked ``(n_configs, n_jobs)`` allocations per resource name.
+
+    Shared-resource rows are identical across the batch (sharing does
+    not depend on the candidate configuration), so they broadcast from
+    one computed row.
+    """
     n = len(mix)
+    size = batch.size
     allocations = {}
     for resource in catalog:
-        if config is not None and config.partitions(resource.name):
-            allocations[resource.name] = np.asarray(config.units(resource.name), dtype=float)
+        if resource.name in batch.units:
+            allocations[resource.name] = batch.units[resource.name]
         elif resource.name == LLC_WAYS and n > 1:
             shares = _llc_pressure_shares(mix, t)
-            allocations[resource.name] = resource.units * shares
+            allocations[resource.name] = np.broadcast_to(resource.units * shares, (size, n))
         elif resource.name == CORES and n > 1:
             shares = _runnable_thread_shares(mix, t, resource.units)
-            allocations[resource.name] = resource.units * shares
+            allocations[resource.name] = np.broadcast_to(resource.units * shares, (size, n))
         else:
-            allocations[resource.name] = np.full(n, resource.units / n, dtype=float)
+            allocations[resource.name] = np.broadcast_to(
+                np.full(n, resource.units / n, dtype=float), (size, n)
+            )
     return allocations
 
 
@@ -157,12 +223,19 @@ def interference_factors(
     config: Optional[Configuration],
 ) -> np.ndarray:
     """Per-job IPS multipliers from sharing unpartitioned resources."""
+    return _interference_for(mix, catalog, partition_signature(config))
+
+
+def _interference_for(
+    mix: JobMix, catalog: ResourceCatalog, partitioned: Sequence[str]
+) -> np.ndarray:
+    """Interference factors given the set of partitioned resource names."""
     n = len(mix)
     factors = np.ones(n, dtype=float)
     if n <= 1:
         return factors
     for resource in catalog:
-        if config is not None and config.partitions(resource.name):
+        if resource.name in partitioned:
             continue
         weight = INTERFERENCE_WEIGHT.get(resource.name, 0.5)
         for j, workload in enumerate(mix):
@@ -179,6 +252,10 @@ def evaluate_system(
 ) -> SystemState:
     """True per-job IPS (and memory telemetry) at time ``t``.
 
+    Thin scalar wrapper over :func:`evaluate_config_batch` (a batch of
+    one); the paired tests in ``tests/test_batched_eval.py`` assert the
+    two paths are bit-identical.
+
     Args:
         mix: the co-located workloads.
         catalog: the server's resources.
@@ -188,60 +265,104 @@ def evaluate_system(
             partitioning").
         t: elapsed wall time, which selects each workload's phase.
     """
+    state = evaluate_config_batch(mix, catalog, ConfigBatch.from_configs([config]), t)
+    return SystemState(
+        ips=state.ips[0],
+        llc_occupancy_bytes=state.llc_occupancy_bytes[0],
+        memory_bandwidth_bytes_s=state.memory_bandwidth_bytes_s[0],
+    )
+
+
+def evaluate_config_batch(
+    mix: JobMix,
+    catalog: ResourceCatalog,
+    batch: ConfigBatch,
+    t: float,
+) -> SystemState:
+    """True per-job state for a whole configuration batch in one pass.
+
+    Every formula matches :func:`evaluate_system`'s scalar path
+    elementwise — the vectorization only widens the leading axis — so
+    batched results are bit-identical to a loop of scalar calls.
+
+    Returns a :class:`SystemState` whose arrays are shaped
+    ``(batch.size, n_jobs)``.
+    """
     n = len(mix)
-    allocations = effective_allocations(mix, catalog, config, t)
+    allocations = _batch_allocations(mix, catalog, batch, t)
     cores = allocations[CORES]
     way_bytes = catalog.get(LLC_WAYS).unit_capacity
     bw_unit = catalog.get(MEMORY_BANDWIDTH).unit_capacity
     cache_bytes = allocations[LLC_WAYS] * way_bytes
     bandwidth_bytes = allocations[MEMORY_BANDWIDTH] * bw_unit
 
+    phases = PhaseVector.from_phases([workload.phase_at(t) for workload in mix])
+
     # A shared bus is work-conserving: any job may burst to full
     # capacity, and the fixed point below resolves oversubscription.
-    bandwidth_shared = config is None or not config.partitions(MEMORY_BANDWIDTH)
+    bandwidth_shared = MEMORY_BANDWIDTH not in batch.units
     if bandwidth_shared:
-        bandwidth_bytes = np.full(n, catalog.get(MEMORY_BANDWIDTH).capacity)
+        bandwidth_bytes = np.full((batch.size, n), catalog.get(MEMORY_BANDWIDTH).capacity)
 
-    frequency = np.ones(n)
+    frequency = np.ones((batch.size, n))
     if POWER in catalog:
         power = allocations[POWER]
         total_power = catalog.get(POWER).units
-        for j, workload in enumerate(mix):
-            phase = workload.phase_at(t)
-            frequency[j] = (power[j] / total_power) ** phase.power_exponent
+        frequency = (power / total_power) ** phases.power_exponent
 
-    phases = [workload.phase_at(t) for workload in mix]
-    ips = np.array(
-        [
-            phases[j].ips(cores[j], cache_bytes[j], bandwidth_bytes[j], frequency[j])
-            for j in range(n)
-        ],
-        dtype=float,
-    )
-
-    bytes_per_instr = np.array(
-        [phases[j].bytes_per_instruction(cache_bytes[j]) for j in range(n)], dtype=float
-    )
+    ips = phases.ips(cores, cache_bytes, bandwidth_bytes, frequency)
+    bytes_per_instr = np.asarray(phases.bytes_per_instruction(cache_bytes), dtype=float)
 
     if bandwidth_shared and n > 1:
         capacity = catalog.get(MEMORY_BANDWIDTH).capacity
         ips = _work_conserving_bandwidth(ips, bytes_per_instr, capacity)
         # Loaded-latency penalty of an unpartitioned bus: pointer-
         # chasing jobs stall on every queued miss; streamers hide it.
-        utilization = min(1.0, float(np.sum(ips * bytes_per_instr)) / capacity)
-        latency_factors = np.array(
-            [1.0 - _LATENCY_PENALTY_SCALE * phases[j].latency_sensitivity * utilization for j in range(n)]
+        utilization = np.minimum(1.0, np.sum(ips * bytes_per_instr, axis=-1) / capacity)
+        latency_factors = (
+            1.0 - _LATENCY_PENALTY_SCALE * phases.latency_sensitivity * utilization[..., None]
         )
         ips = ips * np.maximum(latency_factors, MIN_INTERFERENCE_FACTOR)
 
-    ips = ips * interference_factors(mix, catalog, config)
+    ips = ips * _interference_for(mix, catalog, batch.partitioned)
 
     return SystemState(
         ips=ips,
-        llc_occupancy_bytes=np.minimum(
-            cache_bytes, np.array([p.working_set_bytes for p in phases])
-        ),
+        llc_occupancy_bytes=np.minimum(cache_bytes, phases.working_set_bytes),
         memory_bandwidth_bytes_s=ips * bytes_per_instr,
+    )
+
+
+def evaluate_system_batch(
+    mix: JobMix,
+    catalog: ResourceCatalog,
+    configs: Sequence[Optional[Configuration]],
+    t: float,
+) -> SystemState:
+    """Batched :func:`evaluate_system` over arbitrary configurations.
+
+    Configurations sharing a partition signature are evaluated in one
+    vectorized pass; mixed batches are grouped by signature and the
+    rows scattered back in input order.
+    """
+    groups: Dict[Tuple[str, ...], List[int]] = {}
+    for index, config in enumerate(configs):
+        groups.setdefault(partition_signature(config), []).append(index)
+    if len(groups) == 1:
+        return evaluate_config_batch(mix, catalog, ConfigBatch.from_configs(configs), t)
+
+    n = len(mix)
+    ips = np.zeros((len(configs), n))
+    occupancy = np.zeros((len(configs), n))
+    bandwidth = np.zeros((len(configs), n))
+    for indices in groups.values():
+        batch = ConfigBatch.from_configs([configs[i] for i in indices])
+        state = evaluate_config_batch(mix, catalog, batch, t)
+        ips[indices] = state.ips
+        occupancy[indices] = state.llc_occupancy_bytes
+        bandwidth[indices] = state.memory_bandwidth_bytes_s
+    return SystemState(
+        ips=ips, llc_occupancy_bytes=occupancy, memory_bandwidth_bytes_s=bandwidth
     )
 
 
@@ -259,11 +380,18 @@ def _work_conserving_bandwidth(
     capacity slows everyone by the same factor, which lowers demand,
     until demand fits. A handful of iterations converges because the
     map is monotone.
+
+    Vectorized over a leading batch axis (jobs on the trailing axis).
+    Rows whose demand already fits multiply by exactly 1.0 — the IEEE
+    identity — so a batched run stays bit-identical to per-row scalar
+    runs that broke out of the loop early.
     """
     rates = ips.copy()
     for _ in range(_BANDWIDTH_FIXED_POINT_ITERS):
-        demand = float(np.sum(rates * bytes_per_instr))
-        if demand <= capacity_bytes_s or demand == 0.0:
+        demand = np.sum(rates * bytes_per_instr, axis=-1, keepdims=True)
+        over = demand > capacity_bytes_s
+        if not np.any(over):
             break
-        rates = rates * (capacity_bytes_s / demand)
+        scale = np.where(over, capacity_bytes_s / np.where(over, demand, 1.0), 1.0)
+        rates = rates * scale
     return np.minimum(rates, ips)

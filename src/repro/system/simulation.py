@@ -15,7 +15,7 @@ user-space service gets from hardware counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +39,12 @@ from repro.resources.types import (
     default_catalog,
 )
 from repro.rng import SeedLike, make_rng, rng_from_state, rng_state, spawn_rng
-from repro.system.contention import effective_allocations, evaluate_system, isolation_ips
+from repro.system.contention import (
+    effective_allocations,
+    evaluate_system,
+    evaluate_system_batch,
+    isolation_ips,
+)
 from repro.workloads.mixes import JobMix
 
 #: The paper's control/sampling interval: SATORI updates its resource
@@ -497,6 +502,22 @@ class CoLocationSimulator:
         target = self._config if config is None else config
         t = self._time_s if at_time is None else at_time
         return evaluate_system(self._mix, self._catalog, target, t).ips
+
+    def true_ips_batch(
+        self, configs: Sequence[Optional[Configuration]], at_time: float = None
+    ) -> np.ndarray:
+        """Noise-free IPS for many configurations in one vectorized pass.
+
+        Returns a ``(len(configs), n_jobs)`` array, bit-identical to
+        stacking :meth:`true_ips` per configuration — including the
+        ``None`` convention: a ``None`` entry means the currently
+        installed configuration, exactly as in :meth:`true_ips` (which
+        may itself be ``None``, the unmanaged server, before any
+        :meth:`apply`).
+        """
+        t = self._time_s if at_time is None else at_time
+        resolved = [self._config if c is None else c for c in configs]
+        return evaluate_system_batch(self._mix, self._catalog, resolved, t).ips
 
     def phase_key(self, at_time: float = None) -> Tuple[int, ...]:
         """The tuple of active phase indices (Oracle cache key)."""

@@ -61,7 +61,11 @@ def smoothmin(a: ArrayLike, b: ArrayLike, power: float = SMOOTHMIN_POWER) -> Arr
     """
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
-    out = (a ** -power + b ** -power) ** (-1.0 / power)
+    # The outer base must stay an ndarray: numpy's scalar-math ``**``
+    # rounds differently (by 1 ulp) from the array ufunc, and 0-d
+    # operations return scalars — without the asarray, scalar and
+    # batched evaluations of the same allocation could disagree.
+    out = np.asarray(a ** -power + b ** -power) ** (-1.0 / power)
     if out.ndim == 0:
         return float(out)
     return out
@@ -207,6 +211,92 @@ class Phase:
             if bounded in changes and changes[bounded] > 1.0:
                 changes[bounded] = 1.0
         return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class PhaseVector:
+    """A stack of per-job :class:`Phase` parameters as numpy columns.
+
+    The batched-evaluation protocol: every roofline formula below is
+    the *same expression* as its :class:`Phase` counterpart, evaluated
+    elementwise over arrays whose trailing axis indexes jobs. Because
+    IEEE arithmetic is elementwise, evaluating a ``(n_configs, n_jobs)``
+    allocation batch through a :class:`PhaseVector` is bit-identical to
+    looping the scalar :meth:`Phase.ips` over every entry — the paired
+    tests in ``tests/test_batched_eval.py`` hold that invariant.
+
+    Parameter arrays have shape ``(n_jobs,)`` and broadcast against
+    allocation arrays shaped ``(..., n_jobs)``.
+    """
+
+    ips_per_core: np.ndarray
+    parallel_fraction: np.ndarray
+    working_set_bytes: np.ndarray
+    miss_peak: np.ndarray
+    miss_floor: np.ndarray
+    stream_bytes_per_instr: np.ndarray
+    power_exponent: np.ndarray
+    latency_sensitivity: np.ndarray
+
+    @classmethod
+    def from_phases(cls, phases: Sequence[Phase]) -> "PhaseVector":
+        """Stack the parameters of one phase per job."""
+        if not phases:
+            raise WorkloadError("a phase vector needs at least one phase")
+        column = lambda name: np.array([getattr(p, name) for p in phases], dtype=float)
+        return cls(
+            ips_per_core=column("ips_per_core"),
+            parallel_fraction=column("parallel_fraction"),
+            working_set_bytes=column("working_set_bytes"),
+            miss_peak=column("miss_peak"),
+            miss_floor=column("miss_floor"),
+            stream_bytes_per_instr=column("stream_bytes_per_instr"),
+            power_exponent=column("power_exponent"),
+            latency_sensitivity=column("latency_sensitivity"),
+        )
+
+    @property
+    def n_jobs(self) -> int:
+        return int(self.ips_per_core.shape[0])
+
+    def amdahl_speedup(self, cores: ArrayLike) -> np.ndarray:
+        serial = 1.0 - self.parallel_fraction
+        return 1.0 / (serial + self.parallel_fraction / np.maximum(cores, 1e-9))
+
+    def compute_rate(self, cores: ArrayLike, frequency_factor: ArrayLike = 1.0) -> np.ndarray:
+        return self.ips_per_core * np.asarray(frequency_factor, dtype=float) * np.asarray(
+            self.amdahl_speedup(cores)
+        )
+
+    def miss_rate(self, cache_bytes: ArrayLike) -> np.ndarray:
+        cache_bytes = np.asarray(cache_bytes, dtype=float)
+        midpoint = 0.6 * self.working_set_bytes
+        width = self.working_set_bytes / 8.0
+        exponent = np.clip((midpoint - cache_bytes) / width, -60.0, 60.0)
+        cliff = 1.0 / (1.0 + np.exp(-exponent))
+        return self.miss_floor + (self.miss_peak - self.miss_floor) * cliff
+
+    def bytes_per_instruction(self, cache_bytes: ArrayLike) -> np.ndarray:
+        return np.asarray(self.miss_rate(cache_bytes)) * CACHE_LINE_BYTES + self.stream_bytes_per_instr
+
+    def memory_rate(self, cache_bytes: ArrayLike, bandwidth_bytes: ArrayLike) -> np.ndarray:
+        bpi = np.asarray(self.bytes_per_instruction(cache_bytes), dtype=float)
+        return np.asarray(bandwidth_bytes, dtype=float) / np.maximum(bpi, 1e-12)
+
+    def ips(
+        self,
+        cores: ArrayLike,
+        cache_bytes: ArrayLike,
+        bandwidth_bytes: ArrayLike,
+        frequency_factor: ArrayLike = 1.0,
+    ) -> np.ndarray:
+        """Roofline IPS of every (allocation row, job) pair."""
+        return np.asarray(
+            smoothmin(
+                self.compute_rate(cores, frequency_factor),
+                self.memory_rate(cache_bytes, bandwidth_bytes),
+            )
+        )
 
 
 @dataclass(frozen=True)

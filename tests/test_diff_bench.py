@@ -51,6 +51,29 @@ class TestRegression:
         assert diff_bench.regression(0.0, 5.0, "higher") == 0.0
 
 
+class TestContextChanges:
+    def test_equal_context_reports_nothing(self):
+        payload = {"n_nodes": 3, "n_epochs": 4, "epoch_seconds": 6.0,
+                   "batched": {"workers": 3}}
+        assert diff_bench.context_changes(
+            "BENCH_cluster.json", payload, dict(payload)) == []
+
+    def test_changed_and_missing_context_keys_reported(self):
+        previous = {"n_nodes": 3, "n_epochs": 4}
+        current = {"n_nodes": 4}
+        changes = diff_bench.context_changes(
+            "BENCH_cluster.json", previous, current)
+        assert "n_nodes 3 -> 4" in changes
+        assert "n_epochs 4 -> None" in changes
+
+    def test_context_absent_on_both_sides_is_comparable(self):
+        # Old artifacts predating the context keys still diff cleanly
+        # against each other.
+        assert diff_bench.context_changes(
+            "BENCH_chaos.json", {"epochs_per_s": 1.0}, {"epochs_per_s": 2.0}
+        ) == []
+
+
 class TestMain:
     def test_warns_on_regression_but_exits_zero(self, tmp_path, capsys):
         prev, cur = tmp_path / "prev", tmp_path / "cur"
@@ -89,3 +112,63 @@ class TestMain:
         out = capsys.readouterr().out
         assert code == 0
         assert "compared 0 artifact(s)" in out
+
+    def test_reports_improvements_with_notice(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.setenv("GITHUB_ACTIONS", "true")
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        _write(prev, "BENCH_chaos.json", {"epochs_per_s": 1.0})
+        _write(cur, "BENCH_chaos.json", {"epochs_per_s": 2.0})
+        code = diff_bench.main([str(prev), str(cur), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "good" in out
+        assert "::notice title=bench improvement::" in out
+        assert "1 improvement(s)" in out
+
+    def test_scale_change_skips_comparison_without_warning(
+            self, tmp_path, capsys):
+        # The epoch length changed between runs: epochs/sec is not
+        # comparable, so a 10x "regression" must not warn.
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        _write(prev, "BENCH_chaos.json",
+               {"epochs_per_s": 10.0, "epoch_seconds": 2.0})
+        _write(cur, "BENCH_chaos.json",
+               {"epochs_per_s": 1.0, "epoch_seconds": 6.0})
+        code = diff_bench.main([str(prev), str(cur), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARN" not in out
+        assert "note" in out and "scale changed" in out
+        assert "epoch_seconds 2.0 -> 6.0" in out
+
+    def test_one_sided_metrics_are_noted_not_silent(self, tmp_path, capsys):
+        # The previous artifact predates the batched section; the
+        # current one gained it. Neither direction should warn, but the
+        # schema drift must be visible.
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        scheme = {"epochs_per_s": 1.0, "decide_ms": {"mean": 2.0, "max": 4.0}}
+        _write(prev, "BENCH_cluster.json", {
+            "schemes": {"bo": scheme, "legacy": scheme},
+        })
+        _write(cur, "BENCH_cluster.json", {
+            "schemes": {"bo": scheme},
+            "batched": {"speedup": 1.9, "batched_epochs_per_s": 0.9},
+        })
+        code = diff_bench.main([str(prev), str(cur), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARN" not in out
+        assert "batched.speedup is new" in out
+        assert "schemes.legacy.epochs_per_s dropped" in out
+
+    def test_summary_file_written(self, tmp_path, capsys):
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        _write(prev, "BENCH_chaos.json", {"epochs_per_s": 10.0})
+        _write(cur, "BENCH_chaos.json", {"epochs_per_s": 1.0})
+        summary = tmp_path / "summary.md"
+        diff_bench.main([str(prev), str(cur), "--summary", str(summary)])
+        text = summary.read_text()
+        assert "## Bench diff" in text
+        assert "### Regressions" in text
+        assert "epochs_per_s" in text

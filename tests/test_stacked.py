@@ -1,0 +1,188 @@
+"""Stacked-Cholesky primitives: bit-identity with the scalar GP path.
+
+:mod:`repro.core.stacked` promises that batching B same-shape kernel
+factorizations into one gufunc call never changes a result bit — the
+stacked factors equal per-matrix ``np.linalg.cholesky`` calls exactly,
+:class:`StackedGP` posteriors equal a loop of
+:class:`~repro.core.gp.GaussianProcess` fits exactly, and the BO
+length-scale grid search picks the identical winner. These tests pin
+each of those pairings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gp import _JITTER, _LENGTHSCALE_GRID, GaussianProcess, _cho_solve
+from repro.core.kernels import Matern52, RBF
+from repro.core.stacked import StackedGP, stacked_cholesky
+from repro.errors import ModelError
+from repro.obs import TraceCollector, use_collector
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def spd_stack(rng, b, n):
+    """A stack of b random symmetric positive-definite (n, n) matrices."""
+    a = rng.standard_normal((b, n, n))
+    stack = a @ np.swapaxes(a, 1, 2)
+    stack[:, np.arange(n), np.arange(n)] += n
+    return stack
+
+
+class TestStackedCholesky:
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_matrix_factorization(self, seed):
+        rng = np.random.default_rng(seed)
+        b = int(rng.integers(1, 8))
+        n = int(rng.integers(1, 12))
+        stack = spd_stack(rng, b, n)
+        chols, ok = stacked_cholesky(stack)
+        assert ok.all()
+        for i in range(b):
+            assert np.array_equal(chols[i], np.linalg.cholesky(stack[i]))
+
+    def test_failed_entries_masked_not_fatal(self):
+        rng = np.random.default_rng(0)
+        stack = spd_stack(rng, 3, 4)
+        stack[1] = -np.eye(4)  # not positive definite
+        chols, ok = stacked_cholesky(stack)
+        assert list(ok) == [True, False, True]
+        assert np.array_equal(chols[1], np.zeros((4, 4)))
+        for i in (0, 2):
+            assert np.array_equal(chols[i], np.linalg.cholesky(stack[i]))
+
+    def test_rejects_non_stack_shapes(self):
+        with pytest.raises(ModelError):
+            stacked_cholesky(np.eye(3))
+        with pytest.raises(ModelError):
+            stacked_cholesky(np.zeros((2, 3, 4)))
+
+    def test_observes_batch_size(self):
+        collector = TraceCollector()
+        with use_collector(collector):
+            stacked_cholesky(spd_stack(np.random.default_rng(1), 5, 3))
+        hist = collector.metrics.histogram("gp.stacked_cholesky_batch")
+        assert hist.count == 1
+        assert hist.sum == 5.0
+
+
+def random_tasks(rng, n_tasks, n, d):
+    """Same-shape per-task training sets with distinct scales."""
+    xs = [rng.uniform(0.0, 1.0, size=(n, d)) for _ in range(n_tasks)]
+    ys = [rng.uniform(0.0, 10.0 * (t + 1), size=n) for t in range(n_tasks)]
+    return xs, ys
+
+
+class TestStackedGPPairing:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_posterior_matches_gp_loop(self, seed):
+        """StackedGP row t == a GaussianProcess fit on task t, exactly."""
+        rng = np.random.default_rng(seed)
+        n_tasks = int(rng.integers(1, 6))
+        n = int(rng.integers(2, 10))
+        d = int(rng.integers(1, 4))
+        xs, ys = random_tasks(rng, n_tasks, n, d)
+        query = rng.uniform(0.0, 1.0, size=(7, d))
+
+        stacked = StackedGP().fit(xs, ys)
+        mean, std = stacked.predict(query)
+        assert mean.shape == std.shape == (n_tasks, 7)
+        for t in range(n_tasks):
+            gp = GaussianProcess().fit(xs[t], ys[t])
+            mean_t, std_t = gp.predict(query)
+            assert np.array_equal(mean[t], mean_t)
+            assert np.array_equal(std[t], std_t)
+
+    def test_kernel_choice_respected(self):
+        rng = np.random.default_rng(3)
+        xs, ys = random_tasks(rng, 2, 6, 2)
+        query = rng.uniform(0.0, 1.0, size=(4, 2))
+        kernel = RBF(lengthscale=0.7)
+        mean, _ = StackedGP(kernel=kernel).fit(xs, ys).predict(query)
+        gp_mean, _ = GaussianProcess(kernel=kernel).fit(xs[0], ys[0]).predict(query)
+        assert np.array_equal(mean[0], gp_mean)
+
+    def test_shape_validation(self):
+        rng = np.random.default_rng(4)
+        xs, ys = random_tasks(rng, 2, 5, 2)
+        with pytest.raises(ModelError):
+            StackedGP().fit([], [])
+        with pytest.raises(ModelError):
+            StackedGP().fit([xs[0], xs[1][:3]], ys)
+        with pytest.raises(ModelError):
+            StackedGP().fit(xs, [ys[0], ys[1][:3]])
+        with pytest.raises(ModelError):
+            StackedGP(noise=-1.0)
+
+    def test_indefinite_task_reported_by_index(self, monkeypatch):
+        """A non-PD task fails loudly, naming the offending task."""
+        import repro.core.stacked as stacked_module
+
+        def failing(stack):
+            return np.zeros_like(stack), np.array([False, True])
+
+        monkeypatch.setattr(stacked_module, "stacked_cholesky", failing)
+        rng = np.random.default_rng(5)
+        xs, ys = random_tasks(rng, 2, 4, 2)
+        with pytest.raises(ModelError, match=r"tasks \[0\]"):
+            StackedGP(kernel=Matern52()).fit(xs, ys)
+
+
+class TestLengthscaleGridPairing:
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_stacked_grid_search_matches_manual_loop(self, seed):
+        """The stacked _best_kernel equals a literal per-kernel search."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 12))
+        x = rng.uniform(0.0, 1.0, size=(n, 2))
+        y = rng.uniform(0.0, 5.0, size=n)
+
+        gp = GaussianProcess()
+        z = (y - np.mean(y)) / max(np.std(y), 1e-12)
+        best_kernel, best_chol = gp._best_kernel(x, z)
+
+        manual_best = None
+        manual_evidence = -np.inf
+        manual_chol = None
+        for ls in _LENGTHSCALE_GRID:
+            kernel = gp.kernel.with_params(lengthscale=ls)
+            k = kernel(x, x)
+            k[np.diag_indices_from(k)] += gp.noise + _JITTER
+            try:
+                chol = np.linalg.cholesky(k)
+            except np.linalg.LinAlgError:
+                continue
+            alpha = _cho_solve(chol, z)
+            evidence = (
+                -0.5 * z @ alpha
+                - np.sum(np.log(np.diag(chol)))
+                - 0.5 * n * np.log(2.0 * np.pi)
+            )
+            if evidence > manual_evidence:
+                manual_evidence = evidence
+                manual_best = kernel
+                manual_chol = chol
+        assert best_kernel.lengthscale == manual_best.lengthscale
+        assert np.array_equal(best_chol, manual_chol)
+
+    def test_fit_with_optimization_unchanged_end_to_end(self):
+        """fit(optimize_lengthscale=True) predictions match a manual fit
+        with the manually-selected winning kernel."""
+        rng = np.random.default_rng(9)
+        x = rng.uniform(0.0, 1.0, size=(8, 2))
+        y = rng.uniform(0.0, 5.0, size=8)
+        query = rng.uniform(0.0, 1.0, size=(5, 2))
+
+        gp = GaussianProcess().fit(x, y, optimize_lengthscale=True)
+        mean, std = gp.predict(query)
+        manual = GaussianProcess(kernel=gp.kernel).fit(x, y)
+        manual_mean, manual_std = manual.predict(query)
+        assert np.array_equal(mean, manual_mean)
+        assert np.array_equal(std, manual_std)
