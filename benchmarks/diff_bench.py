@@ -69,6 +69,18 @@ ARTIFACTS = {
         ],
         "context": ["sessions", "n_epochs"],
     },
+    # SLO attainment is one-sided: losing attainment is a regression,
+    # gaining it is an improvement. Fairness likewise. First runs (no
+    # previous BENCH_qos.json) skip gracefully like any absent artifact.
+    "BENCH_qos.json": {
+        "metrics": [
+            ("shapes.*.*.attainment", "higher"),
+            ("shapes.*.*.fairness", "higher"),
+            ("epochs_per_s", "higher"),
+        ],
+        "context": ["n_nodes", "n_epochs", "epoch_seconds",
+                    "slo.min_speedup"],
+    },
 }
 
 

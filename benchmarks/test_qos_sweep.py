@@ -1,0 +1,137 @@
+"""QoS sweep benchmark: the SLO-guarantee contract under shared traffic.
+
+The SLO-aware-scheduling acceptance run: a 3-node cluster replays
+paired flash-crowd and diurnal arrival traces (a quarter of arrivals
+tagged ``"qos"``) under an enforced speedup-floor SLO, once per
+partitioning policy. Every policy faces bit-identical traces and
+node-epoch seeds, so the attainment gap is the policy's doing. The
+asserted contract: BoPF's bounded-priority guarantee phase strictly
+beats plain SATORI's qos attainment on the flash-crowd shape, while
+giving up no more than ``FAIRNESS_BOUND`` of batch fairness.
+
+Also home of the ``BENCH_qos.json`` artifact: a fast, non-slow-marked
+run written on every tier-1 CI pass so the attainment trajectory is
+visible across PRs (override the path with ``BENCH_QOS_JSON``).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.qos import DEFAULT_QOS_SLO, qos_sweep
+
+from common import run_once
+
+#: Scale of the fast BENCH_qos run — small enough for tier-1 CI.
+BENCH_NODES = 3
+BENCH_EPOCHS = 8
+BENCH_EPOCH_SECONDS = 4.0
+BENCH_SEEDS = (0, 1, 2)
+BENCH_FRACTION = 0.25
+
+#: The documented fairness bound: BoPF may spend at most this much
+#: disruption-adjusted batch fairness (vs plain SATORI, same traces)
+#: buying qos attainment. Measured headroom is ~10x: the observed
+#: flash-crowd delta is about -0.005 for a +0.12 attainment gain.
+FAIRNESS_BOUND = 0.05
+
+#: Scale of the slow-marked sweep (two qos fractions, more seeds).
+N_SEEDS = (0, 1, 2, 3)
+N_FRACTIONS = (0.25, 0.4)
+
+
+def _bench_path():
+    return os.environ.get("BENCH_QOS_JSON", "BENCH_qos.json")
+
+
+def _report_rows(report):
+    rows = []
+    for shape in report.shapes:
+        for policy in report.policies:
+            rows.append([
+                shape, policy,
+                round(report.attainment(shape, policy), 4),
+                round(report.fairness(shape, policy), 4),
+            ])
+    return rows
+
+
+def test_bench_qos_artifact():
+    """Paired SLO sweep: BoPF buys flash-crowd attainment, fairness held.
+
+    Deliberately not ``slow``-marked: tier-1 CI invokes this by path
+    after the main suite and uploads the artifact. The assertions gate
+    the guarantee contract (BoPF strictly above SATORI on flash-crowd
+    attainment, batch fairness within ``FAIRNESS_BOUND``, both trace
+    shapes reported), never wall-clock speed.
+    """
+    started = time.perf_counter()
+    report = qos_sweep(
+        policies=("SATORI", "BoPF", "QoSPARTIES"),
+        qos_fractions=(BENCH_FRACTION,),
+        trace_seeds=BENCH_SEEDS,
+        n_nodes=BENCH_NODES,
+        n_epochs=BENCH_EPOCHS,
+        slo=DEFAULT_QOS_SLO,
+    )
+    elapsed = time.perf_counter() - started
+
+    # The SLO-guarantee contract, asserted at benchmark scale.
+    assert set(report.shapes) >= {"flash_crowd", "diurnal"}
+    assert report.attainment_delta("flash_crowd", "BoPF") > 0, (
+        "BoPF's guarantee phase must strictly improve flash-crowd qos "
+        "attainment over plain SATORI"
+    )
+    for shape in report.shapes:
+        assert abs(report.fairness_delta(shape, "BoPF")) <= FAIRNESS_BOUND, (
+            f"BoPF spent more than the documented fairness bound on {shape}"
+        )
+    # Every cell actually hosted qos jobs — the sweep is not vacuous.
+    assert all(cell.qos_jobs > 0 for cell in report.cells)
+
+    payload = report.to_dict()
+    payload.update(
+        benchmark="qos_sweep",
+        wall_s=round(elapsed, 4),
+        epochs_per_s=round(
+            len(report.cells) * BENCH_EPOCHS / elapsed, 3
+        ),
+        fairness_bound=FAIRNESS_BOUND,
+    )
+    with open(_bench_path(), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {_bench_path()}")
+    print(format_table(
+        ["shape", "policy", "attainment", "adj fairness"],
+        _report_rows(report),
+        precision=4,
+    ))
+
+
+@pytest.mark.slow
+def test_qos_sweep_at_scale(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: qos_sweep(
+            policies=("SATORI", "BoPF", "QoSPARTIES"),
+            qos_fractions=N_FRACTIONS,
+            trace_seeds=N_SEEDS,
+            n_nodes=BENCH_NODES,
+            n_epochs=BENCH_EPOCHS,
+            slo=DEFAULT_QOS_SLO,
+        ),
+    )
+    print(f"\nQoS sweep — {len(report.cells)} cells, fractions "
+          f"{list(report.qos_fractions)}, seeds {list(report.trace_seeds)}")
+    print(format_table(
+        ["shape", "policy", "attainment", "adj fairness"],
+        _report_rows(report),
+        precision=4,
+    ))
+    assert report.attainment_delta("flash_crowd", "BoPF") > 0
+    for shape in report.shapes:
+        assert abs(report.fairness_delta(shape, "BoPF")) <= FAIRNESS_BOUND

@@ -18,6 +18,7 @@ Commands map to the paper's experiments (see DESIGN.md):
 * ``broker``       — cluster budget-broker sweep (static/harvest/trade/bo).
 * ``warmstart``    — warm-vs-cold controller continuation (policy-state value).
 * ``chaos``        — paired fleet-fault sweep: recovery protocol vs ablation.
+* ``qos``          — paired cluster SLO sweep: SATORI vs BoPF vs QoS-PARTIES.
 * ``serve``        — long-lived control-plane server (sessions as a service).
 * ``loadgen``      — replay an arrival trace against a running ``serve``.
 * ``workloads``    — list the benchmark workload models (Tables I-III).
@@ -370,6 +371,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         suite=args.suite,
         seed=args.seed,
         catalog=catalog,
+        qos_fraction=args.qos_fraction,
     )
     engine = _engine(args)
     node_budgets = _parse_node_budgets(args.node_budgets)
@@ -673,6 +675,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         suite=args.suite,
         seed=args.seed,
         catalog=catalog,
+        qos_fraction=args.qos_fraction,
     )
     plans = chaos_fleet_plans(
         args.nodes,
@@ -718,6 +721,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print("chaos assertions FAILED: " + "; ".join(problems), file=sys.stderr)
             return 1
         print("\nchaos assertions passed: zero jobs lost, budget pool conserved")
+    return 0
+
+
+def cmd_qos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.qos import qos_sweep
+    from repro.qos import SLOSpec
+
+    catalog = experiment_catalog(args.units)
+    engine = _engine(args)
+    slo = SLOSpec(min_speedup=args.floor, window=args.window,
+                  attain_target=args.attain_target)
+    report = qos_sweep(
+        shapes=tuple(args.shapes),
+        policies=tuple(args.policies),
+        qos_fractions=tuple(args.qos_fractions),
+        trace_seeds=tuple(args.trace_seeds),
+        n_nodes=args.nodes,
+        n_epochs=args.epochs,
+        slo=slo,
+        catalog=catalog,
+        epoch_config=RunConfig(duration_s=args.duration),
+        placement=args.placement,
+        warm_start=not args.cold_start,
+        engine=engine,
+    )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nJSON report written to {args.json}")
+    _print_engine_stats(engine)
     return 0
 
 
@@ -877,6 +913,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("broker", cmd_broker, "broker"),
         ("warmstart", cmd_warmstart, "warmstart"),
         ("chaos", cmd_chaos, "chaos"),
+        ("qos", cmd_qos, "qos"),
         ("serve", cmd_serve, "serve"),
         ("loadgen", cmd_loadgen, "loadgen"),
         ("report", cmd_report, "report"),
@@ -928,6 +965,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated per-node unit counts, e.g. "
                                 "'8,8,4,4' (uniform across resources); empty "
                                 "means every node owns its full catalog")
+            p.add_argument("--qos-fraction", type=float, default=0.0,
+                           help="fraction of arrivals tagged 'qos' (0 keeps "
+                                "the trace bit-identical to untyped runs)")
             # for cluster, --duration is the per-epoch length
             p.set_defaults(duration=4.0, handles_trace=True)
         if extra == "broker":
@@ -997,8 +1037,43 @@ def build_parser() -> argparse.ArgumentParser:
                                 "and conserved the budget pool (CI smoke)")
             p.add_argument("--json", default="",
                            help="write the JSON report to this path")
+            p.add_argument("--qos-fraction", type=float, default=0.0,
+                           help="fraction of arrivals tagged 'qos' (0 keeps "
+                                "the trace bit-identical to untyped runs)")
             # for chaos, --duration is the per-epoch length
             p.set_defaults(duration=3.0)
+        if extra == "qos":
+            p.add_argument("--nodes", type=int, default=3, help="fleet size")
+            p.add_argument("--epochs", type=int, default=8, help="placement epochs")
+            p.add_argument("--shapes", nargs="+",
+                           default=["flash_crowd", "diurnal"],
+                           help="arrival-trace shapes to sweep")
+            p.add_argument("--policies", nargs="+",
+                           default=["SATORI", "BoPF", "QoSPARTIES"],
+                           help="partitioning policies to compare")
+            p.add_argument("--qos-fractions", type=float, nargs="+",
+                           default=[0.25],
+                           help="qos arrival fractions to sweep")
+            p.add_argument("--trace-seeds", type=int, nargs="+",
+                           default=[0, 1, 2],
+                           help="trace seeds (cells pair across policies "
+                                "within each seed)")
+            p.add_argument("--floor", type=float, default=0.55,
+                           help="SLO min-speedup floor for qos jobs")
+            p.add_argument("--window", type=int, default=2,
+                           help="control intervals per SLO evaluation window")
+            p.add_argument("--attain-target", type=float, default=0.75,
+                           help="windowed attainment a qos job-epoch must "
+                                "reach to avoid a miss event")
+            p.add_argument("--placement", default="slo_aware",
+                           help="placement policy for every cell")
+            p.add_argument("--cold-start", action="store_true",
+                           help="disable warm starts (the guarantee phase "
+                                "then re-probes every epoch)")
+            p.add_argument("--json", default="",
+                           help="write the JSON report to this path")
+            # for qos, --duration is the per-epoch length
+            p.set_defaults(duration=4.0)
         if extra == "serve":
             p.add_argument("--host", default="127.0.0.1", help="bind address")
             p.add_argument("--port", type=int, default=7300,

@@ -24,6 +24,7 @@ from repro.cluster.placement import (
     NodeView,
     PlacementPolicy,
     RoundRobinPlacement,
+    SLOAwarePlacement,
     make_placement,
     placement_names,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "RecoveryConfig",
     "ResourceBudget",
     "RoundRobinPlacement",
+    "SLOAwarePlacement",
     "ServerNode",
     "coerce_budget",
     "instance_name",

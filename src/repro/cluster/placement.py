@@ -50,9 +50,8 @@ class NodeView:
             budgets through — placement decisions key off ``capacity``,
             which already reflects the budget).
         qos_jobs: resident jobs tagged latency-sensitive (``"qos"``
-            arrivals). Informational for now — no built-in placement
-            branches on it — but the plumbing lets QoS-aware policies
-            spread latency-sensitive jobs without new surface.
+            arrivals). :class:`SLOAwarePlacement` branches on it to
+            spread latency-sensitive jobs across nodes.
     """
 
     node_id: int
@@ -144,10 +143,46 @@ class ContentionAwarePlacement(PlacementPolicy):
         ).node_id
 
 
+class SLOAwarePlacement(PlacementPolicy):
+    """Keep qos jobs apart and away from saturated nodes.
+
+    The first real consumer of :attr:`NodeView.qos_jobs`. An SLO miss
+    has two cluster-level causes: several latency-sensitive jobs
+    packed on one node (they all need the same guarantee phase), and a
+    node near capacity (no slack for a guarantee boost to draw on). So
+    the policy minimizes, in order:
+
+    1. resident qos jobs — spread the SLO-holders;
+    2. *predicted* occupancy ``(n_jobs + 1) / capacity`` — where this
+       placement would push the node, not where it was, so elastic
+       budget changes are respected;
+    3. observed contention (higher mean speedup preferred);
+    4. node id, for determinism.
+
+    Batch arrivals use the same key: steering them away from qos-heavy
+    nodes is precisely what preserves the guarantee-phase headroom.
+    """
+
+    name = "slo_aware"
+
+    def place(self, nodes: Sequence[NodeView]) -> int:
+        open_nodes = self._open_nodes(nodes)
+        return min(
+            open_nodes,
+            key=lambda view: (
+                view.qos_jobs,
+                round((view.n_jobs + 1) / max(1, view.capacity), 6),
+                -round(view.mean_speedup, 6),
+                view.node_id,
+            ),
+        ).node_id
+
+
 _PLACEMENTS: Dict[str, Callable[[], PlacementPolicy]] = {
     RoundRobinPlacement.name: RoundRobinPlacement,
     LeastLoadedPlacement.name: LeastLoadedPlacement,
     ContentionAwarePlacement.name: ContentionAwarePlacement,
+    SLOAwarePlacement.name: SLOAwarePlacement,
 }
 
 

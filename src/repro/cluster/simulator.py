@@ -112,9 +112,11 @@ from repro.faults.nodes import NodeFaultPlan, NodeFaultSchedule
 from repro.faults.plan import FaultPlan
 from repro.metrics.fairness import jain_index
 from repro.obs import active_collector
+from repro.policies.registry import policy_is_qos_aware
+from repro.qos.slo import SLOSpec, SLOSummary, SLOTracker
 from repro.resources.types import ResourceCatalog
 from repro.state import PolicyState
-from repro.workloads.arrivals import ArrivalTrace, JobArrival
+from repro.workloads.arrivals import KIND_QOS, ArrivalTrace, JobArrival
 
 
 @dataclass(frozen=True)
@@ -185,6 +187,11 @@ class NodeEpochRecord:
         job_kinds: per-job type labels aligned with ``job_ids``
             (``"batch"`` / ``"qos"``); empty for records built before
             typed traces existed.
+        slo_attained: per-qos-job SLO attainment for the epoch as
+            ``(job_id, attainment)`` pairs in job-id order; empty when
+            no SLO is active or the node hosts no qos jobs. Failed
+            epochs score 0.0 (a crashed node delivers no service),
+            synthesized ones 1.0 (an uncontended job cannot violate).
     """
 
     epoch: int
@@ -201,6 +208,7 @@ class NodeEpochRecord:
     failed: bool = False
     slowdown: float = 1.0
     job_kinds: Tuple[str, ...] = ()
+    slo_attained: Tuple[Tuple[int, float], ...] = ()
 
     @property
     def n_jobs(self) -> int:
@@ -247,6 +255,10 @@ class ClusterResult:
     #: queue (0 when every drained job was re-placed the same epoch).
     displaced_job_epochs: int = 0
     fleet_events: Tuple[FleetEvent, ...] = ()
+    #: Aggregate SLO outcome when the run enforced one (``qos_slo``
+    #: passed to the simulator and the trace carried qos jobs);
+    #: ``None`` otherwise — existing runs are untouched.
+    slo: Optional[SLOSummary] = None
 
     def epoch_fairness(self) -> Dict[int, float]:
         """Per-epoch Jain index over every resident job's speedup.
@@ -327,6 +339,27 @@ class ClusterResult:
             return float("nan")
         met = sum(1 for speedup in per_job.values() if speedup >= threshold)
         return met / len(per_job)
+
+    def qos_attainment(self) -> float:
+        """Mean windowed SLO attainment over every scored qos job-epoch.
+
+        The *enforced* SLO view (per-interval, against the run's
+        :class:`~repro.qos.SLOSpec`), unlike :meth:`slo_attainment`
+        which is a long-term mean-speedup proxy. ``NaN`` when the run
+        had no active SLO.
+        """
+        if self.slo is None:
+            return float("nan")
+        return self.slo.attainment
+
+    def qos_miss_rate(self) -> float:
+        """Fraction of qos job-epochs below the attainment target.
+
+        ``NaN`` when the run had no active SLO.
+        """
+        if self.slo is None:
+            return float("nan")
+        return self.slo.miss_rate
 
     def node_summary(
         self,
@@ -493,6 +526,17 @@ class ClusterSimulator:
             queued speculation simply waits (no wasted work). Warm
             starts and migration disable speculation wholesale: their
             specs depend on epoch-E outcomes.
+        qos_slo: optional :class:`~repro.qos.SLOSpec` enforced for
+            qos-kind jobs. When set, an :class:`~repro.qos.SLOTracker`
+            scores every node-epoch's per-interval telemetry, records
+            land in ``NodeEpochRecord.slo_attained`` /
+            ``ClusterResult.slo``, per-node ``slo_attainment`` series
+            and a ``cluster.slo_misses`` counter are emitted, and
+            qos-aware partitioning policies (``BoPF``,
+            ``QoSPARTIES``) receive the node's qos slot indices and
+            the floor via injected kwargs. ``None`` (the default)
+            changes nothing — specs, RNG draws, and telemetry are
+            bit-identical to a simulator without the feature.
     """
 
     def __init__(
@@ -518,6 +562,7 @@ class ClusterSimulator:
         engine: Optional[ExecutionEngine] = None,
         warm_start: bool = False,
         speculate: bool = False,
+        qos_slo: Optional[SLOSpec] = None,
     ):
         if n_nodes < 1:
             raise ClusterError(f"a cluster needs at least one node, got {n_nodes}")
@@ -660,6 +705,10 @@ class ClusterSimulator:
         self._speculative_submitted = 0
         self._speculative_hits = 0
         self._speculative_cancelled = 0
+        # SLO enforcement: one tracker for the whole run, scoring each
+        # node-epoch's qos jobs against the spec. Inert when no spec.
+        self._qos_slo = qos_slo
+        self._slo_tracker = SLOTracker(qos_slo) if qos_slo is not None else None
 
     @property
     def nodes(self) -> List[ServerNode]:
@@ -722,6 +771,60 @@ class ClusterSimulator:
                 )
             )
         return views
+
+    def _node_policy_kwargs(self, node: ServerNode) -> dict:
+        """Per-node policy kwargs, with qos context injected when due.
+
+        When an SLO is active, the partitioning policy is qos-aware
+        (see :func:`repro.policies.registry.policy_is_qos_aware`), and
+        the node hosts at least one qos job, the factory receives the
+        node's qos slot indices and the SLO floor. Everything else —
+        no SLO, unaware policy, all-batch node — gets the shared
+        kwargs object unchanged, so spec digests are bit-identical to
+        a simulator without the feature.
+
+        Used by *both* the blocking spec build and speculative
+        submission: speculation claims specs by content equality, so
+        the two paths must construct identical kwargs.
+        """
+        if self._qos_slo is None or not policy_is_qos_aware(self._policy):
+            return self._policy_kwargs
+        qos_slots = tuple(
+            slot for slot, kind in enumerate(node.job_kinds) if kind == KIND_QOS
+        )
+        if not qos_slots:
+            return self._policy_kwargs
+        merged = dict(self._policy_kwargs)
+        merged["qos_jobs"] = qos_slots
+        merged["qos_min_speedup"] = self._qos_slo.min_speedup
+        return merged
+
+    # -- SLO scoring -------------------------------------------------------
+
+    def _score_slo_epoch(
+        self,
+        epoch: int,
+        node: ServerNode,
+        interval_speedups: Sequence[Sequence[float]],
+    ) -> Tuple[Tuple[int, float], ...]:
+        """Score one node-epoch's qos jobs; ``()`` when no SLO is active."""
+        if self._slo_tracker is None:
+            return ()
+        attained = self._slo_tracker.score_epoch(
+            epoch, node.node_id, node.job_ids, node.job_kinds, interval_speedups
+        )
+        return tuple(sorted(attained.items()))
+
+    def _score_slo_outage(
+        self, epoch: int, node: ServerNode
+    ) -> Tuple[Tuple[int, float], ...]:
+        """Score a failed node-epoch: its qos jobs attain nothing."""
+        if self._slo_tracker is None:
+            return ()
+        attained = self._slo_tracker.score_outage(
+            epoch, node.node_id, node.job_ids, node.job_kinds
+        )
+        return tuple(sorted(attained.items()))
 
     # -- epoch phases ------------------------------------------------------
 
@@ -793,13 +896,18 @@ class ClusterSimulator:
         drained = node.job_ids
         for job_id in drained:
             workload = node.workload_of(job_id)
+            job_kind = node.kind_of(job_id)
             node.remove_job(job_id)
-            # Strip the instance rename; the adopting node re-applies it.
+            # Strip the instance rename; the adopting node re-applies
+            # it. The kind travels too — a qos job drained by a crash
+            # must still be a qos job after recovery re-placement
+            # (the migration path already preserved it).
             base_name = workload.name.rsplit("#", 1)[0]
             arrival = JobArrival(
                 job_id=job_id,
                 workload=dataclasses.replace(workload, name=base_name),
                 arrival_epoch=0,
+                kind=job_kind,
             )
             if self._recovery is None:
                 self._lost.append(job_id)
@@ -1096,6 +1204,7 @@ class ClusterSimulator:
                     failed=True,
                     slowdown=slowdown,
                     job_kinds=node.job_kinds,
+                    slo_attained=self._score_slo_outage(epoch, node),
                 )
             )
 
@@ -1142,7 +1251,7 @@ class ClusterSimulator:
                     policy=self._policy,
                     run_config=config,
                     seed=derive_seed(self._seed, "node", node.node_id, "epoch", epoch),
-                    policy_kwargs=self._policy_kwargs,
+                    policy_kwargs=self._node_policy_kwargs(node),
                     goals=self._goals,
                     fault_plan=fault_plan,
                     initial_state=initial_state,
@@ -1172,6 +1281,7 @@ class ClusterSimulator:
                 job_id: float(speedup) / slowdown
                 for job_id, speedup in zip(node.job_ids, speedups)
             }
+            penalty_scale: Dict[int, float] = {}
             for intervals, arrived in (
                 (penalty, self._migrated_in.get(node.node_id, ())),
                 (replace_penalty, self._replaced_in.get(node.node_id, ())),
@@ -1184,6 +1294,30 @@ class ClusterSimulator:
                 for job_id in arrived:
                     if job_id in job_speedups:
                         job_speedups[job_id] *= scale
+                        penalty_scale[job_id] = (
+                            penalty_scale.get(job_id, 1.0) * scale
+                        )
+            slo_attained: Tuple[Tuple[int, float], ...] = ()
+            if self._slo_tracker is not None:
+                # Per-interval speedups (straggler slowdown and warm-up
+                # penalties folded in, matching the epoch scores) feed
+                # the windowed SLO attainment; only qos slots need a
+                # series.
+                kinds = node.job_kinds
+                interval_speedups = [
+                    tuple(
+                        float(rec.speedups[slot])
+                        / slowdown
+                        * penalty_scale.get(job_id, 1.0)
+                        for rec in result.scored
+                    )
+                    if slot < len(kinds) and kinds[slot] == KIND_QOS
+                    else ()
+                    for slot, job_id in enumerate(node.job_ids)
+                ]
+                slo_attained = self._score_slo_epoch(
+                    epoch, node, interval_speedups
+                )
             records.append(
                 NodeEpochRecord(
                     epoch=epoch,
@@ -1201,6 +1335,7 @@ class ClusterSimulator:
                     capacity=node.capacity,
                     slowdown=slowdown,
                     job_kinds=node.job_kinds,
+                    slo_attained=slo_attained,
                 )
             )
             if result.final_state is not None:
@@ -1230,6 +1365,11 @@ class ClusterSimulator:
                     budget=node.budget,
                     capacity=node.capacity,
                     job_kinds=node.job_kinds,
+                    # An uncontended qos job runs at isolation speed:
+                    # full attainment by construction.
+                    slo_attained=self._score_slo_epoch(
+                        epoch, node, [() for _ in node.job_ids]
+                    ),
                 )
             )
         for node in self._nodes:
@@ -1258,6 +1398,16 @@ class ClusterSimulator:
                     catalog=node.effective_catalog,
                     state=state,
                 )
+        if self._slo_tracker is not None:
+            # Displaced qos jobs still waiting in the re-placement
+            # queue received no service this epoch: that outage is part
+            # of their SLO story (it is what the slo_aware placement +
+            # recovery interplay is judged on).
+            for item in self._queue:
+                if item.arrival.kind == KIND_QOS:
+                    self._slo_tracker.score_outage(
+                        epoch, item.source, (item.arrival.job_id,), (KIND_QOS,)
+                    )
         records.sort(key=lambda r: r.node_id)
         return records
 
@@ -1384,7 +1534,7 @@ class ClusterSimulator:
                 seed=derive_seed(
                     self._seed, "node", node.node_id, "epoch", next_epoch
                 ),
-                policy_kwargs=self._policy_kwargs,
+                policy_kwargs=self._node_policy_kwargs(node),
                 goals=self._goals,
                 fault_plan=fault_plan,
                 initial_state=None,
@@ -1579,6 +1729,18 @@ class ClusterSimulator:
                 obs.metrics.series(f"{node_prefix}.budget_units").append(
                     record.budget.total_units
                 )
+            if record.slo_attained:
+                values = [value for _, value in record.slo_attained]
+                obs.metrics.series(f"{node_prefix}.slo_attainment").append(
+                    float(np.mean(values))
+                )
+                misses = sum(
+                    1
+                    for value in values
+                    if value < self._qos_slo.attain_target
+                )
+                if misses:
+                    obs.metrics.counter("cluster.slo_misses").inc(misses)
 
     def result(self) -> ClusterResult:
         """The cluster-level result over the epochs stepped so far."""
@@ -1601,6 +1763,16 @@ class ClusterSimulator:
             node_epoch_failures=self._node_epoch_failures,
             displaced_job_epochs=self._displaced_epochs,
             fleet_events=tuple(self._fleet_events),
+            slo=(
+                SLOSummary(
+                    attainment=self._slo_tracker.attainment(),
+                    miss_rate=self._slo_tracker.miss_rate(),
+                    qos_jobs=len(self._slo_tracker.job_attainment()),
+                    misses=self._slo_tracker.misses,
+                )
+                if self._slo_tracker is not None
+                else None
+            ),
         )
 
     def run(self) -> ClusterResult:

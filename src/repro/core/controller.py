@@ -25,7 +25,7 @@ Variants (Sec. IV "Throughput and Fairness SATORI"):
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -177,6 +177,7 @@ class SatoriController(PartitioningPolicy):
         self._last_accepted_config: Optional[Configuration] = None
         self._last_good_speedups: Optional[np.ndarray] = None
 
+        self._baseline_tilt: Optional[Tuple[float, ...]] = None
         self._last_weights: Optional[WeightState] = None
         self._last_suggestion: Optional[Suggestion] = None
         self._last_objective = 0.0
@@ -225,6 +226,64 @@ class SatoriController(PartitioningPolicy):
         self._last_accepted_ips = None
         self._last_accepted_config = None
         self._last_good_speedups = None
+        self._baseline_tilt = None
+
+    def set_baseline_tilt(self, tilt: Optional[Sequence[float]]) -> int:
+        """Install per-job isolation-baseline multipliers; returns rescores.
+
+        While a tilt is installed every observation is *scored* (and
+        recorded) as if job ``j``'s isolation baseline were
+        ``isolation_ips[j] * tilt[j]`` — shrinking its apparent speedup
+        so the equalization objective pulls resources toward it. The
+        raw measurements are untouched; only the scoring context
+        changes, and the whole sample book is rescored under the new
+        context at once (see :meth:`GoalRecords.rescore`), so the
+        optimizer's belief about *every* configuration — visited before
+        or during the tilt — shifts atomically. Without the rescore a
+        tilt would only devalue configurations re-visited afterwards,
+        leaving the incumbent argmax pinned where the untilted history
+        put it.
+
+        ``None`` (or all-ones) clears the tilt. The tilt is wrapper
+        state, not controller state: wrappers such as
+        :class:`~repro.policies.bopf.BoPFPolicy` own its lifecycle and
+        re-install it after a :meth:`restore`.
+        """
+        new = None if tilt is None else tuple(float(v) for v in tilt)
+        if new is not None:
+            if len(new) != self._space.n_jobs:
+                raise PolicyError(
+                    f"baseline tilt has {len(new)} entries for {self._space.n_jobs} jobs"
+                )
+            if any(v <= 0 for v in new):
+                raise PolicyError(f"baseline tilt must be positive, got {new}")
+            if all(v == 1.0 for v in new):
+                new = None
+        if new == self._baseline_tilt:
+            return 0
+        self._baseline_tilt = new
+
+        def rescorer(sample):
+            if sample.ips is None or sample.isolation_ips is None:
+                return None
+            scores = self._goals.scores(sample.ips, self._tilt_baselines(sample.isolation_ips))
+            return (scores.throughput, scores.fairness)
+
+        changed = self._records.rescore(rescorer)
+        if changed:
+            # The objective the idle latch froze on no longer exists:
+            # its entry reference and held configuration were chosen
+            # under the old scoring context. Wake the search and make
+            # it re-earn stability under the new one.
+            self._idle = False
+            self._stable_best = None
+            self._best_streak = 0
+        return changed
+
+    def _tilt_baselines(self, isolation_ips: Sequence[float]) -> Sequence[float]:
+        if self._baseline_tilt is None:
+            return isolation_ips
+        return tuple(v * t for v, t in zip(isolation_ips, self._baseline_tilt))
 
     def diagnostics(self) -> Dict[str, float]:
         """Weights, objective, and proxy-change internals for telemetry."""
@@ -307,6 +366,9 @@ class SatoriController(PartitioningPolicy):
             "last_objective": self._last_objective,
             "decision_count": self._decision_count,
             "idle_intervals": self._idle_intervals,
+            "baseline_tilt": (
+                None if self._baseline_tilt is None else list(self._baseline_tilt)
+            ),
         }
         return PolicyState(policy=self.state_kind, payload=payload)
 
@@ -377,6 +439,8 @@ class SatoriController(PartitioningPolicy):
         self._last_objective = float(payload["last_objective"])
         self._decision_count = int(payload["decision_count"])
         self._idle_intervals = int(payload["idle_intervals"])
+        tilt = payload.get("baseline_tilt")
+        self._baseline_tilt = None if tilt is None else tuple(float(v) for v in tilt)
 
     # -- introspection -------------------------------------------------------
 
@@ -397,6 +461,17 @@ class SatoriController(PartitioningPolicy):
     def weights(self) -> Optional[WeightState]:
         """The most recent weight state (Fig. 14(a) decomposition)."""
         return self._last_weights
+
+    @property
+    def probing(self) -> bool:
+        """Whether the initial probe set is still being drained.
+
+        While probing, measured speedups reflect deliberately diverse
+        (often bad) configurations rather than the controller's best
+        belief — wrappers layering guarantees on top (e.g. BoPF)
+        should not react to them.
+        """
+        return self._initial_cursor < len(self._initial_set)
 
     @property
     def mean_decision_time_s(self) -> float:
@@ -495,8 +570,16 @@ class SatoriController(PartitioningPolicy):
         return suggestion.config
 
     def _record(self, observation: Observation):
-        """Record the previous interval's per-goal outcome (Alg. 1 line 10-11)."""
-        scores = self._scores(observation)
+        """Record the previous interval's per-goal outcome (Alg. 1 line 10-11).
+
+        Scores are computed under the installed baseline tilt (if any)
+        so fresh samples and the rescored book stay consistent; the raw
+        measurements are stored alongside so the sample remains
+        rescorable when the tilt changes.
+        """
+        scores = self._goals.scores(
+            observation.ips, self._tilt_baselines(observation.isolation_ips)
+        )
         config = self._pending
         if self._hardening and not observation.actuation_ok:
             # The suggested configuration never got installed; the
@@ -511,7 +594,13 @@ class SatoriController(PartitioningPolicy):
             if observation.config is None:
                 raise PolicyError("cannot attribute observation to a configuration")
             config = observation.config.restrict(self.controlled_resources)
-        self._records.add(config, self._space.encode(config), (scores.throughput, scores.fairness))
+        self._records.add(
+            config,
+            self._space.encode(config),
+            (scores.throughput, scores.fairness),
+            ips=observation.ips,
+            isolation_ips=observation.isolation_ips,
+        )
         return scores
 
     def _hold_configuration(self) -> Configuration:

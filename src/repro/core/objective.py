@@ -17,7 +17,7 @@ is the paper's extensibility claim (e.g. adding energy efficiency).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,11 +30,21 @@ from repro.state import GoalRecordsState
 
 @dataclass(frozen=True)
 class GoalSample:
-    """One evaluated configuration with its per-goal scores."""
+    """One evaluated configuration with its per-goal scores.
+
+    ``ips``/``isolation_ips`` optionally retain the raw per-job
+    measurements the scores were computed from. They make the sample
+    *rescorable*: just as recording per-goal scores lets the scalar
+    objective be rebuilt when the goal weights change, recording the
+    raw telemetry lets the goal scores themselves be rebuilt when the
+    scoring context changes (e.g. a QoS guarantee tilts a job's
+    baseline — see :class:`~repro.policies.bopf.BoPFPolicy`)."""
 
     config: Configuration
     encoded: Tuple[float, ...]
     scores: Tuple[float, ...]
+    ips: Optional[Tuple[float, ...]] = None
+    isolation_ips: Optional[Tuple[float, ...]] = None
 
 
 class GoalRecords:
@@ -75,12 +85,21 @@ class GoalRecords:
     def samples(self) -> List[GoalSample]:
         return list(self._samples)
 
-    def add(self, config: Configuration, encoded: Sequence[float], scores: Sequence[float]) -> None:
+    def add(
+        self,
+        config: Configuration,
+        encoded: Sequence[float],
+        scores: Sequence[float],
+        ips: Optional[Sequence[float]] = None,
+        isolation_ips: Optional[Sequence[float]] = None,
+    ) -> None:
         """Record one evaluation; scores are in goal order.
 
         Re-evaluations of an already-sampled configuration are added
         as new samples (the paper keeps re-evaluations so the model
-        tracks phase changes, Sec. III-C).
+        tracks phase changes, Sec. III-C). Pass the raw ``ips`` and
+        ``isolation_ips`` the scores were derived from to make the
+        sample rescorable (see :meth:`rescore`).
         """
         if len(scores) != self.n_goals:
             raise ModelError(f"expected {self.n_goals} goal scores, got {len(scores)}")
@@ -89,10 +108,40 @@ class GoalRecords:
                 config=config,
                 encoded=tuple(float(v) for v in encoded),
                 scores=tuple(float(s) for s in scores),
+                ips=None if ips is None else tuple(float(v) for v in ips),
+                isolation_ips=(
+                    None if isolation_ips is None else tuple(float(v) for v in isolation_ips)
+                ),
             )
         )
         if len(self._samples) > self._max_samples:
             del self._samples[0]
+
+    def rescore(self, scorer) -> int:
+        """Recompute stored goal scores in place; returns samples changed.
+
+        ``scorer`` maps a :class:`GoalSample` to fresh goal scores (in
+        goal order) or ``None`` to leave that sample untouched — e.g.
+        samples recorded without raw telemetry cannot be rescored.
+        This is the software-based proxy reconstruction of Sec. III-B
+        taken one level deeper: where :meth:`objective_values` rebuilds
+        the *scalar* objective from per-goal scores under fresh
+        weights, ``rescore`` rebuilds the per-goal *scores* from raw
+        telemetry under a fresh scoring context, so the whole sample
+        book shifts consistently when that context changes.
+        """
+        changed = 0
+        for index, sample in enumerate(self._samples):
+            fresh = scorer(sample)
+            if fresh is None:
+                continue
+            fresh = tuple(float(s) for s in fresh)
+            if len(fresh) != self.n_goals:
+                raise ModelError(f"expected {self.n_goals} goal scores, got {len(fresh)}")
+            if fresh != sample.scores:
+                self._samples[index] = replace(sample, scores=fresh)
+                changed += 1
+        return changed
 
     def snapshot(self) -> GoalRecordsState:
         """The sample book as a versioned, JSON-codable value."""
@@ -104,6 +153,12 @@ class GoalRecords:
                     "config": s.config.to_dict(),
                     "encoded": list(s.encoded),
                     "scores": list(s.scores),
+                    **({"ips": list(s.ips)} if s.ips is not None else {}),
+                    **(
+                        {"isolation_ips": list(s.isolation_ips)}
+                        if s.isolation_ips is not None
+                        else {}
+                    ),
                 }
                 for s in self._samples
             ],
@@ -122,6 +177,16 @@ class GoalRecords:
                 config=Configuration.from_dict(sample["config"]),
                 encoded=tuple(float(v) for v in sample["encoded"]),
                 scores=tuple(float(v) for v in sample["scores"]),
+                ips=(
+                    None
+                    if sample.get("ips") is None
+                    else tuple(float(v) for v in sample["ips"])
+                ),
+                isolation_ips=(
+                    None
+                    if sample.get("isolation_ips") is None
+                    else tuple(float(v) for v in sample["isolation_ips"])
+                ),
             )
             for sample in thaw_data(state.samples)
         ]

@@ -181,12 +181,15 @@ def default_trace(
     suite: str = "parsec",
     seed: int = 0,
     catalog: Optional[ResourceCatalog] = None,
+    qos_fraction: float = 0.0,
 ) -> ArrivalTrace:
     """A sweep-ready trace sized to the fleet.
 
     Starts warm (one resident job per node) and admission-controls the
     Poisson stream at the fleet's physical capacity so placement — not
-    blanket rejection — decides outcomes.
+    blanket rejection — decides outcomes. ``qos_fraction`` tags that
+    share of arrivals ``"qos"``; the default 0 draws no extra RNG and
+    reproduces historical traces bit-for-bit.
     """
     catalog = catalog or experiment_catalog()
     capacity = min(resource.units // resource.min_units for resource in catalog)
@@ -198,4 +201,5 @@ def default_trace(
         suites=(suite,),
         seed=seed,
         initial_jobs=n_nodes,
+        qos_fraction=qos_fraction,
     )

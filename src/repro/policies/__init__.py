@@ -1,6 +1,7 @@
 """Partitioning policies: SATORI's competitors and reference points."""
 
 from repro.policies.base import PartitioningPolicy
+from repro.policies.bopf import BoPFPolicy
 from repro.policies.copart import CoPartPolicy
 from repro.policies.dcat import DCatPolicy
 from repro.policies.oracle import (
@@ -16,6 +17,7 @@ from repro.policies.random_search import RandomSearchPolicy
 from repro.policies.registry import (
     PolicyBuilder,
     make_policy,
+    policy_is_qos_aware,
     policy_names,
     register_policy,
 )
@@ -26,6 +28,7 @@ from repro.policies.static import (
 )
 
 __all__ = [
+    "BoPFPolicy",
     "CoPartPolicy",
     "DCatPolicy",
     "DEFAULT_MAX_CONFIGS",
@@ -42,6 +45,7 @@ __all__ = [
     "UnmanagedPolicy",
     "balanced_oracle",
     "make_policy",
+    "policy_is_qos_aware",
     "policy_names",
     "register_policy",
 ]

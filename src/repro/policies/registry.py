@@ -37,19 +37,33 @@ PolicyBuilder = Callable[..., PartitioningPolicy]
 
 _BUILDERS: Dict[str, PolicyBuilder] = {}
 
+#: Factory ids whose builders understand the qos kwargs the cluster
+#: simulator injects on qos-hosting nodes (``qos_jobs`` slot indices
+#: and ``qos_min_speedup``); see :func:`policy_is_qos_aware`.
+_QOS_AWARE: set = set()
+
 #: The three resources the paper's full-space policies partition.
 FULL_RESOURCES = (CORES, LLC_WAYS, MEMORY_BANDWIDTH)
 
 
-def register_policy(name: str, builder: Optional[PolicyBuilder] = None):
+def register_policy(
+    name: str, builder: Optional[PolicyBuilder] = None, qos_aware: bool = False
+):
     """Register ``builder`` under ``name`` (usable as a decorator).
 
     Re-registering a name replaces the previous builder, so downstream
-    extensions can override the stock factories.
+    extensions can override the stock factories. ``qos_aware`` marks
+    builders that accept the per-node qos kwargs (``qos_jobs``,
+    ``qos_min_speedup``) the cluster layer injects when an SLO is
+    active.
     """
 
     def _register(fn: PolicyBuilder) -> PolicyBuilder:
         _BUILDERS[name] = fn
+        if qos_aware:
+            _QOS_AWARE.add(name)
+        else:
+            _QOS_AWARE.discard(name)
         return fn
 
     if builder is not None:
@@ -60,6 +74,11 @@ def register_policy(name: str, builder: Optional[PolicyBuilder] = None):
 def policy_names() -> Tuple[str, ...]:
     """Registered factory ids, sorted."""
     return tuple(sorted(_BUILDERS))
+
+
+def policy_is_qos_aware(name: str) -> bool:
+    """Whether ``name``'s builder accepts the injected qos kwargs."""
+    return name in _QOS_AWARE
 
 
 def make_policy(
@@ -166,6 +185,77 @@ def _build_satori(mix, catalog, goals, rng, n_jobs, resources=None, kernel=None,
         kwargs["kernel"] = kernel
     space = _space(catalog, n_jobs, tuple(resources) if resources else FULL_RESOURCES)
     return SatoriController(space, goals, rng=make_rng(rng), **kwargs)
+
+
+@register_policy("BoPF", qos_aware=True)
+def _build_bopf(mix, catalog, goals, rng, n_jobs, resources=None, qos_jobs=(),
+                qos_min_speedup=0.7, **kwargs):
+    """BoPF: bounded short-term qos priority around a SATORI core.
+
+    ``qos_jobs`` / ``qos_min_speedup`` are the kwargs the cluster
+    simulator injects per node when an SLO is active; with no qos jobs
+    the policy degenerates to plain SATORI behaviour.
+    """
+    from repro.policies.bopf import BoPFPolicy
+
+    space = _space(catalog, n_jobs, tuple(resources) if resources else FULL_RESOURCES)
+    return BoPFPolicy(
+        space,
+        goals,
+        qos_jobs=tuple(qos_jobs),
+        min_speedup=qos_min_speedup,
+        rng=make_rng(rng),
+        **kwargs,
+    )
+
+
+@register_policy("QoSPARTIES", qos_aware=True)
+def _build_qos_parties(mix, catalog, goals, rng, n_jobs, qos_jobs=(),
+                       qos_min_speedup=0.7, target_p99_ms=20.0, **kwargs):
+    """QoS-PARTIES driven by synthesized request profiles.
+
+    The native :class:`~repro.policies.qos_parties.QosPartiesPolicy`
+    needs a :class:`LatencyCriticalJob` per mix slot. Qos-kind slots
+    get a profile whose offered load makes the p99 target bind exactly
+    at ``qos_min_speedup`` of the job's equal-share IPS (the same
+    M/M/1 inversion as :func:`repro.qos.min_speedup_for`, run
+    forwards); batch slots get a loose, always-satisfied profile so
+    they act as donors in the PARTIES FSM.
+    """
+    from repro.policies.qos_parties import QosPartiesPolicy
+    from repro.workloads.latency_critical import (
+        _P99_FACTOR,
+        LatencyCriticalJob,
+        RequestProfile,
+    )
+
+    if mix is None:
+        raise PolicyError("the QoSPARTIES factory needs the job mix, not just n_jobs")
+    qos_slots = {int(j) for j in qos_jobs}
+    target_s = target_p99_ms / 1000.0
+    ipr = 2e6
+    jobs = []
+    for slot, workload in enumerate(mix):
+        share = max(1, len(mix))
+        equal_share_ips = workload.ips_under(
+            catalog,
+            0.0,
+            cores=catalog.get(CORES).units / share,
+            llc_ways=catalog.get(LLC_WAYS).units / share,
+            bandwidth_units=catalog.get(MEMORY_BANDWIDTH).units / share,
+        )
+        if slot in qos_slots:
+            # Load such that meeting the p99 target needs exactly
+            # qos_min_speedup of the equal-share capacity.
+            load = max(
+                0.0, qos_min_speedup * equal_share_ips / ipr - _P99_FACTOR / target_s
+            )
+            profile = RequestProfile.constant(ipr, target_s, load)
+        else:
+            profile = RequestProfile.constant(ipr, 10.0, 0.05 * equal_share_ips / ipr)
+        jobs.append(LatencyCriticalJob(workload=workload, profile=profile))
+    space = _space(catalog, n_jobs)
+    return QosPartiesPolicy(space, jobs, goals, **kwargs)
 
 
 @register_policy("Oracle")

@@ -1,0 +1,27 @@
+"""SLO-aware scheduling: specs, tracking, and miss events for qos jobs.
+
+The cluster layer marks arrivals as ``batch`` or ``qos``; this package
+defines what the qos kind *means*: an :class:`SLOSpec` attached to
+qos arrivals, an :class:`SLOTracker` scoring per-interval telemetry
+against it, and the miss events / attainment aggregates surfaced in
+``ClusterResult``, ``repro.obs`` metrics, and the serve layer's
+``/metrics`` scrape. The enforcement side lives in
+``repro.policies.bopf`` (bounded-priority fairness) and the
+``slo_aware`` placement policy in ``repro.cluster.placement``.
+"""
+
+from repro.qos.slo import (
+    SLOMissEvent,
+    SLOSpec,
+    SLOSummary,
+    SLOTracker,
+    min_speedup_for,
+)
+
+__all__ = [
+    "SLOMissEvent",
+    "SLOSpec",
+    "SLOSummary",
+    "SLOTracker",
+    "min_speedup_for",
+]

@@ -34,7 +34,7 @@ from repro.errors import ExperimentError
 from repro.experiments.runner import experiment_catalog
 from repro.metrics.goals import GoalSet
 from repro.obs import active_collector
-from repro.policies.registry import make_policy
+from repro.policies.registry import make_policy, policy_is_qos_aware
 from repro.state import PolicyState
 from repro.system.session import ControlSession
 from repro.system.simulation import DEFAULT_CONTROL_INTERVAL_S, CoLocationSimulator
@@ -70,6 +70,12 @@ class SessionSpec:
             re-measurement; ``None`` never resets.
         policy_kwargs: plain-data kwargs forwarded to the policy
             factory.
+        slo_floor: optional min-speedup SLO for the session's qos
+            jobs; with ``qos_jobs`` set, every stepped interval is
+            scored against it (``serve.slo_*`` metrics, visible on
+            the server's ``/metrics``) and qos-aware policies
+            (``BoPF``, ``QoSPARTIES``) receive the floor.
+        qos_jobs: mix slot indices holding that SLO.
     """
 
     policy: str = "SATORI"
@@ -81,6 +87,8 @@ class SessionSpec:
     noise_sigma: float = 0.03
     baseline_reset_s: Optional[float] = 10.0
     policy_kwargs: dict = field(default_factory=dict)
+    slo_floor: Optional[float] = None
+    qos_jobs: tuple = ()
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -89,6 +97,21 @@ class SessionSpec:
             raise ExperimentError(
                 f"baseline_reset_s must be positive or None, got {self.baseline_reset_s}"
             )
+        # Snapshots round-trip through JSON, which turns tuples into
+        # lists; normalize so resumed specs compare equal to originals.
+        object.__setattr__(
+            self, "qos_jobs", tuple(int(j) for j in self.qos_jobs)
+        )
+        if any(j < 0 for j in self.qos_jobs):
+            raise ExperimentError(f"qos_jobs must be >= 0, got {self.qos_jobs}")
+        if self.slo_floor is not None and not 0.0 < self.slo_floor <= 1.0:
+            raise ExperimentError(
+                f"slo_floor must be in (0, 1], got {self.slo_floor}"
+            )
+
+    @property
+    def slo_active(self) -> bool:
+        return self.slo_floor is not None and bool(self.qos_jobs)
 
     def to_dict(self) -> dict:
         return serialize.dataclass_to_dict(self)
@@ -117,7 +140,8 @@ class SessionInfo:
 class _Managed:
     """One live session plus its bookkeeping (internal)."""
 
-    __slots__ = ("session_id", "spec", "session", "mix_label", "steps", "lock")
+    __slots__ = ("session_id", "spec", "session", "mix_label", "steps",
+                 "slo_intervals", "slo_misses", "lock")
 
     def __init__(self, session_id: str, spec: SessionSpec,
                  session: ControlSession, mix_label: str, steps: int = 0):
@@ -126,6 +150,8 @@ class _Managed:
         self.session = session
         self.mix_label = mix_label
         self.steps = steps
+        self.slo_intervals = 0
+        self.slo_misses = 0
         self.lock = threading.Lock()
 
 
@@ -140,6 +166,8 @@ class SessionManager:
         self._resumed = 0
         self._killed = 0
         self._steps = 0
+        self._slo_intervals = 0
+        self._slo_misses = 0
         self._latencies: Deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._started = time.perf_counter()
 
@@ -163,6 +191,11 @@ class SessionManager:
                 f"suite {spec.suite!r}"
             )
         mix = mixes[spec.mix]
+        if any(j >= len(mix) for j in spec.qos_jobs):
+            raise ExperimentError(
+                f"qos_jobs {spec.qos_jobs} out of range for the "
+                f"{len(mix)}-job mix {mix.label!r}"
+            )
         catalog = experiment_catalog(spec.units)
         goals = GoalSet()
         simulator = CoLocationSimulator(
@@ -172,6 +205,12 @@ class SessionManager:
             noise_sigma=spec.noise_sigma,
             seed=spec.seed,
         )
+        policy_kwargs = dict(spec.policy_kwargs)
+        if spec.slo_active and policy_is_qos_aware(spec.policy):
+            # Hand qos-aware policies the SLO the manager scores, so
+            # the guarantee they chase is the one /metrics reports.
+            policy_kwargs.setdefault("qos_jobs", spec.qos_jobs)
+            policy_kwargs.setdefault("qos_min_speedup", spec.slo_floor)
         policy = make_policy(
             spec.policy,
             mix,
@@ -179,7 +218,7 @@ class SessionManager:
             goals,
             rng=derive_seed(spec.seed, "serve", "policy"),
             initial_state=initial_state,
-            **dict(spec.policy_kwargs),
+            **policy_kwargs,
         )
         return ControlSession(
             policy,
@@ -233,26 +272,64 @@ class SessionManager:
         if n < 1:
             raise ExperimentError(f"n must be >= 1, got {n}")
         managed = self._get(session_id)
+        spec = managed.spec
         obs = active_collector()
         histogram = obs.metrics.histogram("serve.decision_seconds")
         with managed.lock:
             for _ in range(n):
                 started = time.perf_counter()
-                managed.session.step()
+                raw = managed.session.step()
                 elapsed = time.perf_counter() - started
                 histogram.observe(elapsed)
                 self._latencies.append(elapsed)
                 managed.steps += 1
                 self._steps += 1
+                if spec.slo_active:
+                    self._score_slo(managed, raw, obs)
         obs.metrics.counter("serve.steps").inc(n)
         telemetry = managed.session.telemetry
-        return {
+        summary = {
             "session": session_id,
             "steps": managed.steps,
             "time_s": managed.session.server.time_s,
             "mean_throughput": telemetry.mean_throughput(),
             "mean_fairness": telemetry.mean_fairness(),
         }
+        if spec.slo_active and managed.slo_intervals:
+            summary["slo_attainment"] = (
+                1.0 - managed.slo_misses / managed.slo_intervals
+            )
+        return summary
+
+    def _score_slo(self, managed: _Managed, raw, obs) -> None:
+        """Score one interval against the session's SLO floor.
+
+        An interval misses when the *worst* qos job's speedup (raw IPS
+        over isolation IPS) is below the floor — the same
+        worst-qos-job view BoPF's guarantee phase reacts to. The
+        counters surface on the server's Prometheus ``/metrics`` via
+        the ambient collector.
+        """
+        spec = managed.spec
+        speedups = [
+            raw.ips[j] / raw.isolation_ips[j]
+            for j in spec.qos_jobs
+            if raw.isolation_ips[j] > 0
+        ]
+        if not speedups:
+            return
+        worst = min(speedups)
+        managed.slo_intervals += 1
+        self._slo_intervals += 1
+        obs.metrics.counter("serve.slo_intervals").inc()
+        if worst < spec.slo_floor:
+            managed.slo_misses += 1
+            self._slo_misses += 1
+            obs.metrics.counter("serve.slo_misses").inc()
+        obs.metrics.gauge("serve.slo_worst_speedup").set(worst)
+        obs.metrics.gauge("serve.slo_attainment").set(
+            1.0 - self._slo_misses / self._slo_intervals
+        )
 
     def snapshot(self, session_id: str) -> dict:
         """The session's complete resumable image (JSON-compatible).
@@ -376,4 +453,11 @@ class SessionManager:
             "steps_per_sec": self._steps / wall if wall > 0 else 0.0,
             "decision_latency_p50_ms": latency["p50"] * 1e3,
             "decision_latency_p99_ms": latency["p99"] * 1e3,
+            "slo_intervals": self._slo_intervals,
+            "slo_misses": self._slo_misses,
+            "slo_attainment": (
+                1.0 - self._slo_misses / self._slo_intervals
+                if self._slo_intervals
+                else None
+            ),
         }

@@ -24,6 +24,7 @@ COMMANDS = (
     "broker",
     "warmstart",
     "chaos",
+    "qos",
     "serve",
     "loadgen",
     "report",
@@ -56,6 +57,9 @@ TINY_INVOCATIONS = {
     "chaos": ["chaos", "--nodes", "2", "--epochs", "4", "--duration", "1",
               "--units", "4", "--suite", "ecp", "--policy", "EqualPartition",
               "--crash-node", "0", "--crash-epoch", "1", "--outage", "2"],
+    "qos": ["qos", "--nodes", "2", "--epochs", "2", "--duration", "1",
+            "--units", "4", "--shapes", "flash_crowd",
+            "--policies", "SATORI", "BoPF", "--trace-seeds", "0"],
     "serve": ["serve", "--port", "0", "--exit-after", "0.2"],
     "loadgen": ["loadgen", "--self-host", "--suite", "ecp", "--units", "4",
                 "--policy", "EqualPartition", "--epochs", "3",

@@ -198,6 +198,7 @@ class TestPlacementPolicies:
             "round_robin",
             "least_loaded",
             "contention_aware",
+            "slo_aware",
         }
         with pytest.raises(ClusterError, match="unknown placement"):
             make_placement("nope")

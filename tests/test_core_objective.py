@@ -115,3 +115,78 @@ class TestObjectiveReconstruction:
         trace = records.goal_trace()
         assert set(trace) == {"throughput", "fairness"}
         assert len(trace["throughput"]) == 6
+
+
+class TestRescore:
+    """In-place score reconstruction from raw telemetry — the mechanism
+    baseline tilts (BoPF's guarantee phase) ride on."""
+
+    def add_with_telemetry(self, space, recs, scores, ips=(1e9, 2e9, 3e9)):
+        config = space.equal_partition()
+        recs.add(config, space.encode(config), scores,
+                 ips=ips, isolation_ips=(2e9, 2e9, 4e9))
+
+    def test_rescore_counts_only_changed_samples(self, space):
+        recs = GoalRecords()
+        self.add_with_telemetry(space, recs, (0.5, 0.5))
+        self.add_with_telemetry(space, recs, (0.3, 0.3))
+        # Rescore everything to (0.5, 0.5): the first sample already
+        # has those scores, so only the second counts as changed.
+        assert recs.rescore(lambda s: (0.5, 0.5)) == 1
+        assert all(s.scores == (0.5, 0.5) for s in recs.samples)
+
+    def test_none_leaves_sample_untouched(self, space):
+        recs = GoalRecords()
+        self.add_with_telemetry(space, recs, (0.4, 0.6))
+        scorer = lambda s: None if s.ips is not None else (0.0, 0.0)
+        assert recs.rescore(scorer) == 0
+        assert recs.samples[0].scores == (0.4, 0.6)
+
+    def test_raw_telemetry_reaches_the_scorer(self, space):
+        recs = GoalRecords()
+        self.add_with_telemetry(space, recs, (0.4, 0.6))
+        seen = []
+        recs.rescore(lambda s: seen.append((s.ips, s.isolation_ips)) or None)
+        assert seen == [((1e9, 2e9, 3e9), (2e9, 2e9, 4e9))]
+
+    def test_wrong_arity_rejected(self, space):
+        recs = GoalRecords()
+        self.add_with_telemetry(space, recs, (0.4, 0.6))
+        with pytest.raises(ModelError, match="goal scores"):
+            recs.rescore(lambda s: (0.5,))
+
+
+class TestSnapshotTelemetry:
+    """Raw ips/isolation_ips survive the snapshot round trip — and old
+    snapshots that predate those keys still restore cleanly."""
+
+    def test_round_trip_keeps_raw_telemetry(self, space):
+        recs = GoalRecords()
+        config = space.equal_partition()
+        recs.add(config, space.encode(config), (0.4, 0.6),
+                 ips=(1e9,) * 3, isolation_ips=(2e9,) * 3)
+        restored = GoalRecords().restore(recs.snapshot())
+        assert restored.samples[0].ips == (1e9,) * 3
+        assert restored.samples[0].isolation_ips == (2e9,) * 3
+
+    def test_samples_without_telemetry_snapshot_without_keys(self, space):
+        # Keeping the keys absent (not null) preserves the historical
+        # snapshot schema for records that never saw raw telemetry.
+        recs = GoalRecords()
+        config = space.equal_partition()
+        recs.add(config, space.encode(config), (0.4, 0.6))
+        sample = recs.snapshot().samples[0]
+        assert "ips" not in sample and "isolation_ips" not in sample
+
+    def test_old_snapshot_without_keys_restores(self, space):
+        recs = GoalRecords()
+        config = space.equal_partition()
+        recs.add(config, space.encode(config), (0.4, 0.6))
+        state = recs.snapshot()
+        restored = GoalRecords().restore(state)
+        assert restored.samples[0].ips is None
+        assert restored.samples[0].isolation_ips is None
+        # And such samples are simply skipped by telemetry rescorers.
+        assert restored.rescore(
+            lambda s: None if s.ips is None else (0.0, 0.0)
+        ) == 0

@@ -162,6 +162,53 @@ class TestMain:
         assert "batched.speedup is new" in out
         assert "schemes.legacy.epochs_per_s dropped" in out
 
+    def test_qos_attainment_loss_warns_gain_notices(self, tmp_path, capsys):
+        # SLO attainment is one-sided higher-is-better: a drop warns,
+        # a gain on another shape is an improvement, never a warning.
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        shapes = lambda flash, diurnal: {"shapes": {
+            "flash_crowd": {"BoPF": {"attainment": flash}},
+            "diurnal": {"BoPF": {"attainment": diurnal}},
+        }}
+        _write(prev, "BENCH_qos.json", shapes(0.75, 0.5))
+        _write(cur, "BENCH_qos.json", shapes(0.45, 0.9))
+        code = diff_bench.main([str(prev), str(cur)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARN" in out and "flash_crowd.BoPF.attainment" in out
+        assert "good" in out and "diurnal.BoPF.attainment" in out
+
+    def test_qos_first_run_skips_gracefully(self, tmp_path, capsys):
+        # First CI run ever writing BENCH_qos.json: no previous-side
+        # artifact exists, and the diff must skip it without noise.
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        prev.mkdir()
+        _write(cur, "BENCH_qos.json",
+               {"shapes": {"flash_crowd": {"BoPF": {"attainment": 0.75}}}})
+        code = diff_bench.main([str(prev), str(cur), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skip  BENCH_qos.json: no previous artifact" in out
+        assert "WARN" not in out
+
+    def test_qos_slo_floor_change_skips_comparison(self, tmp_path, capsys):
+        # A different SLO floor redefines attainment; raw comparisons
+        # across floors would warn for no reason.
+        prev, cur = tmp_path / "prev", tmp_path / "cur"
+        _write(prev, "BENCH_qos.json", {
+            "slo": {"min_speedup": 0.7},
+            "shapes": {"flash_crowd": {"BoPF": {"attainment": 0.2}}},
+        })
+        _write(cur, "BENCH_qos.json", {
+            "slo": {"min_speedup": 0.55},
+            "shapes": {"flash_crowd": {"BoPF": {"attainment": 0.8}}},
+        })
+        code = diff_bench.main([str(prev), str(cur), "--strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WARN" not in out
+        assert "scale changed" in out and "slo.min_speedup 0.7 -> 0.55" in out
+
     def test_summary_file_written(self, tmp_path, capsys):
         prev, cur = tmp_path / "prev", tmp_path / "cur"
         _write(prev, "BENCH_chaos.json", {"epochs_per_s": 10.0})

@@ -1,0 +1,162 @@
+"""Tests for the SLO layer (``repro.qos.slo``).
+
+The unit contract underneath the cluster's qos semantics: what a
+speedup-floor SLO means (windowed attainment), how latency targets
+translate into floors, and how the tracker aggregates node-epoch
+telemetry into attainment, miss rate, and miss events.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.qos import SLOMissEvent, SLOSpec, SLOSummary, SLOTracker, min_speedup_for
+from repro.workloads.latency_critical import LatencyCriticalJob, RequestProfile
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def lc_job():
+    return LatencyCriticalJob(
+        workload=get_workload("web_search"),
+        profile=RequestProfile.constant(2e6, 0.02, 400.0),
+    )
+
+
+class TestSLOSpec:
+    def test_defaults_and_round_trip(self):
+        spec = SLOSpec(min_speedup=0.6, window=3, attain_target=0.5)
+        decoded = SLOSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert decoded == spec
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="min_speedup"):
+            SLOSpec(min_speedup=0.0)
+        with pytest.raises(ExperimentError, match="min_speedup"):
+            SLOSpec(min_speedup=1.5)
+        with pytest.raises(ExperimentError, match="window"):
+            SLOSpec(window=0)
+        with pytest.raises(ExperimentError, match="attain_target"):
+            SLOSpec(attain_target=0.0)
+
+    def test_empty_series_is_full_attainment(self):
+        # Nothing ran, so nothing was violated.
+        assert SLOSpec(min_speedup=0.9).window_attainment(()) == 1.0
+
+    def test_windows_score_on_their_mean(self):
+        spec = SLOSpec(min_speedup=0.5, window=2)
+        # Window 1 mean 0.55 (attains despite the 0.3 dip), window 2
+        # mean 0.35 (misses despite the 0.4 recovery).
+        assert spec.window_attainment((0.8, 0.3, 0.3, 0.4)) == pytest.approx(0.5)
+
+    def test_single_interval_windows_score_each_point(self):
+        spec = SLOSpec(min_speedup=0.5, window=1)
+        assert spec.window_attainment((0.6, 0.4, 0.6)) == pytest.approx(2 / 3)
+
+    def test_partial_final_window_counts(self):
+        spec = SLOSpec(min_speedup=0.5, window=2)
+        # Three intervals make two windows; the trailing singleton
+        # stands on its own mean.
+        assert spec.window_attainment((0.6, 0.6, 0.4)) == pytest.approx(0.5)
+
+    def test_floor_is_inclusive(self):
+        spec = SLOSpec(min_speedup=0.5, window=1)
+        assert spec.window_attainment((0.5,)) == 1.0
+
+
+class TestMinSpeedupFor:
+    def test_matches_required_ips_ratio(self, lc_job):
+        iso = 4e9
+        expected = lc_job.required_ips(0.0) / iso
+        assert min_speedup_for(lc_job, iso) == pytest.approx(expected)
+
+    def test_clamped_to_one(self, lc_job):
+        # An isolation baseline below the requirement cannot demand a
+        # speedup above 1.0 — that floor means "needs the machine".
+        assert min_speedup_for(lc_job, lc_job.required_ips(0.0) * 0.5) == 1.0
+
+    def test_rejects_nonpositive_isolation(self, lc_job):
+        with pytest.raises(ExperimentError, match="isolation_ips"):
+            min_speedup_for(lc_job, 0.0)
+
+
+class TestSLOTracker:
+    def make(self, **kwargs):
+        defaults = dict(min_speedup=0.5, window=1, attain_target=0.75)
+        defaults.update(kwargs)
+        return SLOTracker(SLOSpec(**defaults))
+
+    def test_scores_only_qos_slots(self):
+        tracker = self.make()
+        out = tracker.score_epoch(
+            epoch=0,
+            node_id=1,
+            job_ids=(10, 11, 12),
+            kinds=("batch", "qos", "batch"),
+            interval_speedups=((0.2, 0.2), (0.8, 0.9), (0.3, 0.3)),
+        )
+        assert set(out) == {11}
+        assert out[11] == 1.0
+        assert tracker.misses == ()
+        assert tracker.scored_epochs == 1
+
+    def test_missing_telemetry_scores_as_attained(self):
+        tracker = self.make()
+        out = tracker.score_epoch(0, 0, (5,), ("qos",), ())
+        assert out == {5: 1.0}
+
+    def test_miss_event_below_target(self):
+        tracker = self.make(attain_target=0.75)
+        tracker.score_epoch(3, 2, (7,), ("qos",), ((0.9, 0.2, 0.2, 0.2),))
+        assert tracker.misses == (
+            SLOMissEvent(epoch=3, node_id=2, job_id=7, attainment=0.25),
+        )
+        assert tracker.miss_rate() == 1.0
+
+    def test_outage_scores_every_qos_job_zero(self):
+        tracker = self.make()
+        out = tracker.score_outage(1, 0, (3, 4), ("qos", "batch"))
+        assert out == {3: 0.0}
+        assert tracker.attainment() == 0.0
+        assert len(tracker.misses) == 1
+
+    def test_attainment_averages_per_job_then_across_jobs(self):
+        tracker = self.make()
+        tracker.score_epoch(0, 0, (1,), ("qos",), ((0.9,),))  # job 1: 1.0
+        tracker.score_epoch(1, 0, (1,), ("qos",), ((0.1,),))  # job 1: 0.0
+        tracker.score_epoch(0, 1, (2,), ("qos",), ((0.9,),))  # job 2: 1.0
+        assert tracker.job_attainment() == {1: 0.5, 2: 1.0}
+        assert tracker.attainment() == pytest.approx(0.75)
+        assert tracker.miss_rate() == pytest.approx(1 / 3)
+
+    def test_untouched_tracker_reports_vacuous_success(self):
+        tracker = self.make()
+        assert tracker.attainment() == 1.0
+        assert tracker.miss_rate() == 0.0
+        assert tracker.scored_epochs == 0
+
+    def test_to_dict_is_json_codable(self):
+        tracker = self.make()
+        tracker.score_epoch(0, 0, (9,), ("qos",), ((0.1,),))
+        data = json.loads(json.dumps(tracker.to_dict()))
+        assert data["spec"]["min_speedup"] == 0.5
+        assert data["attainment"] == 0.0
+        assert data["job_attainment"] == {"9": 0.0}
+        assert data["misses"][0]["job_id"] == 9
+
+
+class TestSLOSummary:
+    def test_to_dict(self):
+        summary = SLOSummary(
+            attainment=0.8,
+            miss_rate=0.1,
+            qos_jobs=3,
+            misses=(SLOMissEvent(0, 1, 2, 0.5),),
+        )
+        data = json.loads(json.dumps(summary.to_dict()))
+        assert data["attainment"] == 0.8
+        assert data["qos_jobs"] == 3
+        assert data["misses"][0] == {
+            "epoch": 0, "node_id": 1, "job_id": 2, "attainment": 0.5,
+        }

@@ -146,6 +146,86 @@ class TestSessionLifecycle:
         assert all(info.policy == "SATORI" for info in listed)
 
 
+# -- per-session SLO scoring ----------------------------------------------
+
+
+class TestSessionSLO:
+    """Live sessions can carry a speedup-floor SLO: every stepped
+    interval is scored, the metrics surface on ``/metrics``, and the
+    spec (hence the scoring) survives snapshot/resume."""
+
+    SLO_SPEC = SessionSpec(
+        policy="BoPF", suite="parsec", mix=0, units=8, seed=7,
+        slo_floor=0.6, qos_jobs=(0,),
+    )
+
+    def test_spec_validation_and_round_trip(self):
+        decoded = SessionSpec.from_dict(
+            json.loads(json.dumps(self.SLO_SPEC.to_dict()))
+        )
+        assert decoded == self.SLO_SPEC
+        assert decoded.slo_active
+        assert not SessionSpec(slo_floor=0.6).slo_active  # no qos jobs
+        assert not SessionSpec(qos_jobs=(0,)).slo_active  # no floor
+        with pytest.raises(ExperimentError, match="slo_floor"):
+            SessionSpec(slo_floor=1.5)
+        with pytest.raises(ExperimentError, match="qos_jobs"):
+            SessionSpec(qos_jobs=(-1,))
+
+    def test_qos_slot_beyond_mix_rejected(self):
+        with pytest.raises(ExperimentError, match="qos_jobs"):
+            SessionManager().create(
+                SessionSpec(policy="BoPF", suite="parsec", mix=0, units=8,
+                            slo_floor=0.6, qos_jobs=(99,))
+            )
+
+    def test_stepping_scores_intervals_and_emits_metrics(self):
+        from repro.obs import TraceCollector, use_collector
+        from repro.obs.export import prometheus_text
+
+        collector = TraceCollector()
+        with use_collector(collector):
+            manager = SessionManager()
+            sid = manager.create(self.SLO_SPEC)
+            summary = manager.step(sid, 20)
+        assert 0.0 <= summary["slo_attainment"] <= 1.0
+        stats = manager.stats()
+        assert stats["slo_intervals"] == 20
+        assert stats["slo_misses"] <= 20
+        assert stats["slo_attainment"] == pytest.approx(
+            1.0 - stats["slo_misses"] / 20
+        )
+        text = prometheus_text(collector.metrics)
+        assert "serve_slo_intervals" in text
+        assert "serve_slo_worst_speedup" in text
+        assert "serve_slo_attainment" in text
+
+    def test_sessions_without_slo_do_not_score(self):
+        manager = SessionManager()
+        summary = manager.step(manager.create(SPEC), 3)
+        assert "slo_attainment" not in summary
+        assert manager.stats()["slo_attainment"] is None
+
+    def test_slo_spec_survives_resume_bit_identically(self):
+        manager = SessionManager()
+        sid = manager.create(self.SLO_SPEC)
+        manager.step(sid, 10)
+        snapshot = json.loads(json.dumps(manager.snapshot(sid)))
+
+        manager.step(sid, 10)
+        original = manager._get(sid)
+
+        fresh = SessionManager()
+        rid = fresh.resume(snapshot)
+        resumed = fresh._get(rid)
+        assert resumed.spec == self.SLO_SPEC
+        fresh.step(rid, 10)
+        # Same per-interval telemetry => same SLO verdicts.
+        assert resumed.session.telemetry.records[-1] == (
+            original.session.telemetry.records[-1]
+        )
+
+
 # -- control-plane server -------------------------------------------------
 
 

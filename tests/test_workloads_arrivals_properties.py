@@ -174,6 +174,76 @@ class TestShapeProperties:
         assert trace.peak_jobs <= max_jobs
 
 
+class TestQosFractionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, n_epochs=epoch_counts, rate=rates)
+    def test_zero_fraction_is_draw_identical(self, seed, n_epochs, rate):
+        # qos_fraction=0 must not consume RNG: the trace is bit-identical
+        # to one generated before the parameter existed.
+        untyped = poisson_trace(
+            n_epochs=n_epochs, arrival_rate=rate, seed=seed, registry=REGISTRY
+        )
+        typed = poisson_trace(
+            n_epochs=n_epochs, arrival_rate=rate, seed=seed, registry=REGISTRY,
+            qos_fraction=0.0,
+        )
+        assert untyped.to_dict() == typed.to_dict()
+        assert all(job.kind == "batch" for job in typed.jobs)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=seeds,
+        fraction=st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+    )
+    def test_qos_share_converges_to_fraction(self, seed, fraction):
+        # Over a long trace the qos share is a binomial proportion;
+        # 4 standard deviations bounds the flake rate far below
+        # hypothesis's example count.
+        trace = poisson_trace(
+            n_epochs=60, arrival_rate=5.0, seed=seed, registry=REGISTRY,
+            qos_fraction=fraction,
+        )
+        n = len(trace.jobs)
+        assert n >= 100
+        share = sum(job.kind == "qos" for job in trace.jobs) / n
+        margin = 4.0 * math.sqrt(fraction * (1.0 - fraction) / n)
+        assert abs(share - fraction) <= margin
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=seeds,
+        n_epochs=st.integers(min_value=2, max_value=24),
+        fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_flash_crowd_with_fraction_is_seed_deterministic(
+        self, seed, n_epochs, fraction
+    ):
+        kwargs = dict(
+            n_epochs=n_epochs, base_rate=1.0, burst_rate=4.0,
+            burst_epoch=n_epochs // 2, burst_duration=2, seed=seed,
+            registry=REGISTRY, qos_fraction=fraction,
+        )
+        assert (
+            flash_crowd_trace(**kwargs).to_dict()
+            == flash_crowd_trace(**kwargs).to_dict()
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_fraction_one_tags_everything(self, seed):
+        trace = diurnal_trace(
+            n_epochs=8, base_rate=1.0, peak_rate=3.0, period_epochs=4,
+            seed=seed, registry=REGISTRY, qos_fraction=1.0,
+        )
+        assert all(job.kind == "qos" for job in trace.jobs)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ClusterError, match="qos_fraction"):
+            poisson_trace(n_epochs=4, qos_fraction=1.5, registry=REGISTRY)
+        with pytest.raises(ClusterError, match="qos_fraction"):
+            poisson_trace(n_epochs=4, qos_fraction=-0.1, registry=REGISTRY)
+
+
 class TestValidation:
     def test_diurnal_peak_below_base_rejected(self):
         with pytest.raises(ClusterError, match="peak_rate"):
